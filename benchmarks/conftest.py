@@ -1,0 +1,36 @@
+"""Benchmark-suite fixtures and the paper-vs-measured summary.
+
+Every reproduction benchmark both *times* its artifact and *checks* it
+against the paper's printed output; the checks' outcomes are collected
+here and printed as a summary table after the pytest-benchmark tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.goddag import KyGoddag
+from repro.corpus.boethius import boethius_document
+
+_REPORT_ROWS: list[tuple[str, str, str]] = []
+
+
+def record(experiment: str, status: str, detail: str) -> None:
+    """Record one paper-vs-measured row for the end-of-run summary."""
+    _REPORT_ROWS.append((experiment, status, detail))
+
+
+@pytest.fixture(scope="session")
+def boethius_goddag_session() -> KyGoddag:
+    """One shared KyGODDAG of the paper's Figure 1 document."""
+    return KyGoddag.build(boethius_document(validate=False))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORT_ROWS:
+        return
+    terminalreporter.write_sep("=", "paper-vs-measured summary")
+    width = max(len(row[0]) for row in _REPORT_ROWS) + 2
+    for experiment, status, detail in _REPORT_ROWS:
+        terminalreporter.write_line(
+            f"{experiment:{width}} {status:22} {detail}")

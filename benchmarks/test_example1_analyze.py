@@ -1,0 +1,29 @@
+"""EX1 — Definition 4, Example 1: analyze-string with a fragment pattern.
+
+Paper: applying analyze-string to <w>unawendendne</w> with pattern
+``.*un<a>a</a>we.*`` yields ``<res><m>un<a>a</a>we</m>ndendne</res>``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runtime import evaluate_query, serialize_items
+from repro.experiments.paperdata import EXAMPLE_1
+
+from conftest import record
+
+QUERY = (f"analyze-string({EXAMPLE_1['target_query']}, "
+         f"\"{EXAMPLE_1['pattern']}\")")
+
+
+@pytest.mark.benchmark(group="EX1")
+def test_example1_fragment_pattern(benchmark, boethius_goddag_session):
+    goddag = boethius_goddag_session
+
+    def run() -> str:
+        return serialize_items(evaluate_query(goddag, QUERY))
+
+    measured = benchmark(run)
+    assert measured == EXAMPLE_1["paper_output"]
+    record("EX1 analyze-string", "EXACT", measured)

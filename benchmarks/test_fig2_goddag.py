@@ -1,0 +1,36 @@
+"""FIG2 — Figure 2: building the KyGODDAG of the Figure 1 document.
+
+The drawing's checkable content is the node/edge inventory: 16 leaves,
+2 line / 3 vline / 6 w / 3 res / 2 dmg elements, one united root.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.goddag import KyGoddag, collect, to_dot
+from repro.corpus.boethius import boethius_document
+from repro.experiments.paperdata import FIGURE_2_INVENTORY
+
+from conftest import record
+
+
+@pytest.mark.benchmark(group="FIG2")
+def test_fig2_build_goddag(benchmark):
+    document = boethius_document(validate=False)
+    goddag = benchmark(KyGoddag.build, document)
+    stats = collect(goddag)
+    assert stats.leaf_count == FIGURE_2_INVENTORY["leaves"]
+    measured = {h.name: h.elements_by_name for h in stats.hierarchies}
+    assert measured == FIGURE_2_INVENTORY["elements"]
+    record("FIG2 KyGODDAG inventory", "EXACT",
+           f"leaves={stats.leaf_count} nodes={stats.node_count} "
+           f"edges={stats.edge_count}")
+
+
+@pytest.mark.benchmark(group="FIG2")
+def test_fig2_render_dot(benchmark, boethius_goddag_session):
+    dot = benchmark(to_dot, boethius_goddag_session)
+    assert "dmg1" in dot and "dmg2" in dot  # Figure 2's labels
+    record("FIG2 DOT rendering", "EXACT",
+           "GraphViz drawing with the figure's dmg1/dmg2/t-number labels")

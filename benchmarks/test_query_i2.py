@@ -1,0 +1,38 @@
+"""Q-I.2 — §4 query: lines with damaged words, damaged words highlighted."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runtime import evaluate_query, serialize_items
+from repro.experiments.paperdata import PAPER_QUERIES
+
+from conftest import record
+
+SPEC = PAPER_QUERIES[1]
+
+
+@pytest.mark.benchmark(group="Q-I.2")
+def test_i2_literal_query(benchmark, boethius_goddag_session):
+    goddag = boethius_goddag_session
+
+    def run() -> str:
+        return serialize_items(evaluate_query(goddag, SPEC.query))
+
+    measured = benchmark(run)
+    assert measured == SPEC.expected_output
+    status = "EXACT" if measured == SPEC.paper_output else "DOCUMENTED DELTA"
+    record("Q-I.2 literal", status, measured)
+
+
+@pytest.mark.benchmark(group="Q-I.2")
+def test_i2_amended_query(benchmark, boethius_goddag_session):
+    """The documented variant (see EXPERIMENTS.md Q-I.2)."""
+    goddag = boethius_goddag_session
+
+    def run() -> str:
+        return serialize_items(evaluate_query(goddag, SPEC.amended_query))
+
+    measured = benchmark(run)
+    assert measured == SPEC.amended_output
+    record("Q-I.2 amended", "MATCHES EXPECTATION", measured)

@@ -1,0 +1,25 @@
+"""Q-II.1 — §4 query: words containing *unawe*, match highlighted via analyze-string."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runtime import evaluate_query, serialize_items
+from repro.experiments.paperdata import PAPER_QUERIES
+
+from conftest import record
+
+SPEC = PAPER_QUERIES[2]
+
+
+@pytest.mark.benchmark(group="Q-II.1")
+def test_ii1_literal_query(benchmark, boethius_goddag_session):
+    goddag = boethius_goddag_session
+
+    def run() -> str:
+        return serialize_items(evaluate_query(goddag, SPEC.query))
+
+    measured = benchmark(run)
+    assert measured == SPEC.expected_output
+    status = "EXACT" if measured == SPEC.paper_output else "DOCUMENTED DELTA"
+    record("Q-II.1 literal", status, measured)

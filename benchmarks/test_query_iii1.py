@@ -1,0 +1,38 @@
+"""Q-III.1 — §4 query: match highlighted and restored parts italicized (multi-hierarchy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runtime import evaluate_query, serialize_items
+from repro.experiments.paperdata import PAPER_QUERIES
+
+from conftest import record
+
+SPEC = PAPER_QUERIES[3]
+
+
+@pytest.mark.benchmark(group="Q-III.1")
+def test_iii1_literal_query(benchmark, boethius_goddag_session):
+    goddag = boethius_goddag_session
+
+    def run() -> str:
+        return serialize_items(evaluate_query(goddag, SPEC.query))
+
+    measured = benchmark(run)
+    assert measured == SPEC.expected_output
+    status = "EXACT" if measured == SPEC.paper_output else "DOCUMENTED DELTA"
+    record("Q-III.1 literal", status, measured)
+
+
+@pytest.mark.benchmark(group="Q-III.1")
+def test_iii1_amended_query(benchmark, boethius_goddag_session):
+    """The documented variant (see EXPERIMENTS.md Q-III.1)."""
+    goddag = boethius_goddag_session
+
+    def run() -> str:
+        return serialize_items(evaluate_query(goddag, SPEC.amended_query))
+
+    measured = benchmark(run)
+    assert measured == SPEC.amended_output
+    record("Q-III.1 amended", "MATCHES EXPECTATION", measured)

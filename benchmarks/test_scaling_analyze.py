@@ -1,0 +1,48 @@
+"""S-ANALYZE — analyze-string scaling.
+
+Each call creates, repartitions, and tears down a temporary hierarchy
+(Definition 4); this series measures that full lifecycle as the
+document grows, plus the per-match cost on a fixed document.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SCALING_SIZES, goddag_at_size
+from repro.core.runtime import evaluate_query, serialize_items
+
+from conftest import record
+
+QUERY = 'analyze-string(/, "si")'  # 'si' occurs throughout the corpora
+
+
+@pytest.mark.parametrize("n_words", SCALING_SIZES)
+@pytest.mark.benchmark(group="S-ANALYZE")
+def test_analyze_string_scaling(benchmark, n_words):
+    goddag = goddag_at_size(n_words)
+
+    def run() -> int:
+        return len(evaluate_query(goddag, QUERY))
+
+    count = benchmark(run)
+    assert count == 1
+    record(f"S-ANALYZE n={n_words}", "SERIES",
+           "temporary hierarchy built and torn down per call")
+
+
+@pytest.mark.benchmark(group="S-ANALYZE-matches")
+@pytest.mark.parametrize("pattern,label", [
+    ("zqzq", "no matches"),
+    ("si", "common bigram"),
+    ("[aeiouæy]", "every vowel"),
+])
+def test_analyze_match_density(benchmark, pattern, label):
+    goddag = goddag_at_size(SCALING_SIZES[1])
+
+    def run() -> str:
+        return serialize_items(evaluate_query(
+            goddag, f'analyze-string(/, "{pattern}")'))
+
+    out = benchmark(run)
+    assert out.startswith("<res>")

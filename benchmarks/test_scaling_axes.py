@@ -1,0 +1,65 @@
+"""S-AXES — extended-axis evaluation scaling.
+
+Measures the Definition 1 axes (the paper's core query primitives) over
+growing corpora: one overlap join (`line/overlapping::w`) and one
+containment join (`line/xdescendant::w`) per size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SCALING_SIZES, goddag_at_size
+from repro.core.goddag import evaluate_axis
+
+from conftest import record
+
+
+def _overlap_join(goddag):
+    hits = 0
+    for line in goddag.elements("line"):
+        hits += sum(1 for n in evaluate_axis(goddag, "overlapping", line)
+                    if n.name == "w")
+    return hits
+
+
+def _containment_join(goddag):
+    hits = 0
+    for line in goddag.elements("line"):
+        hits += sum(1 for n in evaluate_axis(goddag, "xdescendant", line)
+                    if n.name == "w")
+    return hits
+
+
+@pytest.mark.parametrize("n_words", SCALING_SIZES)
+@pytest.mark.benchmark(group="S-AXES-overlap")
+def test_overlap_join_scaling(benchmark, n_words):
+    goddag = goddag_at_size(n_words)
+    goddag.span_index()  # build outside the timed region
+    hits = benchmark(_overlap_join, goddag)
+    assert hits > 0  # hyphenation guarantees line/word overlap
+    record(f"S-AXES overlap n={n_words}", "SERIES",
+           f"{hits} line/word overlaps found")
+
+
+@pytest.mark.parametrize("n_words", SCALING_SIZES)
+@pytest.mark.benchmark(group="S-AXES-containment")
+def test_containment_join_scaling(benchmark, n_words):
+    goddag = goddag_at_size(n_words)
+    goddag.span_index()
+    hits = benchmark(_containment_join, goddag)
+    assert hits > 0
+
+
+@pytest.mark.parametrize("axis", ["xancestor", "xdescendant",
+                                  "xfollowing", "xpreceding",
+                                  "overlapping"])
+@pytest.mark.benchmark(group="S-AXES-single")
+def test_single_axis_cost(benchmark, axis):
+    """Per-axis cost from a mid-document word, at the largest size."""
+    goddag = goddag_at_size(SCALING_SIZES[-1])
+    goddag.span_index()
+    words = list(goddag.elements("w"))
+    node = words[len(words) // 2]
+    result = benchmark(evaluate_axis, goddag, axis, node)
+    assert isinstance(result, list)

@@ -1,0 +1,40 @@
+"""S-BUILD — KyGODDAG construction scaling.
+
+The paper's future work (§5) is an "efficient implementation of
+extended XQuery over multihierarchical document structures"; this
+series measures where the reproduction stands: build time of the
+KyGODDAG (four hierarchies, realistic overlap) as the corpus grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SCALING_SIZES, corpus_at_size
+from repro.core.goddag import KyGoddag
+
+from conftest import record
+
+
+@pytest.mark.parametrize("n_words", SCALING_SIZES)
+@pytest.mark.benchmark(group="S-BUILD")
+def test_build_scaling(benchmark, n_words):
+    document = corpus_at_size(n_words)
+    goddag = benchmark(KyGoddag.build, document)
+    leaves = len(goddag.partition)
+    assert leaves >= n_words  # word boundaries alone force this
+    record(f"S-BUILD n={n_words}", "SERIES",
+           f"{leaves} leaves, "
+           f"{sum(len(goddag.nodes_of(h)) for h in goddag.hierarchy_names)}"
+           f" hierarchy nodes")
+
+
+@pytest.mark.parametrize("n_words", SCALING_SIZES)
+@pytest.mark.benchmark(group="S-BUILD-index")
+def test_span_index_scaling(benchmark, n_words):
+    from repro.bench import goddag_at_size
+    from repro.core.goddag.index import SpanIndex
+
+    goddag = goddag_at_size(n_words)
+    index = benchmark(SpanIndex, goddag)
+    assert len(index) > n_words

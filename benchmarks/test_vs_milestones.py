@@ -1,0 +1,73 @@
+"""C-MILE — the same §1 claim, milestone encoding.
+
+Non-primary hierarchies collapse to empty start/end markers; answering
+the paper's queries then requires a full document walk with offset
+bookkeeping to rebuild marker extents, joined by hand against the
+primary tree.  KyGODDAG answers the identical information needs with
+the extended axes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import milestone_document
+from repro.baselines.flatquery import (
+    lines_containing_group,
+    milestone_groups,
+    primary_groups,
+    search_groups,
+)
+from repro.bench import corpus_at_size, goddag_at_size
+from repro.core.runtime import evaluate_query
+
+from conftest import record
+
+SIZES = (400, 1600)
+
+GODDAG_QUERY = (
+    'for $l in /descendant::line'
+    '[xdescendant::w[string(.) = "singallice"] or '
+    'overlapping::w[string(.) = "singallice"]] '
+    'return string($l)')
+
+
+def flat_answer(flat) -> list[str]:
+    words = primary_groups(flat, "w")
+    hits = search_groups(words, "singallice")
+    lines = milestone_groups(flat, "line")
+    return sorted(g.text for g in lines_containing_group(lines, hits))
+
+
+@pytest.mark.parametrize("n_words", SIZES)
+@pytest.mark.benchmark(group="C-MILE-lines")
+def test_goddag_line_search(benchmark, n_words):
+    goddag = goddag_at_size(n_words)
+    goddag.span_index()
+    result = benchmark(
+        lambda: sorted(evaluate_query(goddag, GODDAG_QUERY)))
+    flat = milestone_document(corpus_at_size(n_words),
+                              primary="structural")
+    assert result == flat_answer(flat)
+    record(f"C-MILE lines (goddag) n={n_words}", "AGREES",
+           f"{len(result)} lines found by both representations")
+
+
+@pytest.mark.parametrize("n_words", SIZES)
+@pytest.mark.benchmark(group="C-MILE-lines")
+def test_milestone_line_search(benchmark, n_words):
+    flat = milestone_document(corpus_at_size(n_words),
+                              primary="structural")
+    result = benchmark(flat_answer, flat)
+    assert isinstance(result, list)
+
+
+@pytest.mark.parametrize("n_words", SIZES)
+@pytest.mark.benchmark(group="C-MILE-encode")
+def test_milestone_encoding_cost(benchmark, n_words):
+    document = corpus_at_size(n_words)
+    flat = benchmark(milestone_document, document, "structural")
+    markers = sum(1 for e in flat.root.iter_elements()
+                  if e.get("sid") is not None)
+    record(f"C-MILE markers n={n_words}", "SERIES",
+           f"{markers} marker elements inserted")

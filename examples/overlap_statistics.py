@@ -1,0 +1,86 @@
+"""Overlap analytics across hierarchies of a document collection.
+
+Digital-humanities editors need to know *how much* their hierarchies
+disagree before choosing an encoding strategy.  This example sweeps the
+synthetic corpus generator over increasing hyphenation/boundary-cross
+rates and measures, with the paper's extended axes:
+
+* how many words properly overlap a physical line (the *singallice*
+  phenomenon),
+* how many damage/restoration spans cross word boundaries,
+* the leaf fragmentation factor (leaves per word — 1.0 means the
+  hierarchies agree perfectly),
+* how many extra fragments the fragmentation baseline would need.
+
+Run:  python examples/overlap_statistics.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import fragment_document
+from repro.core.goddag import KyGoddag, evaluate_axis
+from repro.corpus import GeneratorConfig, generate_document
+
+
+def overlap_profile(rate: float, n_words: int = 300) -> dict[str, float]:
+    config = GeneratorConfig(
+        n_words=n_words, seed=77, hyphenation_rate=rate,
+        damage_rate=0.10, restoration_rate=0.10,
+        boundary_cross_rate=rate)
+    document = generate_document(config)
+    goddag = KyGoddag.build(document)
+
+    words = list(goddag.elements("w"))
+    split_words = sum(
+        1 for w in words
+        if any(n.name == "line"
+               for n in evaluate_axis(goddag, "overlapping", w)))
+    crossing_damage = sum(
+        1 for d in goddag.elements("dmg")
+        if any(n.name == "w"
+               for n in evaluate_axis(goddag, "overlapping", d)))
+    crossing_restoration = sum(
+        1 for r in goddag.elements("res")
+        if any(n.name == "w"
+               for n in evaluate_axis(goddag, "overlapping", r)))
+
+    flat = fragment_document(document)
+    fragments = sum(1 for _ in flat.root.iter_elements())
+    originals = sum(
+        sum(1 for _ in document[h].document.root.iter_elements())
+        for h in document.hierarchy_names)
+
+    return {
+        "split_words": split_words,
+        "crossing_damage": crossing_damage,
+        "crossing_restoration": crossing_restoration,
+        "leaves_per_word": len(goddag.partition) / len(words),
+        "fragment_blowup": fragments / originals,
+    }
+
+
+def main() -> None:
+    rates = (0.0, 0.2, 0.4, 0.6, 0.8)
+    header = (f"{'overlap rate':>12} {'split words':>12} "
+              f"{'dmg crossing':>13} {'res crossing':>13} "
+              f"{'leaves/word':>12} {'frag blowup':>12}")
+    print("Overlap profile of a 300-word synthetic manuscript")
+    print(header)
+    print("-" * len(header))
+    for rate in rates:
+        profile = overlap_profile(rate)
+        print(f"{rate:>12.1f} {profile['split_words']:>12} "
+              f"{profile['crossing_damage']:>13} "
+              f"{profile['crossing_restoration']:>13} "
+              f"{profile['leaves_per_word']:>12.2f} "
+              f"{profile['fragment_blowup']:>12.2f}")
+    print()
+    print("Reading: as overlap grows, words split across lines and")
+    print("feature spans cross word boundaries; the leaf partition")
+    print("refines and a single-tree fragmentation encoding needs")
+    print("proportionally more fragment elements, while the KyGODDAG")
+    print("node count is unchanged (it never duplicates elements).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Multihierarchical XQuery for document-centric XML.
+
+A from-scratch reproduction of Iacob & Dekhtyar, "Multihierarchical
+XQuery for Document-Centric XML" (SIGMOD 2006): the KyGODDAG data
+structure for concurrent (overlapping) markup hierarchies, the extended
+XPath axes of Definition 1, the extended node tests of Definition 2,
+and an XQuery subset with ``analyze-string`` (Definition 4).
+
+Quickstart::
+
+    from repro import Engine
+    from repro.corpus import BASE_TEXT, ENCODINGS
+
+    engine = Engine.from_xml(BASE_TEXT, ENCODINGS)
+    result = engine.query(
+        'for $l in /descendant::line'
+        '[xdescendant::w[string(.) = "singallice"]'
+        ' or overlapping::w[string(.) = "singallice"]]'
+        ' return string($l)')
+    print(result.serialize())
+"""
+
+from repro.api import Engine, QueryResult, load_mhx, save_mhx
+from repro.cmh import (
+    ConcurrentMarkupHierarchy,
+    Hierarchy,
+    MultihierarchicalDocument,
+)
+from repro.core.goddag import KyGoddag
+from repro.core.lang import parse_query, parse_xpath
+from repro.core.runtime import QueryOptions, evaluate_query, serialize_items
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "QueryResult",
+    "load_mhx",
+    "save_mhx",
+    "ConcurrentMarkupHierarchy",
+    "Hierarchy",
+    "MultihierarchicalDocument",
+    "KyGoddag",
+    "parse_query",
+    "parse_xpath",
+    "QueryOptions",
+    "evaluate_query",
+    "serialize_items",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,127 @@
+"""Overlap analytics over multihierarchical documents.
+
+The questions an edition project asks before choosing an encoding
+(§2's motivation, quantified): how often do hierarchies disagree, which
+elements cross which, and what would a single-tree encoding cost?  All
+measures are computed with the paper's own machinery (leaf partition
+and extended axes), so they double as a worked example of using the
+library as an analysis toolkit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cmh.document import MultihierarchicalDocument
+from repro.core.goddag import KyGoddag
+from repro.core.goddag.axes import axis_overlapping
+from repro.core.goddag.nodes import GElement
+
+
+@dataclass(frozen=True)
+class OverlapPair:
+    """Aggregate overlap between two element names."""
+
+    left_name: str
+    right_name: str
+    count: int
+
+
+@dataclass
+class OverlapReport:
+    """The overlap profile of one multihierarchical document."""
+
+    text_length: int
+    hierarchy_names: list[str]
+    element_count: int
+    leaf_count: int
+    #: element-name pairs that properly overlap, with pair counts
+    #: (unordered pairs counted once, left name lexicographically first).
+    pairs: list[OverlapPair] = field(default_factory=list)
+    #: elements involved in at least one proper overlap.
+    overlapping_elements: int = 0
+
+    @property
+    def leaves_per_element(self) -> float:
+        """Partition refinement: 1.0 when hierarchies never disagree
+        below the element level."""
+        if self.element_count == 0:
+            return 0.0
+        return self.leaf_count / self.element_count
+
+    @property
+    def overlap_rate(self) -> float:
+        """Fraction of elements involved in a proper overlap."""
+        if self.element_count == 0:
+            return 0.0
+        return self.overlapping_elements / self.element_count
+
+    def pair_count(self, left_name: str, right_name: str) -> int:
+        """Overlap count for an (unordered) element-name pair."""
+        key = tuple(sorted((left_name, right_name)))
+        for pair in self.pairs:
+            if (pair.left_name, pair.right_name) == key:
+                return pair.count
+        return 0
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(label, value) rows for tabular printing."""
+        out = [
+            ("text length", str(self.text_length)),
+            ("hierarchies", ", ".join(self.hierarchy_names)),
+            ("elements", str(self.element_count)),
+            ("leaves", str(self.leaf_count)),
+            ("leaves / element", f"{self.leaves_per_element:.2f}"),
+            ("overlapping elements",
+             f"{self.overlapping_elements} "
+             f"({self.overlap_rate:.0%})"),
+        ]
+        for pair in self.pairs:
+            out.append((f"overlap {pair.left_name} × {pair.right_name}",
+                        str(pair.count)))
+        return out
+
+
+def analyze_overlap(source: MultihierarchicalDocument | KyGoddag
+                    ) -> OverlapReport:
+    """Compute the overlap profile of a document (or its KyGODDAG)."""
+    goddag = (source if isinstance(source, KyGoddag)
+              else KyGoddag.build(source))
+    elements = [node for node in goddag.iter_nodes(include_leaves=False)
+                if isinstance(node, GElement)]
+    report = OverlapReport(
+        text_length=len(goddag.text),
+        hierarchy_names=list(goddag.hierarchy_names),
+        element_count=len(elements),
+        leaf_count=len(goddag.partition),
+    )
+    pair_counts: dict[tuple[str, str], int] = {}
+    involved: set[int] = set()
+    for element in elements:
+        for other in axis_overlapping(goddag, element):
+            if not isinstance(other, GElement):
+                continue
+            involved.add(id(element))
+            involved.add(id(other))
+            key = tuple(sorted((element.name, other.name)))
+            pair_counts[key] = pair_counts.get(key, 0) + 1
+    # Every proper overlap is seen from both sides: halve the counts.
+    report.pairs = [
+        OverlapPair(left, right, count // 2)
+        for (left, right), count in sorted(pair_counts.items())
+    ]
+    report.overlapping_elements = len(involved)
+    return report
+
+
+def split_elements(goddag: KyGoddag, inner_name: str,
+                   outer_name: str) -> list[GElement]:
+    """Elements named ``inner_name`` properly overlapping some
+    ``outer_name`` element — e.g. words split across physical lines
+    (the paper's *singallice* phenomenon)."""
+    out: list[GElement] = []
+    for element in goddag.elements(inner_name):
+        if any(isinstance(other, GElement) and other.name == outer_name
+               for other in axis_overlapping(goddag, element)):
+            out.append(element)
+    return out

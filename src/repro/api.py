@@ -1,0 +1,172 @@
+"""High-level public API: the :class:`Engine` facade and ``.mhx`` IO.
+
+Typical use::
+
+    from repro import Engine
+
+    engine = Engine.from_xml(text, {"physical": xml1, "structural": xml2})
+    result = engine.query('for $l in /descendant::line return string($l)')
+    print(result.serialize())
+
+An ``.mhx`` file is a JSON container bundling the base text, the
+hierarchy encodings, and (optionally) the CMH DTD sources — a portable
+interchange format for multihierarchical documents.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.cmh import ConcurrentMarkupHierarchy, MultihierarchicalDocument
+from repro.core.goddag import KyGoddag, collect, describe, to_dot
+from repro.core.goddag.stats import GoddagStats
+from repro.core.lang import parse_query, parse_xpath
+from repro.core.runtime import (
+    QueryOptions,
+    evaluate_query,
+    serialize_items,
+)
+
+MHX_FORMAT = "mhx-1"
+
+
+class QueryResult:
+    """The result of one query: an item sequence plus serialization."""
+
+    def __init__(self, items: list) -> None:
+        self.items = items
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int):
+        return self.items[index]
+
+    def strings(self) -> list[str]:
+        """Each item serialized individually."""
+        from repro.core.runtime.serializer import serialize_item
+
+        return [serialize_item(item) for item in self.items]
+
+    def serialize(self, mode: str = "paper") -> str:
+        """The whole sequence as one string (see serializer modes)."""
+        return serialize_items(self.items, mode=mode)
+
+
+class Engine:
+    """A query engine bound to one multihierarchical document."""
+
+    def __init__(self, document: MultihierarchicalDocument,
+                 options: QueryOptions | None = None) -> None:
+        self.document = document
+        self.options = options or QueryOptions()
+        self.goddag = KyGoddag.build(document)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_xml(cls, text: str, sources: dict[str, str],
+                 options: QueryOptions | None = None) -> "Engine":
+        """Build from the base text and XML encoding strings."""
+        document = MultihierarchicalDocument.from_xml(text, sources)
+        return cls(document, options=options)
+
+    @classmethod
+    def from_mhx(cls, path: str | Path,
+                 options: QueryOptions | None = None) -> "Engine":
+        """Load a ``.mhx`` JSON container."""
+        document = load_mhx(path)
+        return cls(document, options=options)
+
+    # -- queries --------------------------------------------------------------
+
+    def query(self, text: str, variables: dict[str, list] | None = None
+              ) -> QueryResult:
+        """Evaluate an extended XQuery expression."""
+        items = evaluate_query(self.goddag, text, variables=variables,
+                               options=self.options)
+        return QueryResult(items)
+
+    def xpath(self, text: str, variables: dict[str, list] | None = None
+              ) -> QueryResult:
+        """Evaluate a pure (extended) XPath expression."""
+        expr = parse_xpath(text)
+        items = evaluate_query(self.goddag, expr, variables=variables,
+                               options=self.options)
+        return QueryResult(items)
+
+    def compile(self, text: str):
+        """Parse a query once for repeated execution."""
+        return parse_query(text)
+
+    def execute(self, compiled, variables: dict[str, list] | None = None
+                ) -> QueryResult:
+        """Run a pre-compiled query AST."""
+        items = evaluate_query(self.goddag, compiled, variables=variables,
+                               options=self.options)
+        return QueryResult(items)
+
+    # -- inspection ----------------------------------------------------------
+
+    def stats(self) -> GoddagStats:
+        """The KyGODDAG node/edge inventory."""
+        return collect(self.goddag)
+
+    def describe(self) -> str:
+        """A human-readable outline of the KyGODDAG."""
+        return describe(self.goddag)
+
+    def to_dot(self) -> str:
+        """GraphViz DOT of the KyGODDAG (Figure 2 style)."""
+        return to_dot(self.goddag)
+
+    def save_mhx(self, path: str | Path) -> None:
+        """Write the document to a ``.mhx`` container."""
+        save_mhx(self.document, path)
+
+
+# ---------------------------------------------------------------------------
+# .mhx container IO
+# ---------------------------------------------------------------------------
+
+
+def save_mhx(document: MultihierarchicalDocument,
+             path: str | Path) -> None:
+    """Serialize a multihierarchical document to a ``.mhx`` JSON file."""
+    payload: dict[str, Any] = {
+        "format": MHX_FORMAT,
+        "text": document.text,
+        "hierarchies": {
+            name: hierarchy.to_xml()
+            for name, hierarchy in document.hierarchies.items()
+        },
+    }
+    Path(path).write_text(
+        json.dumps(payload, ensure_ascii=False, indent=2),
+        encoding="utf-8")
+
+
+def load_mhx(path: str | Path) -> MultihierarchicalDocument:
+    """Load a multihierarchical document from a ``.mhx`` JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ReproError(f"cannot read .mhx file {path}: {error}") from error
+    if payload.get("format") != MHX_FORMAT:
+        raise ReproError(
+            f"{path} is not an {MHX_FORMAT} container "
+            f"(format={payload.get('format')!r})")
+    document = MultihierarchicalDocument.from_xml(
+        payload["text"], payload["hierarchies"])
+    dtds = payload.get("dtds")
+    if dtds:
+        cmh = ConcurrentMarkupHierarchy.from_sources(
+            document.root_name, dtds)
+        document.attach_cmh(cmh)
+    return document

@@ -1,0 +1,40 @@
+"""Baseline single-document encodings of overlapping markup.
+
+The paper (§1, citing the authors' DEXA'05 study [6]) argues that
+representing concurrent hierarchies inside one well-formed XML document
+via "hacks" *"comes with a steep price at query processing time"*.
+This package implements the two classic hacks so the claim can be
+measured (experiment ids C-FRAG, C-MILE):
+
+* :mod:`repro.baselines.fragmentation` — overlapping elements are split
+  into ``part``-linked fragments (TEI's partial-element technique);
+* :mod:`repro.baselines.milestones` — non-primary hierarchies collapse
+  to empty start/end marker elements (TEI milestones);
+* :mod:`repro.baselines.flatquery` — answering the paper's queries over
+  those encodings with standard DOM navigation only, which requires
+  fragment reassembly and offset bookkeeping at query time.
+"""
+
+from repro.baselines.fragmentation import defragment, fragment_document
+from repro.baselines.milestones import milestone_document, demilestone
+from repro.baselines.flatquery import (
+    FlatGroup,
+    fragment_groups,
+    lines_containing_group,
+    milestone_groups,
+    search_groups,
+    text_offsets,
+)
+
+__all__ = [
+    "fragment_document",
+    "defragment",
+    "milestone_document",
+    "demilestone",
+    "FlatGroup",
+    "text_offsets",
+    "fragment_groups",
+    "milestone_groups",
+    "search_groups",
+    "lines_containing_group",
+]

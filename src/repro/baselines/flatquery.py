@@ -1,0 +1,175 @@
+"""Query answering over the flat (single-tree) baseline encodings.
+
+These functions answer the paper's information needs using *only*
+standard DOM facilities over the fragmentation/milestone documents —
+the way a stock XQuery engine would have to.  The contrast with the
+one-line extended-XQuery formulations is the point of experiments
+C-FRAG and C-MILE: every query here must
+
+1. walk the whole document computing character offsets (there is no
+   shared leaf layer),
+2. reassemble fragment groups / marker pairs into logical elements, and
+3. join extents by interval arithmetic.
+
+Correctness of the reassembly is enforced by tests that compare these
+answers against the KyGODDAG engine's answers on the same documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BaselineError
+from repro.markup import dom
+from repro.baselines import fragmentation as frag
+from repro.baselines import milestones as mile
+
+
+@dataclass
+class FlatGroup:
+    """A logical element reassembled from a flat encoding."""
+
+    name: str
+    group_id: str
+    start: int
+    end: int
+    text: str
+    elements: tuple[dom.Element, ...] = ()
+
+    def overlaps(self, other: "FlatGroup") -> bool:
+        """True when the two logical extents share characters."""
+        return self.start < other.end and other.start < self.end
+
+
+def text_offsets(document: dom.Document
+                 ) -> tuple[dict[int, tuple[int, int]], str]:
+    """Character extents of every node of a flat document.
+
+    Returns ``({id(node): (start, end)}, full_text)``.  Empty elements
+    (milestones) get zero-length extents at their position.
+    """
+    offsets: dict[int, tuple[int, int]] = {}
+    pieces: list[str] = []
+    cursor = 0
+
+    def visit(node: dom.Node) -> tuple[int, int]:
+        nonlocal cursor
+        start = cursor
+        if isinstance(node, dom.Text):
+            pieces.append(node.data)
+            cursor += len(node.data)
+        elif isinstance(node, (dom.Element, dom.Document)):
+            for child in node.children:
+                visit(child)
+        end = cursor
+        offsets[id(node)] = (start, end)
+        return start, end
+
+    visit(document.root)
+    return offsets, "".join(pieces)
+
+
+def fragment_groups(document: dom.Document,
+                    name: str | None = None) -> list[FlatGroup]:
+    """Reassemble fragment groups of a fragmentation encoding.
+
+    This is the per-query cost of the encoding: a full walk with offset
+    bookkeeping, then grouping by ``fid``.
+    """
+    offsets, text = text_offsets(document)
+    grouped: dict[str, list[dom.Element]] = {}
+    for element in document.root.iter_elements():
+        fid = element.get(frag.FID_ATTRIBUTE)
+        if fid is None:
+            continue
+        if name is not None and element.name != name:
+            continue
+        grouped.setdefault(fid, []).append(element)
+    out: list[FlatGroup] = []
+    for fid, elements in grouped.items():
+        starts = [offsets[id(e)][0] for e in elements]
+        ends = [offsets[id(e)][1] for e in elements]
+        start, end = min(starts), max(ends)
+        out.append(FlatGroup(elements[0].name, fid, start, end,
+                             text[start:end], tuple(elements)))
+    out.sort(key=lambda group: (group.start, -(group.end - group.start)))
+    return out
+
+
+def milestone_groups(document: dom.Document,
+                     name: str | None = None) -> list[FlatGroup]:
+    """Reassemble marker pairs of a milestone encoding."""
+    offsets, text = text_offsets(document)
+    starts: dict[str, tuple[str, int]] = {}
+    out: list[FlatGroup] = []
+    for element in document.root.iter_elements():
+        sid = element.get(mile.SID_ATTRIBUTE)
+        if sid is None:
+            continue
+        if element.name.endswith(mile.START_SUFFIX):
+            base = element.name[:-len(mile.START_SUFFIX)]
+            starts[sid] = (base, offsets[id(element)][0])
+        elif element.name.endswith(mile.END_SUFFIX):
+            if sid not in starts:
+                raise BaselineError(f"end marker without start: {sid}")
+            base, start = starts.pop(sid)
+            if name is not None and base != name:
+                continue
+            end = offsets[id(element)][0]
+            out.append(FlatGroup(base, sid, start, end, text[start:end]))
+    out.sort(key=lambda group: (group.start, -(group.end - group.start)))
+    return out
+
+
+def primary_groups(document: dom.Document,
+                   name: str) -> list[FlatGroup]:
+    """Real (non-marker, non-fragment) elements of a flat document."""
+    offsets, text = text_offsets(document)
+    out: list[FlatGroup] = []
+    serial = 0
+    for element in document.root.iter_elements(name):
+        if element.get(mile.SID_ATTRIBUTE) is not None:
+            continue
+        serial += 1
+        start, end = offsets[id(element)]
+        out.append(FlatGroup(element.name, f"{name}#{serial}", start, end,
+                             text[start:end], (element,)))
+    return out
+
+
+def search_groups(groups: list[FlatGroup], target: str) -> list[FlatGroup]:
+    """Groups whose reassembled text equals ``target``.
+
+    The flat counterpart of ``w[string(.) = "..."]`` — without the
+    reassembly a fragmented word like *singallice* is unfindable.
+    """
+    return [group for group in groups if group.text == target]
+
+
+def lines_containing_group(lines: list[FlatGroup],
+                           targets: list[FlatGroup]) -> list[FlatGroup]:
+    """Line groups whose extent overlaps any target group's extent.
+
+    The flat counterpart of the paper's
+    ``line[xdescendant::w[...] or overlapping::w[...]]`` — an interval
+    join the query author must write by hand.
+    """
+    out: list[FlatGroup] = []
+    for line in lines:
+        if any(line.overlaps(target) for target in targets):
+            out.append(line)
+    return out
+
+
+def groups_overlapping(left: list[FlatGroup],
+                       right: list[FlatGroup]) -> list[FlatGroup]:
+    """Members of ``left`` that intersect any member of ``right``.
+
+    Used for the damaged-words query (I.2) over flat encodings: words
+    joined against damage extents.
+    """
+    out: list[FlatGroup] = []
+    for candidate in left:
+        if any(candidate.overlaps(other) for other in right):
+            out.append(candidate)
+    return out

@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark suite (``benchmarks/``)."""
+
+from repro.bench.workloads import (
+    SCALING_SIZES,
+    corpus_at_size,
+    goddag_at_size,
+    paper_query_workload,
+)
+
+__all__ = [
+    "SCALING_SIZES",
+    "corpus_at_size",
+    "goddag_at_size",
+    "paper_query_workload",
+]

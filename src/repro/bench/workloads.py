@@ -1,0 +1,44 @@
+"""Benchmark workloads: sized corpora and the paper query set.
+
+All corpora are seeded, so every benchmark run measures the same
+documents.  ``corpus_at_size``/``goddag_at_size`` memoize per size —
+pytest-benchmark calls the measured function many times and corpus
+generation must not pollute the timings.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cmh import MultihierarchicalDocument
+from repro.core.goddag import KyGoddag
+from repro.corpus.generator import GeneratorConfig, generate_document
+from repro.experiments.paperdata import PAPER_QUERIES
+
+#: Word counts used by the scaling experiments (S-BUILD, S-AXES, …).
+SCALING_SIZES = (100, 400, 1600, 6400)
+
+#: A fixed seed so every run and every machine sees the same corpus.
+BENCH_SEED = 20060627  # SIGMOD 2006 Chicago, June 27
+
+
+@lru_cache(maxsize=None)
+def corpus_at_size(n_words: int,
+                   seed: int = BENCH_SEED) -> MultihierarchicalDocument:
+    """A synthetic manuscript with ``n_words`` words (memoized)."""
+    config = GeneratorConfig(n_words=n_words, seed=seed,
+                             hyphenation_rate=0.35, damage_rate=0.08,
+                             restoration_rate=0.08,
+                             boundary_cross_rate=0.5)
+    return generate_document(config)
+
+
+@lru_cache(maxsize=None)
+def goddag_at_size(n_words: int, seed: int = BENCH_SEED) -> KyGoddag:
+    """The KyGODDAG of :func:`corpus_at_size` (memoized)."""
+    return KyGoddag.build(corpus_at_size(n_words, seed))
+
+
+def paper_query_workload() -> list[tuple[str, str]]:
+    """(experiment id, query text) for every §4 query."""
+    return [(spec.id, spec.query) for spec in PAPER_QUERIES]

@@ -1,0 +1,179 @@
+"""Command-line interface: the ``mhxq`` tool.
+
+Subcommands (all take a ``.mhx`` container, or ``--sample`` for the
+built-in Boethius document):
+
+* ``query`` — evaluate an extended XQuery expression;
+* ``xpath`` — evaluate a pure extended-XPath expression;
+* ``stats`` — print the KyGODDAG node/edge inventory;
+* ``describe`` — print the KyGODDAG outline (hierarchies + leaves);
+* ``render`` — emit GraphViz DOT (Figure 2 style);
+* ``leaves`` — list the leaf partition;
+* ``validate`` — check CMH alignment (and DTDs when bundled);
+* ``fragment`` / ``milestone`` — emit the baseline flat encodings;
+* ``experiments`` — run the paper-vs-measured reproduction report;
+* ``pack`` — bundle a base text + XML encodings into a ``.mhx`` file.
+
+Examples::
+
+    mhxq query --sample 'count(/descendant::w)'
+    mhxq experiments
+    mhxq pack out.mhx --text base.txt physical=phys.xml damage=dmg.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.api import Engine, load_mhx, save_mhx
+from repro.errors import ReproError
+from repro.markup import serialize
+from repro.cmh import MultihierarchicalDocument
+from repro.baselines import fragment_document, milestone_document
+from repro.corpus.boethius import boethius_document
+from repro.experiments.runner import format_reports, run_all
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mhxq",
+        description="Multihierarchical XQuery over document-centric XML "
+                    "(SIGMOD 2006 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_document_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--mhx", metavar="FILE",
+                       help="a .mhx multihierarchical document container")
+        p.add_argument("--sample", action="store_true",
+                       help="use the built-in Boethius sample (Figure 1)")
+
+    p_query = sub.add_parser("query", help="evaluate an extended XQuery")
+    add_document_options(p_query)
+    p_query.add_argument("expression", help="the query text, or @file")
+    p_query.add_argument("--mode", choices=("paper", "xquery"),
+                         default="paper",
+                         help="result serialization mode (default: paper)")
+
+    p_xpath = sub.add_parser("xpath", help="evaluate an extended XPath")
+    add_document_options(p_xpath)
+    p_xpath.add_argument("expression", help="the path expression, or @file")
+    p_xpath.add_argument("--mode", choices=("paper", "xquery"),
+                         default="paper")
+
+    for name, help_text in (("stats", "print the KyGODDAG inventory"),
+                            ("describe", "print the KyGODDAG outline"),
+                            ("render", "emit GraphViz DOT"),
+                            ("leaves", "list the leaf partition"),
+                            ("validate", "check alignment and DTDs")):
+        p = sub.add_parser(name, help=help_text)
+        add_document_options(p)
+
+    p_frag = sub.add_parser("fragment",
+                            help="emit the fragmentation baseline encoding")
+    add_document_options(p_frag)
+    p_mile = sub.add_parser("milestone",
+                            help="emit the milestone baseline encoding")
+    add_document_options(p_mile)
+    p_mile.add_argument("--primary", default=None,
+                        help="hierarchy kept as the real tree")
+
+    sub.add_parser("experiments",
+                   help="run the paper-vs-measured reproduction report")
+
+    p_pack = sub.add_parser("pack", help="bundle encodings into a .mhx")
+    p_pack.add_argument("output", help="output .mhx path")
+    p_pack.add_argument("--text", required=True, metavar="FILE",
+                        help="file containing the base text")
+    p_pack.add_argument("encodings", nargs="+", metavar="NAME=FILE",
+                        help="hierarchy encodings as name=xmlfile")
+    return parser
+
+
+def _load_document(args: argparse.Namespace) -> MultihierarchicalDocument:
+    if getattr(args, "sample", False):
+        return boethius_document(validate=False)
+    if getattr(args, "mhx", None):
+        return load_mhx(args.mhx)
+    raise ReproError("provide --mhx FILE or --sample")
+
+
+def _read_expression(expression: str) -> str:
+    if expression.startswith("@"):
+        return Path(expression[1:]).read_text(encoding="utf-8")
+    return expression
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    command = args.command
+    if command == "experiments":
+        print(format_reports(run_all()))
+        return 0
+    if command == "pack":
+        text = Path(args.text).read_text(encoding="utf-8")
+        sources: dict[str, str] = {}
+        for item in args.encodings:
+            name, _sep, path = item.partition("=")
+            if not _sep:
+                raise ReproError(f"bad encoding spec {item!r}; "
+                                 f"expected NAME=FILE")
+            sources[name] = Path(path).read_text(encoding="utf-8")
+        document = MultihierarchicalDocument.from_xml(text, sources)
+        save_mhx(document, args.output)
+        print(f"wrote {args.output} "
+              f"({len(document)} hierarchies, {len(text)} characters)")
+        return 0
+
+    document = _load_document(args)
+    if command in ("query", "xpath"):
+        engine = Engine(document)
+        expression = _read_expression(args.expression)
+        result = (engine.query(expression) if command == "query"
+                  else engine.xpath(expression))
+        print(result.serialize(mode=args.mode))
+        return 0
+    if command == "stats":
+        engine = Engine(document)
+        for label, value in engine.stats().rows():
+            print(f"{label:28} {value}")
+        return 0
+    if command == "describe":
+        print(Engine(document).describe())
+        return 0
+    if command == "render":
+        print(Engine(document).to_dot())
+        return 0
+    if command == "leaves":
+        engine = Engine(document)
+        for index, leaf in enumerate(engine.goddag.leaves(), start=1):
+            print(f"{index:6} [{leaf.start},{leaf.end}) {leaf.text!r}")
+        return 0
+    if command == "validate":
+        document.verify_alignment()
+        if document.cmh is not None:
+            document.attach_cmh(document.cmh)
+        print(f"OK: {len(document)} hierarchies aligned over "
+              f"{len(document.text)} characters")
+        return 0
+    if command == "fragment":
+        print(serialize(fragment_document(document)))
+        return 0
+    if command == "milestone":
+        print(serialize(milestone_document(document,
+                                           primary=args.primary)))
+        return 0
+    raise ReproError(f"unknown command {command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

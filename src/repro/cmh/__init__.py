@@ -1,0 +1,22 @@
+"""Concurrent Markup Hierarchies (paper Section 3).
+
+A CMH is a collection of DTDs sharing exactly one element name — the
+root — with every element reachable from it.  A multihierarchical
+document over a CMH is a base text ``S`` plus one XML encoding of ``S``
+per hierarchy.  This package defines both notions, verifies their
+invariants, and provides the span-list representation used to build
+hierarchies programmatically.
+"""
+
+from repro.cmh.schema import ConcurrentMarkupHierarchy
+from repro.cmh.document import Hierarchy, MultihierarchicalDocument
+from repro.cmh.spans import Span as AnnotationSpan, SpanSet, spans_of
+
+__all__ = [
+    "ConcurrentMarkupHierarchy",
+    "Hierarchy",
+    "MultihierarchicalDocument",
+    "AnnotationSpan",
+    "SpanSet",
+    "spans_of",
+]

@@ -1,0 +1,88 @@
+"""The Concurrent Markup Hierarchy (CMH) schema object.
+
+Paper, Section 3: *"A Concurrent Markup Hierarchy (CMH) is a collection
+(D1, ..., Dn) of DTDs, and an XML element r, such that r, called the
+root of the hierarchy, is present in each DTD, no other XML elements are
+shared by different DTDs, and in each Di all elements x ≠ r are
+reachable from r."*
+
+:class:`ConcurrentMarkupHierarchy` enforces exactly those three
+constraints at construction time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import CMHError
+from repro.markup.dtd import DTD, parse_dtd
+
+
+class ConcurrentMarkupHierarchy:
+    """A validated CMH: named DTDs plus the shared root element name."""
+
+    def __init__(self, root: str, dtds: Mapping[str, DTD]) -> None:
+        if not dtds:
+            raise CMHError("a CMH requires at least one hierarchy DTD")
+        self.root = root
+        self.dtds: dict[str, DTD] = dict(dtds)
+        self._check_root_present()
+        self._check_disjoint()
+        self._check_reachability()
+
+    @classmethod
+    def from_sources(cls, root: str,
+                     sources: Mapping[str, str]) -> "ConcurrentMarkupHierarchy":
+        """Build a CMH from DTD internal-subset source strings."""
+        return cls(root, {name: parse_dtd(text)
+                          for name, text in sources.items()})
+
+    @property
+    def hierarchy_names(self) -> list[str]:
+        """Hierarchy names in registration order."""
+        return list(self.dtds)
+
+    def elements_of(self, hierarchy: str) -> frozenset[str]:
+        """All element names declared by ``hierarchy`` (including root)."""
+        return self.dtds[hierarchy].element_names
+
+    def hierarchy_of_element(self, name: str) -> str | None:
+        """The hierarchy declaring element ``name`` (root maps to none)."""
+        if name == self.root:
+            return None
+        for hierarchy, dtd in self.dtds.items():
+            if name in dtd.element_names:
+                return hierarchy
+        return None
+
+    # -- invariant checks --------------------------------------------------
+
+    def _check_root_present(self) -> None:
+        for name, dtd in self.dtds.items():
+            if self.root not in dtd.element_names:
+                raise CMHError(
+                    f"hierarchy '{name}' does not declare the shared root "
+                    f"element '{self.root}'")
+
+    def _check_disjoint(self) -> None:
+        seen: dict[str, str] = {}
+        for hierarchy, dtd in self.dtds.items():
+            for element in dtd.element_names:
+                if element == self.root:
+                    continue
+                if element in seen:
+                    raise CMHError(
+                        f"element '{element}' is declared by both "
+                        f"'{seen[element]}' and '{hierarchy}'; only the "
+                        f"root '{self.root}' may be shared")
+                seen[element] = hierarchy
+
+    def _check_reachability(self) -> None:
+        for hierarchy, dtd in self.dtds.items():
+            reachable = dtd.reachable_from(self.root)
+            unreachable = dtd.element_names - reachable
+            if unreachable:
+                missing = ", ".join(sorted(unreachable))
+                raise CMHError(
+                    f"hierarchy '{hierarchy}' declares elements not "
+                    f"reachable from root '{self.root}': {missing}")

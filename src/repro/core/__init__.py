@@ -1,0 +1,13 @@
+"""The paper's primary contribution: KyGODDAG + the extended query language.
+
+Subpackages:
+
+* :mod:`repro.core.goddag` — the KyGODDAG data structure (paper §3):
+  shared root, per-hierarchy DOM components, leaf partition, the
+  standard and extended axes, stable node order, temporary hierarchies.
+* :mod:`repro.core.lang` — lexer/AST/parser for the combined extended
+  XPath + XQuery-subset language (paper §3–§4).
+* :mod:`repro.core.runtime` — the evaluator, function library
+  (including ``analyze-string``, Definition 4), and result
+  serialization.
+"""

@@ -1,0 +1,387 @@
+"""All navigation axes over a KyGODDAG.
+
+Standard XPath axes follow the paper's §3 rules: applied to a non-root
+node they stay within that node's DOM tree component; applied to the
+root they cross into all components.  Leaves are shared between
+hierarchies, so axes from a leaf climb/scan *all* hierarchies (this is
+what makes query I.2's ``$leaf[ancestor::w and ancestor::dmg]`` work).
+
+Extended axes implement Definition 1 via span arithmetic on the
+:class:`~repro.core.goddag.index.SpanIndex` (see DESIGN.md §3 for the
+leaf-set ⇒ interval reduction, verified by property tests).
+
+Every axis function takes ``(goddag, node)`` and returns a list of
+nodes in no particular order; callers sort by document order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import GoddagError
+from repro.core.goddag.goddag import KyGoddag
+from repro.core.goddag.nodes import (
+    GAttr,
+    GElement,
+    GLeaf,
+    GNode,
+    GRoot,
+    GText,
+    _HierarchyNode,
+)
+
+AxisFunction = Callable[[KyGoddag, GNode], list[GNode]]
+
+# ---------------------------------------------------------------------------
+# standard axes
+# ---------------------------------------------------------------------------
+
+
+def axis_self(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    return [node]
+
+
+def axis_child(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    """Children: component roots under the root, element children,
+    and — per the KyGODDAG edge set — leaves under text nodes."""
+    if isinstance(node, GRoot):
+        return list(node.all_children)
+    if isinstance(node, GElement):
+        return list(node.children)
+    if isinstance(node, GText):
+        return list(goddag.partition.leaves_in(node.start, node.end))
+    return []
+
+
+def axis_parent(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    """Parent(s).  A leaf has one text-node parent per hierarchy."""
+    if isinstance(node, GLeaf):
+        return list(goddag.text_parents_of_leaf(node))
+    if isinstance(node, GAttr):
+        return [node.owner]
+    parent = node.parent
+    return [parent] if parent is not None else []
+
+
+def axis_descendant(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    if isinstance(node, GRoot):
+        # Fast path: every non-root node descends from the shared root.
+        out: list[GNode] = []
+        for name in goddag.hierarchy_names:
+            out.extend(goddag.nodes_of(name))
+        out.extend(goddag.partition.leaves())
+        return out
+    out = []
+    seen: set[int] = set()
+    stack = axis_child(goddag, node)
+    while stack:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        out.append(current)
+        stack.extend(axis_child(goddag, current))
+    return out
+
+
+def axis_descendant_or_self(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    return [node] + axis_descendant(goddag, node)
+
+
+def axis_ancestor(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    """Ancestors.  For a leaf: the union over all hierarchies."""
+    out: list[GNode] = []
+    seen: set[int] = set()
+    stack = axis_parent(goddag, node)
+    while stack:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        out.append(current)
+        stack.extend(axis_parent(goddag, current))
+    return out
+
+
+def axis_ancestor_or_self(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    return [node] + axis_ancestor(goddag, node)
+
+
+def axis_attribute(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    if isinstance(node, GElement):
+        return list(node.attribute_nodes)
+    return []
+
+
+def _siblings(goddag: KyGoddag, node: GNode) -> list[list[GNode]]:
+    """Sibling lists this node participates in (one per parent)."""
+    if isinstance(node, GLeaf):
+        return [axis_child(goddag, parent)
+                for parent in goddag.text_parents_of_leaf(node)]
+    parent = node.parent
+    if parent is None or isinstance(node, GAttr):
+        return []
+    if isinstance(parent, GRoot):
+        # Siblings stay within the node's own component (paper §3).
+        hierarchy = node.hierarchy
+        assert hierarchy is not None
+        return [parent.children_in(hierarchy)]
+    return [axis_child(goddag, parent)]
+
+
+def axis_following_sibling(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    out: list[GNode] = []
+    for siblings in _siblings(goddag, node):
+        index = _identity_index(siblings, node)
+        out.extend(siblings[index + 1:])
+    return out
+
+
+def axis_preceding_sibling(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    out: list[GNode] = []
+    for siblings in _siblings(goddag, node):
+        index = _identity_index(siblings, node)
+        out.extend(siblings[:index])
+    return out
+
+
+def axis_following(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    """Nodes after ``node`` in its component, plus leaves after its span.
+
+    For the shared root nothing follows; for a leaf this coincides with
+    ``xfollowing`` (leaves belong to every hierarchy).  Documented in
+    DESIGN.md.
+    """
+    if isinstance(node, GRoot):
+        return []
+    if isinstance(node, GLeaf):
+        return axis_xfollowing(goddag, node)
+    if isinstance(node, GAttr):
+        return axis_following(goddag, node.owner)
+    assert isinstance(node, _HierarchyNode)
+    out: list[GNode] = [
+        other for other in goddag.nodes_of(node.hierarchy)
+        if other.preorder > node.subtree_end
+    ]
+    if node.end <= len(goddag.text):
+        out.extend(leaf for leaf in goddag.partition.leaves()
+                   if leaf.start >= node.end)
+    return out
+
+
+def axis_preceding(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    if isinstance(node, GRoot):
+        return []
+    if isinstance(node, GLeaf):
+        return axis_xpreceding(goddag, node)
+    if isinstance(node, GAttr):
+        return axis_preceding(goddag, node.owner)
+    assert isinstance(node, _HierarchyNode)
+    out: list[GNode] = [
+        other for other in goddag.nodes_of(node.hierarchy)
+        if other.subtree_end < node.preorder
+    ]
+    out.extend(leaf for leaf in goddag.partition.leaves()
+               if leaf.end <= node.start)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# extended axes (Definition 1)
+# ---------------------------------------------------------------------------
+#
+# All implementations are slice-based: a binary search finds the
+# contiguous candidate range in the start- or end-sorted index, and the
+# remaining conditions are vectorized over that slice only — O(log n +
+# candidates) per evaluation.  ``name`` is an optional pushdown hint
+# (node-test name); it never changes results, only skips candidates the
+# caller would discard.
+
+
+def axis_xancestor(goddag: KyGoddag, node: GNode,
+                   name: str | None = None) -> list[GNode]:
+    """``{m ∉ descendant(n) ∪ {n} : leaves(n) ⊆ leaves(m)}``.
+
+    Within one hierarchy, every node whose span contains ``n.start``
+    lies on the ancestor chain of the text node covering ``n.start``
+    (element boundaries cannot fall inside a text node), so containment
+    candidates are the union of one chain per hierarchy plus the root.
+    """
+    if not node.has_leaves:
+        return []
+    index = goddag.span_index()
+    out: list[GNode] = []
+    root = goddag.root
+    if root is not node and not index.is_descendant_or_self(node, root):
+        if name is None or root.name == name:
+            out.append(root)
+    from bisect import bisect_right
+
+    for hierarchy in goddag.hierarchy_names:
+        component = goddag._components[hierarchy]
+        position = bisect_right(component.text_starts, node.start) - 1
+        if position < 0:
+            continue
+        current: GNode | None = component.text_nodes[position]
+        while current is not None and current is not root:
+            if (current.start <= node.start and current.end >= node.end
+                    and current is not node
+                    and not index.is_descendant_or_self(node, current)
+                    and (name is None or current.name == name)):
+                out.append(current)
+            current = current.parent
+    return out
+
+
+def axis_xdescendant(goddag: KyGoddag, node: GNode,
+                     name: str | None = None) -> list[GNode]:
+    """``{m ∉ ancestor(n) ∪ {n} : leaves(m) ⊆ leaves(n)}``.
+
+    Includes leaves inside the node's span: they are never ancestors.
+    """
+    if not node.has_leaves:
+        return []
+    if isinstance(node, GLeaf):
+        return []  # any span-equal node is on the leaf's parent chain
+    index = goddag.span_index()
+    left, right = index.start_slice(node.start, node.end)
+    mask = (index.ends[left:right] <= node.end) &         index.nonempty[left:right]
+    if name is not None:
+        mask &= index.name_mask(name)[left:right]
+    mask &= ~index.ancestor_or_self_exclusion(node, left, right)
+    out = index.select_slice(left, right, mask)
+    if name is None:  # leaves carry no name; skip them under a hint
+        out.extend(goddag.partition.leaves_in(node.start, node.end))
+    return out
+
+
+def axis_xfollowing(goddag: KyGoddag, node: GNode,
+                    name: str | None = None) -> list[GNode]:
+    """``{m : max(leaves(n)) < min(leaves(m))}`` — span entirely after."""
+    if not node.has_leaves:
+        return []
+    index = goddag.span_index()
+    left, right = index.start_slice(node.end, len(goddag.text) + 1)
+    mask = index.nonempty[left:right]
+    if name is not None:
+        mask = mask & index.name_mask(name)[left:right]
+    out = index.select_slice(left, right, mask)
+    if name is None:
+        out.extend(leaf for leaf in goddag.partition.leaves()
+                   if leaf.start >= node.end)
+    return out
+
+
+def axis_xpreceding(goddag: KyGoddag, node: GNode,
+                    name: str | None = None) -> list[GNode]:
+    """``{m : min(leaves(n)) > max(leaves(m))}`` — span entirely before."""
+    if not node.has_leaves:
+        return []
+    index = goddag.span_index()
+    left, right = index.end_slice(1, node.start + 1)
+    positions = index.by_end[left:right]
+    mask = index.nonempty[positions]
+    if name is not None:
+        mask = mask & index.name_mask(name)[positions]
+    out = [index.nodes[i] for i in positions[mask]]
+    if name is None:
+        out.extend(leaf for leaf in goddag.partition.leaves()
+                   if leaf.end <= node.start)
+    return out
+
+
+def axis_preceding_overlapping(goddag: KyGoddag, node: GNode,
+                               name: str | None = None) -> list[GNode]:
+    """Nodes that start before ``node`` and end inside it.
+
+    Definition 1: ``leaves(n) ∩ leaves(m) ≠ ∅``,
+    ``min(leaves(n)) ∈ (min(leaves(m)), max(leaves(m))]``, and
+    ``max(leaves(n)) > max(leaves(m))`` — in span form
+    ``m.start < n.start < m.end < n.end``.
+    """
+    if not node.has_leaves:
+        return []
+    index = goddag.span_index()
+    left, right = index.end_slice(node.start + 1, node.end)
+    positions = index.by_end[left:right]
+    mask = index.starts[positions] < node.start
+    if name is not None:
+        mask &= index.name_mask(name)[positions]
+    return [index.nodes[i] for i in positions[mask]]
+
+
+def axis_following_overlapping(goddag: KyGoddag, node: GNode,
+                               name: str | None = None) -> list[GNode]:
+    """Nodes that start inside ``node`` and end after it
+    (``n.start < m.start < n.end < m.end``)."""
+    if not node.has_leaves:
+        return []
+    index = goddag.span_index()
+    left, right = index.start_slice(node.start + 1, node.end)
+    mask = index.ends[left:right] > node.end
+    if name is not None:
+        mask &= index.name_mask(name)[left:right]
+    return index.select_slice(left, right, mask)
+
+
+def axis_overlapping(goddag: KyGoddag, node: GNode,
+                     name: str | None = None) -> list[GNode]:
+    """The union of the two overlap directions (Definition 1)."""
+    return (axis_preceding_overlapping(goddag, node, name)
+            + axis_following_overlapping(goddag, node, name))
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+AXES: dict[str, AxisFunction] = {
+    "self": axis_self,
+    "child": axis_child,
+    "parent": axis_parent,
+    "descendant": axis_descendant,
+    "descendant-or-self": axis_descendant_or_self,
+    "ancestor": axis_ancestor,
+    "ancestor-or-self": axis_ancestor_or_self,
+    "attribute": axis_attribute,
+    "following-sibling": axis_following_sibling,
+    "preceding-sibling": axis_preceding_sibling,
+    "following": axis_following,
+    "preceding": axis_preceding,
+    "xancestor": axis_xancestor,
+    "xdescendant": axis_xdescendant,
+    "xfollowing": axis_xfollowing,
+    "xpreceding": axis_xpreceding,
+    "preceding-overlapping": axis_preceding_overlapping,
+    "following-overlapping": axis_following_overlapping,
+    "overlapping": axis_overlapping,
+}
+
+EXTENDED_AXES = frozenset({
+    "xancestor", "xdescendant", "xfollowing", "xpreceding",
+    "preceding-overlapping", "following-overlapping", "overlapping",
+})
+
+
+def evaluate_axis(goddag: KyGoddag, axis: str, node: GNode,
+                  name: str | None = None) -> list[GNode]:
+    """Evaluate ``axis`` from ``node``.
+
+    ``name`` is an optional *pushdown hint*: when given, extended axes
+    intersect a precomputed per-name mask instead of materializing all
+    candidates (callers still apply the node test — the hint is purely
+    an optimization and must never change results).
+    """
+    function = AXES.get(axis)
+    if function is None:
+        raise GoddagError(f"unknown axis '{axis}'")
+    if name is not None and axis in EXTENDED_AXES:
+        return function(goddag, node, name)
+    return function(goddag, node)
+
+
+def _identity_index(nodes: list[GNode], node: GNode) -> int:
+    for position, candidate in enumerate(nodes):
+        if candidate is node:
+            return position
+    raise GoddagError("node is not among its parent's children")

@@ -1,0 +1,341 @@
+"""The KyGODDAG data structure (paper §3).
+
+A :class:`KyGoddag` holds the shared base text, the shared root node,
+one component of hierarchy nodes per markup hierarchy, and the leaf
+partition.  Hierarchies may be added from an aligned DOM document or
+from a :class:`~repro.cmh.spans.SpanSet`, and may be registered as
+*temporary* — the mechanism behind ``analyze-string`` (Definition 4),
+whose match markup lives in a hierarchy that disappears when query
+evaluation finishes.
+
+Node order follows the paper's Definition 3: root first, nodes of one
+hierarchy in its DOM document order, hierarchies ordered by (stable)
+registration rank.  Leaves are shared; we place them after all
+hierarchy components, ordered by text position (documented choice, see
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import GoddagError
+from repro.markup import dom
+from repro.cmh.document import MultihierarchicalDocument
+from repro.cmh.spans import SpanSet
+from repro.core.goddag.nodes import (
+    GAttr,
+    GComment,
+    GElement,
+    GLeaf,
+    GNode,
+    GPi,
+    GRoot,
+    GText,
+    _HierarchyNode,
+)
+from repro.core.goddag.partition import Partition
+
+
+class _HierarchyComponent:
+    """Bookkeeping for one hierarchy inside the KyGODDAG."""
+
+    def __init__(self, name: str, rank: int, temporary: bool) -> None:
+        self.name = name
+        self.rank = rank
+        self.temporary = temporary
+        # All nodes of the component in preorder (excluding the root).
+        self.nodes: list[_HierarchyNode] = []
+        # Text nodes in text order, with parallel start offsets for
+        # binary search (leaf -> parent text node lookup).
+        self.text_nodes: list[GText] = []
+        self.text_starts: list[int] = []
+        # Boundary offsets this hierarchy contributed to the partition.
+        self.boundaries: list[int] = []
+
+
+class KyGoddag:
+    """The united DAG over all markup hierarchies of one document."""
+
+    def __init__(self, text: str, root_name: str = "r") -> None:
+        self.text = text
+        self.root = GRoot(self, root_name, len(text))
+        self.partition = Partition(self, len(text))
+        self._components: dict[str, _HierarchyComponent] = {}
+        self._next_rank = 0
+        self._index_version = -1
+        self._index = None  # built lazily by repro.core.goddag.index
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, document: MultihierarchicalDocument) -> "KyGoddag":
+        """Build a KyGODDAG from an aligned multihierarchical document."""
+        goddag = cls(document.text, document.root_name)
+        for name, hierarchy in document.hierarchies.items():
+            goddag.add_hierarchy_from_dom(name, hierarchy.document)
+        return goddag
+
+    def add_hierarchy_from_dom(self, name: str, document: dom.Document,
+                               temporary: bool = False) -> None:
+        """Register a hierarchy from an aligned DOM document.
+
+        The document's text nodes must carry ``start``/``end`` spans (as
+        produced by CMH alignment) or cover the base text contiguously
+        (spans are then derived by walking).
+        """
+        component = self._new_component(name, temporary)
+        builder = _ComponentBuilder(self, component)
+        builder.build_from_dom(document.root)
+        self._finish_component(component)
+
+    def add_hierarchy_from_spans(self, name: str, spans: SpanSet,
+                                 temporary: bool = False) -> None:
+        """Register a hierarchy given as a properly-nesting span set."""
+        if spans.text != self.text:
+            raise GoddagError(
+                "span set text differs from the KyGODDAG base text")
+        document = spans.to_document(self.root.root_name)
+        self.add_hierarchy_from_dom(name, document, temporary=temporary)
+
+    def _new_component(self, name: str,
+                       temporary: bool) -> _HierarchyComponent:
+        if name in self._components:
+            raise GoddagError(f"duplicate hierarchy name '{name}'")
+        component = _HierarchyComponent(name, self._next_rank, temporary)
+        self._next_rank += 1
+        self._components[name] = component
+        return component
+
+    def _finish_component(self, component: _HierarchyComponent) -> None:
+        self.partition.add_boundaries(component.boundaries)
+        self._index = None
+
+    def remove_hierarchy(self, name: str) -> None:
+        """Remove a hierarchy; leaves split only by it coalesce again."""
+        component = self._components.pop(name, None)
+        if component is None:
+            raise GoddagError(f"no hierarchy named '{name}'")
+        self.partition.remove_boundaries(component.boundaries)
+        self.root.children_by_hierarchy.pop(name, None)
+        self.root.attributes_by_hierarchy.pop(name, None)
+        self._index = None
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    @property
+    def hierarchy_names(self) -> list[str]:
+        """Hierarchy names in registration (rank) order."""
+        return list(self._components)
+
+    @property
+    def persistent_hierarchy_names(self) -> list[str]:
+        """Names of non-temporary hierarchies."""
+        return [name for name, comp in self._components.items()
+                if not comp.temporary]
+
+    def is_temporary(self, name: str) -> bool:
+        """True when ``name`` is a temporary (query-scoped) hierarchy."""
+        return self._components[name].temporary
+
+    def has_hierarchy(self, name: str) -> bool:
+        return name in self._components
+
+    def hierarchy_rank(self, name: str) -> int:
+        return self._components[name].rank
+
+    def nodes_of(self, hierarchy: str) -> list[_HierarchyNode]:
+        """All nodes of one component in document (pre)order."""
+        return self._components[hierarchy].nodes
+
+    def iter_nodes(self, include_leaves: bool = True,
+                   include_attributes: bool = False) -> Iterator[GNode]:
+        """All nodes in global document order (Definition 3)."""
+        yield self.root
+        for name in self.hierarchy_names:
+            for node in self._components[name].nodes:
+                yield node
+                if include_attributes and isinstance(node, GElement):
+                    yield from node.attribute_nodes
+        if include_leaves:
+            yield from self.partition.leaves()
+
+    def elements(self, name: str | None = None) -> Iterator[GElement]:
+        """All element nodes (optionally with a given name), in order."""
+        for node in self.iter_nodes(include_leaves=False):
+            if isinstance(node, GElement):
+                if name is None or node.name == name:
+                    yield node
+
+    # -- leaves -------------------------------------------------------------
+
+    def leaves(self) -> list[GLeaf]:
+        """All leaves in text order."""
+        return self.partition.leaves()
+
+    def leaves_of(self, node: GNode) -> list[GLeaf]:
+        """``leaves(n)`` from the paper: leaves within the node's span."""
+        if isinstance(node, GLeaf):
+            return [node]
+        if not node.has_leaves:
+            return []
+        return self.partition.leaves_in(node.start, node.end)
+
+    def text_parents_of_leaf(self, leaf: GLeaf) -> list[GText]:
+        """The text node containing ``leaf`` in each hierarchy.
+
+        Paper §3: "(n, l) in E iff l ⊆ content(n)" — every leaf has one
+        containing text node per hierarchy because each hierarchy's text
+        nodes tile the base text.
+        """
+        from bisect import bisect_right
+
+        parents: list[GText] = []
+        for name in self.hierarchy_names:
+            component = self._components[name]
+            index = bisect_right(component.text_starts, leaf.start) - 1
+            if index < 0:
+                continue
+            candidate = component.text_nodes[index]
+            if candidate.start <= leaf.start and leaf.end <= candidate.end:
+                parents.append(candidate)
+        return parents
+
+    # -- ordering ---------------------------------------------------------
+
+    def order_key(self, node: GNode) -> tuple:
+        """Sort key implementing the paper's Definition 3 node order."""
+        if node._okey is None:
+            node._okey = self._compute_order_key(node)
+        return node._okey
+
+    def _compute_order_key(self, node: GNode) -> tuple:
+        if node is self.root:
+            return (0, 0, 0, 0)
+        if isinstance(node, GAttr):
+            owner = node.owner
+            rank = self._components[owner.hierarchy].rank
+            attr_index = owner.attribute_nodes.index(node)
+            return (1, rank, owner.preorder, 1 + attr_index)
+        if isinstance(node, _HierarchyNode):
+            rank = self._components[node.hierarchy].rank
+            return (1, rank, node.preorder, 0)
+        if isinstance(node, GLeaf):
+            return (2, node.start, 0, 0)
+        raise GoddagError(f"cannot order node of kind {node.kind!r}")
+
+    def sort_nodes(self, nodes: list[GNode]) -> list[GNode]:
+        """Sort a node list into global document order, dropping dups."""
+        unique: dict[int, GNode] = {id(node): node for node in nodes}
+        return sorted(unique.values(), key=self.order_key)
+
+    # -- string values ---------------------------------------------------------
+
+    def string_value(self, node: GNode) -> str:
+        """The XPath string value of any node."""
+        return node.string_value()
+
+    # -- span index (for extended axes) ------------------------------------
+
+    def span_index(self):
+        """The lazily rebuilt index over span-bearing nodes."""
+        from repro.core.goddag.index import SpanIndex
+
+        if self._index is None:
+            self._index = SpanIndex(self)
+        return self._index
+
+
+class _ComponentBuilder:
+    """Translates one aligned DOM tree into a hierarchy component."""
+
+    def __init__(self, goddag: KyGoddag, component: _HierarchyComponent
+                 ) -> None:
+        self.goddag = goddag
+        self.component = component
+        self.cursor = 0
+
+    def build_from_dom(self, root_element: dom.Element) -> None:
+        goddag, component = self.goddag, self.component
+        if root_element.name != goddag.root.root_name:
+            raise GoddagError(
+                f"hierarchy '{component.name}' has root element "
+                f"'{root_element.name}', expected '{goddag.root.root_name}'")
+        goddag.root.attributes_by_hierarchy[component.name] = dict(
+            root_element.attributes)
+        children = [self._convert(child, goddag.root)
+                    for child in root_element.children]
+        goddag.root.children_by_hierarchy[component.name] = [
+            child for child in children if child is not None]
+        if self.cursor != len(goddag.text):
+            raise GoddagError(
+                f"hierarchy '{component.name}' text covers {self.cursor} "
+                f"of {len(goddag.text)} characters")
+        self._assign_preorder()
+        self._collect_boundaries()
+
+    def _convert(self, node: dom.Node, parent: GNode) -> _HierarchyNode | None:
+        goddag, component = self.goddag, self.component
+        if isinstance(node, dom.Text):
+            start = self.cursor
+            end = start + len(node.data)
+            if goddag.text[start:end] != node.data:
+                raise GoddagError(
+                    f"hierarchy '{component.name}' text diverges from the "
+                    f"base text at offset {start}")
+            self.cursor = end
+            gtext = GText(goddag, component.name, start, end)
+            gtext._parent = parent
+            component.text_nodes.append(gtext)
+            component.text_starts.append(start)
+            return gtext
+        if isinstance(node, dom.Element):
+            element = GElement(goddag, component.name, node.name,
+                               self.cursor, self.cursor, node.attributes)
+            element._parent = parent
+            converted = [self._convert(child, element)
+                         for child in node.children]
+            element.children = [c for c in converted if c is not None]
+            element.end = self.cursor
+            return element
+        if isinstance(node, dom.Comment):
+            comment = GComment(goddag, component.name, self.cursor, node.data)
+            comment._parent = parent
+            return comment
+        if isinstance(node, dom.ProcessingInstruction):
+            pi = GPi(goddag, component.name, self.cursor, node.target,
+                     node.data)
+            pi._parent = parent
+            return pi
+        return None  # doctype/etc. — nothing to represent
+
+    def _assign_preorder(self) -> None:
+        """Number the component's nodes in preorder; record subtree ends."""
+        nodes = self.component.nodes
+        counter = 0
+
+        def visit(node: _HierarchyNode) -> None:
+            nonlocal counter
+            node.preorder = counter
+            counter += 1
+            nodes.append(node)
+            if isinstance(node, GElement):
+                for child in node.children:
+                    visit(child)  # type: ignore[arg-type]
+            node.subtree_end = counter - 1
+
+        for top in self.goddag.root.children_by_hierarchy[
+                self.component.name]:
+            visit(top)  # type: ignore[arg-type]
+
+    def _collect_boundaries(self) -> None:
+        """Every markup boundary of this hierarchy, for the partition."""
+        offsets: list[int] = []
+        for node in self.component.nodes:
+            offsets.append(node.start)
+            offsets.append(node.end)
+        self.component.boundaries = offsets

@@ -1,0 +1,153 @@
+"""Reference implementation of the extended axes — literal Definition 1.
+
+These functions transcribe the paper's Definition 1 *verbatim*:
+explicit leaf sets, ``min``/``max`` over the leaf order, within-
+hierarchy ancestor/descendant exclusions — with a full scan over all
+nodes and no index.  They exist for two purposes:
+
+* **correctness oracle** — the production axes
+  (:mod:`repro.core.goddag.axes`, interval arithmetic over the sorted
+  span index) are asserted equal to these on hand-written and
+  hypothesis-generated documents;
+* **ablation** — ``benchmarks/test_ablation_axes.py`` measures what the
+  sorted span index buys over this O(n·leaves) evaluation, one of the
+  design choices DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+from repro.core.goddag.goddag import KyGoddag
+from repro.core.goddag.nodes import (
+    GElement,
+    GLeaf,
+    GNode,
+    GText,
+    _HierarchyNode,
+)
+
+
+def _span_nodes(goddag: KyGoddag) -> list[GNode]:
+    """The domain of Definition 1: root + every element/text node."""
+    nodes: list[GNode] = [goddag.root]
+    for name in goddag.hierarchy_names:
+        nodes.extend(n for n in goddag.nodes_of(name)
+                     if isinstance(n, (GElement, GText)))
+    return nodes
+
+
+def _leaf_ids(goddag: KyGoddag, node: GNode) -> frozenset[int]:
+    """``leaves(n)`` as an identity set."""
+    return frozenset(id(leaf) for leaf in goddag.leaves_of(node))
+
+
+def _leaf_order(goddag: KyGoddag, node: GNode) -> list[int]:
+    """Leaf positions of ``leaves(n)`` under the leaf linear order."""
+    return sorted(leaf.start for leaf in goddag.leaves_of(node))
+
+
+def _is_descendant(node: GNode, other: GNode, goddag: KyGoddag) -> bool:
+    """``other ∈ descendant(node)`` within node's hierarchy.
+
+    The root is in every hierarchy, so everything descends from it;
+    leaves descend from any node whose leaf set contains them.
+    """
+    if node is goddag.root:
+        return other is not node
+    if isinstance(other, GLeaf):
+        return id(other) in _leaf_ids(goddag, node)
+    if isinstance(node, _HierarchyNode) and isinstance(other,
+                                                       _HierarchyNode):
+        return node.is_ancestor_of(other)
+    return False
+
+
+def naive_xancestor(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    """Definition 1, first bullet, written as printed."""
+    ln = _leaf_ids(goddag, node)
+    if not ln:
+        return []
+    out: list[GNode] = []
+    for m in _span_nodes(goddag):
+        if m is node or _is_descendant(node, m, goddag):
+            continue
+        lm = _leaf_ids(goddag, m)
+        if lm and ln <= lm:
+            out.append(m)
+    return out
+
+
+def naive_xdescendant(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    """Definition 1, second bullet (leaves included as candidates)."""
+    ln = _leaf_ids(goddag, node)
+    if not ln:
+        return []
+    out: list[GNode] = []
+    for m in _span_nodes(goddag):
+        if m is node or _is_descendant(m, node, goddag):
+            continue
+        lm = _leaf_ids(goddag, m)
+        if lm and lm <= ln:
+            out.append(m)
+    if not isinstance(node, GLeaf):
+        out.extend(leaf for leaf in goddag.leaves()
+                   if id(leaf) in ln)
+    return out
+
+
+def naive_xfollowing(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    """``max(leaves(n)) < min(leaves(m))``, scanning every node."""
+    positions = _leaf_order(goddag, node)
+    if not positions:
+        return []
+    ceiling = max(positions)
+    out: list[GNode] = []
+    for m in _span_nodes(goddag) + list(goddag.leaves()):
+        other = _leaf_order(goddag, m)
+        if other and ceiling < min(other):
+            out.append(m)
+    return out
+
+
+def naive_xpreceding(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    positions = _leaf_order(goddag, node)
+    if not positions:
+        return []
+    floor = min(positions)
+    out: list[GNode] = []
+    for m in _span_nodes(goddag) + list(goddag.leaves()):
+        other = _leaf_order(goddag, m)
+        if other and max(other) < floor:
+            out.append(m)
+    return out
+
+
+def naive_overlapping(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    """Both overlap directions, with the printed min/max conditions."""
+    ln = _leaf_ids(goddag, node)
+    positions = _leaf_order(goddag, node)
+    if not positions:
+        return []
+    lo, hi = min(positions), max(positions)
+    out: list[GNode] = []
+    for m in _span_nodes(goddag):
+        if m is node:
+            continue
+        lm = _leaf_ids(goddag, m)
+        if not lm or not (ln & lm):
+            continue
+        other = _leaf_order(goddag, m)
+        other_lo, other_hi = min(other), max(other)
+        preceding = other_lo < lo <= other_hi and hi > other_hi
+        following = other_lo <= hi < other_hi and lo < other_lo
+        if preceding or following:
+            out.append(m)
+    return out
+
+
+NAIVE_AXES = {
+    "xancestor": naive_xancestor,
+    "xdescendant": naive_xdescendant,
+    "xfollowing": naive_xfollowing,
+    "xpreceding": naive_xpreceding,
+    "overlapping": naive_overlapping,
+}

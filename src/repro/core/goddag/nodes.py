@@ -1,0 +1,309 @@
+"""KyGODDAG node types.
+
+A KyGODDAG (paper §3) unites the DOM trees of all hierarchies at a
+shared root and adds a layer of *leaf* nodes — the partition of the base
+text induced by every markup boundary in every hierarchy.  Node kinds:
+
+=============  ============================================================
+kind           meaning
+=============  ============================================================
+``root``       the single shared root (one per KyGODDAG)
+``element``    an element node, owned by exactly one hierarchy
+``text``       a text node, owned by exactly one hierarchy
+``leaf``       a shared leaf cell of the partition (no hierarchy)
+``attribute``  an attribute of an element (no text span)
+``comment``    a comment (empty span)
+``pi``         a processing instruction (empty span)
+=============  ============================================================
+
+Every node with content carries a half-open character span
+``[start, end)`` into the base text; the axes layer operates purely on
+these spans (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.util.intervals import Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.goddag.goddag import KyGoddag
+
+ROOT = "root"
+ELEMENT = "element"
+TEXT = "text"
+LEAF = "leaf"
+ATTRIBUTE = "attribute"
+COMMENT = "comment"
+PI = "processing-instruction"
+
+
+class GNode:
+    """Base class of all KyGODDAG nodes."""
+
+    __slots__ = ("goddag", "start", "end", "_okey")
+
+    kind: str = "abstract"
+
+    def __init__(self, goddag: "KyGoddag", start: int, end: int) -> None:
+        self.goddag = goddag
+        self.start = start
+        self.end = end
+        # Cached document-order key (a node's hierarchy rank and
+        # preorder position never change once registered).
+        self._okey: tuple | None = None
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def span(self) -> Span:
+        """The node's character span in the base text."""
+        return Span(self.start, self.end)
+
+    @property
+    def has_leaves(self) -> bool:
+        """True when ``leaves(self)`` is non-empty (non-empty span)."""
+        return self.start < self.end
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def hierarchy(self) -> str | None:
+        """The owning hierarchy name (``None`` for root/leaf/shared)."""
+        return None
+
+    @property
+    def name(self) -> str | None:
+        """The node's name, when it has one (elements, attributes, PIs)."""
+        return None
+
+    @property
+    def parent(self) -> Optional["GNode"]:
+        """The single within-hierarchy parent, if there is exactly one."""
+        return None
+
+    def string_value(self) -> str:
+        """The XPath string value (covered base text, by default)."""
+        return self.goddag.text[self.start:self.end]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or self.kind
+        return f"<{type(self).__name__} {label} [{self.start},{self.end})>"
+
+
+class GRoot(GNode):
+    """The shared root: one node present in every hierarchy.
+
+    The per-hierarchy child lists are kept separately so that axes can
+    serve both "all components" traversal (root context, paper §3) and
+    per-hierarchy serialization.
+    """
+
+    __slots__ = ("root_name", "children_by_hierarchy",
+                 "attributes_by_hierarchy")
+
+    kind = ROOT
+
+    def __init__(self, goddag: "KyGoddag", root_name: str,
+                 length: int) -> None:
+        super().__init__(goddag, 0, length)
+        self.root_name = root_name
+        self.children_by_hierarchy: dict[str, list[GNode]] = {}
+        self.attributes_by_hierarchy: dict[str, dict[str, str]] = {}
+
+    @property
+    def name(self) -> str:
+        return self.root_name
+
+    @property
+    def attributes(self) -> dict[str, str]:
+        """Merged root attributes across hierarchies (first wins)."""
+        merged: dict[str, str] = {}
+        for attrs in self.attributes_by_hierarchy.values():
+            for key, value in attrs.items():
+                merged.setdefault(key, value)
+        return merged
+
+    def children_in(self, hierarchy: str) -> list[GNode]:
+        """The root's children within one hierarchy component."""
+        return self.children_by_hierarchy.get(hierarchy, [])
+
+    @property
+    def all_children(self) -> list[GNode]:
+        """Children across all components, in hierarchy order."""
+        out: list[GNode] = []
+        for name in self.goddag.hierarchy_names:
+            out.extend(self.children_by_hierarchy.get(name, []))
+        return out
+
+
+class _HierarchyNode(GNode):
+    """A node owned by exactly one hierarchy component."""
+
+    __slots__ = ("_hierarchy", "_parent", "preorder", "subtree_end")
+
+    def __init__(self, goddag: "KyGoddag", hierarchy: str,
+                 start: int, end: int) -> None:
+        super().__init__(goddag, start, end)
+        self._hierarchy = hierarchy
+        self._parent: GNode | None = None
+        # Preorder position within the hierarchy component and the
+        # largest preorder in this node's subtree; together they answer
+        # ancestor/descendant/following/preceding tests in O(1).
+        self.preorder = -1
+        self.subtree_end = -1
+
+    @property
+    def hierarchy(self) -> str:
+        return self._hierarchy
+
+    @property
+    def parent(self) -> GNode | None:
+        return self._parent
+
+    def is_ancestor_of(self, other: "GNode") -> bool:
+        """True when ``self`` is a within-hierarchy ancestor of ``other``."""
+        if not isinstance(other, _HierarchyNode):
+            return False
+        return (other._hierarchy == self._hierarchy
+                and self.preorder < other.preorder <= self.subtree_end)
+
+
+class GElement(_HierarchyNode):
+    """An element node within one hierarchy."""
+
+    __slots__ = ("_name", "attributes", "children", "_attr_nodes")
+
+    kind = ELEMENT
+
+    def __init__(self, goddag: "KyGoddag", hierarchy: str, name: str,
+                 start: int, end: int,
+                 attributes: dict[str, str] | None = None) -> None:
+        super().__init__(goddag, hierarchy, start, end)
+        self._name = name
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.children: list[GNode] = []
+        self._attr_nodes: list[GAttr] | None = None
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def attribute_nodes(self) -> list["GAttr"]:
+        """Attribute nodes, materialized once per element."""
+        if self._attr_nodes is None:
+            self._attr_nodes = [
+                GAttr(self.goddag, self, name, value)
+                for name, value in self.attributes.items()
+            ]
+        return self._attr_nodes
+
+
+class GText(_HierarchyNode):
+    """A text node within one hierarchy; children are the shared leaves."""
+
+    __slots__ = ()
+
+    kind = TEXT
+
+    @property
+    def content(self) -> str:
+        """The character data (a slice of the base text)."""
+        return self.goddag.text[self.start:self.end]
+
+
+class GComment(_HierarchyNode):
+    """A comment; occupies a zero-length span at its position."""
+
+    __slots__ = ("data",)
+
+    kind = COMMENT
+
+    def __init__(self, goddag: "KyGoddag", hierarchy: str, position: int,
+                 data: str) -> None:
+        super().__init__(goddag, hierarchy, position, position)
+        self.data = data
+
+    def string_value(self) -> str:
+        return self.data
+
+
+class GPi(_HierarchyNode):
+    """A processing instruction; zero-length span at its position."""
+
+    __slots__ = ("target", "data")
+
+    kind = PI
+
+    def __init__(self, goddag: "KyGoddag", hierarchy: str, position: int,
+                 target: str, data: str) -> None:
+        super().__init__(goddag, hierarchy, position, position)
+        self.target = target
+        self.data = data
+
+    @property
+    def name(self) -> str:
+        return self.target
+
+    def string_value(self) -> str:
+        return self.data
+
+
+class GLeaf(GNode):
+    """A shared leaf cell of the text partition.
+
+    Leaves are owned by the partition, not by any hierarchy; identity is
+    canonical within one partition version (two lookups of the same cell
+    return the same object), which lets node-set deduplication work.
+    """
+
+    __slots__ = ()
+
+    kind = LEAF
+
+    @property
+    def text(self) -> str:
+        """The leaf's character data."""
+        return self.goddag.text[self.start:self.end]
+
+    @property
+    def parents(self) -> list[GText]:
+        """One containing text node per hierarchy (paper: the leaf layer
+        is connected to the text nodes that contain it)."""
+        return self.goddag.text_parents_of_leaf(self)
+
+
+class GAttr(GNode):
+    """An attribute node.  Attributes carry no leaves (empty span)."""
+
+    __slots__ = ("owner", "_name", "value")
+
+    kind = ATTRIBUTE
+
+    def __init__(self, goddag: "KyGoddag", owner: GElement, name: str,
+                 value: str) -> None:
+        super().__init__(goddag, owner.start, owner.start)
+        self.owner = owner
+        self._name = name
+        self.value = value
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def hierarchy(self) -> str | None:
+        return self.owner.hierarchy
+
+    @property
+    def parent(self) -> GNode:
+        return self.owner
+
+    @property
+    def has_leaves(self) -> bool:
+        return False
+
+    def string_value(self) -> str:
+        return self.value

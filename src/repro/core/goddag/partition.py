@@ -1,0 +1,138 @@
+"""The leaf partition of the base text.
+
+Paper §3: *"Let S = l1 · l2 · ... · ls be a partition of S into leaves,
+longest substrings such that no markup in any of the di breaks any
+substring li (that is, markup appears only at the substring
+boundaries)."*
+
+The partition is therefore determined by the multiset of markup
+boundary offsets contributed by all hierarchies.  Boundaries are
+reference-counted so that removing a (temporary) hierarchy restores
+exactly the partition that existed before it was added — leaves that
+were split coalesce again.  Each mutation bumps ``version``; leaf
+objects are canonical per version.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import Counter
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.errors import GoddagError
+from repro.core.goddag.nodes import GLeaf
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.goddag.goddag import KyGoddag
+
+
+class Partition:
+    """Reference-counted boundary set and the leaves it induces."""
+
+    def __init__(self, goddag: "KyGoddag", length: int) -> None:
+        self._goddag = goddag
+        self.length = length
+        # The document ends are permanent boundaries.
+        self._refcounts: Counter[int] = Counter({0: 1, length: 1})
+        self._sorted: list[int] | None = None
+        self._leaf_cache: dict[int, GLeaf] = {}
+        self.version = 0
+
+    # -- mutation -----------------------------------------------------------
+
+    def add_boundaries(self, offsets: Iterable[int]) -> None:
+        """Reference the given boundary offsets (duplicates allowed)."""
+        changed = False
+        for offset in offsets:
+            if offset < 0 or offset > self.length:
+                raise GoddagError(
+                    f"boundary offset {offset} outside the text "
+                    f"(length {self.length})")
+            if self._refcounts[offset] == 0:
+                changed = True
+            self._refcounts[offset] += 1
+        if changed:
+            self._invalidate()
+
+    def remove_boundaries(self, offsets: Iterable[int]) -> None:
+        """Drop one reference per given offset; coalesce freed leaves."""
+        changed = False
+        for offset in offsets:
+            count = self._refcounts[offset]
+            if count <= 0:
+                raise GoddagError(
+                    f"boundary offset {offset} removed more times than "
+                    f"it was added")
+            if count == 1:
+                del self._refcounts[offset]
+                changed = True
+            else:
+                self._refcounts[offset] = count - 1
+        if changed:
+            self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._sorted = None
+        self._leaf_cache.clear()
+        self.version += 1
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def boundaries(self) -> list[int]:
+        """Distinct boundary offsets in increasing order."""
+        if self._sorted is None:
+            self._sorted = sorted(self._refcounts)
+        return self._sorted
+
+    def __len__(self) -> int:
+        """The number of leaves."""
+        return max(0, len(self.boundaries) - 1)
+
+    def leaf_spans(self) -> list[tuple[int, int]]:
+        """All leaf cells as ``(start, end)`` pairs, in text order."""
+        bounds = self.boundaries
+        return [(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
+
+    def _leaf(self, start: int, end: int) -> GLeaf:
+        leaf = self._leaf_cache.get(start)
+        if leaf is None:
+            leaf = GLeaf(self._goddag, start, end)
+            self._leaf_cache[start] = leaf
+        return leaf
+
+    def leaves(self) -> list[GLeaf]:
+        """All leaves in text order (canonical objects)."""
+        return [self._leaf(start, end) for start, end in self.leaf_spans()]
+
+    def leaf_at(self, offset: int) -> GLeaf:
+        """The leaf containing character ``offset``."""
+        if offset < 0 or offset >= self.length:
+            raise GoddagError(
+                f"offset {offset} outside the text (length {self.length})")
+        bounds = self.boundaries
+        index = bisect_right(bounds, offset) - 1
+        return self._leaf(bounds[index], bounds[index + 1])
+
+    def leaves_in(self, start: int, end: int) -> list[GLeaf]:
+        """Leaves lying entirely within ``[start, end)``.
+
+        For span-aligned callers (every markup node) this is exactly
+        ``leaves(n)`` from the paper.
+        """
+        if start >= end:
+            return []
+        bounds = self.boundaries
+        first = bisect_left(bounds, start)
+        out: list[GLeaf] = []
+        for index in range(first, len(bounds) - 1):
+            leaf_start, leaf_end = bounds[index], bounds[index + 1]
+            if leaf_end > end:
+                break
+            out.append(self._leaf(leaf_start, leaf_end))
+        return out
+
+    def is_boundary(self, offset: int) -> bool:
+        """True when ``offset`` is a current partition boundary."""
+        return self._refcounts[offset] > 0

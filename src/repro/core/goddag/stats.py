@@ -1,0 +1,99 @@
+"""KyGODDAG statistics — the quantitative face of Figure 2.
+
+The paper's Figure 2 is a drawing; its checkable content is the node
+and edge inventory of the KyGODDAG built from Figure 1's encodings.
+:func:`collect` computes that inventory so the FIG2 benchmark (and
+EXPERIMENTS.md) can compare counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.goddag.goddag import KyGoddag
+from repro.core.goddag.nodes import GComment, GElement, GPi, GText
+
+
+@dataclass
+class HierarchyStats:
+    """Node counts for one hierarchy component."""
+
+    name: str
+    temporary: bool
+    elements_by_name: dict[str, int] = field(default_factory=dict)
+    text_nodes: int = 0
+    comments: int = 0
+    processing_instructions: int = 0
+    tree_edges: int = 0
+    text_leaf_edges: int = 0
+
+    @property
+    def element_count(self) -> int:
+        return sum(self.elements_by_name.values())
+
+
+@dataclass
+class GoddagStats:
+    """The full KyGODDAG inventory."""
+
+    text_length: int
+    leaf_count: int
+    hierarchies: list[HierarchyStats] = field(default_factory=list)
+
+    @property
+    def node_count(self) -> int:
+        """All nodes: root + hierarchy nodes + leaves."""
+        per_hierarchy = sum(
+            h.element_count + h.text_nodes + h.comments
+            + h.processing_instructions
+            for h in self.hierarchies)
+        return 1 + per_hierarchy + self.leaf_count
+
+    @property
+    def edge_count(self) -> int:
+        """All edges: tree edges plus text→leaf edges."""
+        return sum(h.tree_edges + h.text_leaf_edges
+                   for h in self.hierarchies)
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(label, value) rows for tabular printing."""
+        out: list[tuple[str, str]] = [
+            ("text length", str(self.text_length)),
+            ("leaves", str(self.leaf_count)),
+            ("total nodes", str(self.node_count)),
+            ("total edges", str(self.edge_count)),
+        ]
+        for hierarchy in self.hierarchies:
+            elements = ", ".join(
+                f"{name}:{count}" for name, count
+                in sorted(hierarchy.elements_by_name.items()))
+            out.append((
+                f"hierarchy {hierarchy.name}",
+                f"elements[{elements}] text:{hierarchy.text_nodes} "
+                f"edges:{hierarchy.tree_edges}+{hierarchy.text_leaf_edges}"))
+        return out
+
+
+def collect(goddag: KyGoddag) -> GoddagStats:
+    """Compute the node/edge inventory of ``goddag``."""
+    stats = GoddagStats(text_length=len(goddag.text),
+                        leaf_count=len(goddag.partition))
+    for name in goddag.hierarchy_names:
+        hierarchy = HierarchyStats(name=name,
+                                   temporary=goddag.is_temporary(name))
+        hierarchy.tree_edges += len(goddag.root.children_in(name))
+        for node in goddag.nodes_of(name):
+            if isinstance(node, GElement):
+                count = hierarchy.elements_by_name.get(node.name, 0)
+                hierarchy.elements_by_name[node.name] = count + 1
+                hierarchy.tree_edges += len(node.children)
+            elif isinstance(node, GText):
+                hierarchy.text_nodes += 1
+                hierarchy.text_leaf_edges += len(
+                    goddag.partition.leaves_in(node.start, node.end))
+            elif isinstance(node, GComment):
+                hierarchy.comments += 1
+            elif isinstance(node, GPi):
+                hierarchy.processing_instructions += 1
+        stats.hierarchies.append(hierarchy)
+    return stats

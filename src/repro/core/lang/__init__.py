@@ -1,0 +1,22 @@
+"""The extended query language: lexer, AST, and parser.
+
+One grammar covers both levels the paper uses:
+
+* **extended XPath** (paper §3): location paths with all standard axes,
+  the seven extended axes of Definition 1, and the extended node tests
+  of Definition 2 (``text('h')``, ``node('h')``, ``*('h')``,
+  ``leaf()``);
+* an **XQuery subset** (paper §4): FLWOR (``for``/``at``/``let``/
+  ``where``/``order by``/``return``), conditionals, quantifiers,
+  sequence/range/arithmetic/comparison operators, and direct element
+  constructors with enclosed ``{...}`` expressions.
+
+``parse_query`` accepts the full language; ``parse_xpath`` restricts to
+path expressions (rejecting FLWOR and constructors) for callers that
+want a pure path language.
+"""
+
+from repro.core.lang.parser import parse_query, parse_xpath
+from repro.core.lang import ast
+
+__all__ = ["parse_query", "parse_xpath", "ast"]

@@ -1,0 +1,343 @@
+"""Abstract syntax tree for the extended XPath/XQuery language.
+
+Nodes are small frozen dataclasses; the evaluator dispatches on type.
+Every node records the source ``offset`` where it began so dynamic
+errors can point back into the query text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+Expr = Union[
+    "Literal", "VarRef", "ContextItem", "SequenceExpr", "RangeExpr",
+    "OrExpr", "AndExpr", "ComparisonExpr", "ArithmeticExpr", "UnaryExpr",
+    "UnionExpr", "IntersectExceptExpr", "PathExpr", "FilterExpr",
+    "FunctionCall", "IfExpr", "FLWORExpr", "QuantifiedExpr",
+    "ElementConstructor", "AttributeValue",
+]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A string or numeric literal."""
+
+    value: str | int | float
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A variable reference ``$name``."""
+
+    name: str
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class ContextItem:
+    """The context item ``.``."""
+
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class SequenceExpr:
+    """Comma operator: concatenation of item sequences."""
+
+    items: tuple[Expr, ...]
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class RangeExpr:
+    """``$a to $b`` — an integer range."""
+
+    lower: Expr
+    upper: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    operands: tuple[Expr, ...]
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    operands: tuple[Expr, ...]
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class ComparisonExpr:
+    """A general (``=``), value (``eq``) or node (``is``) comparison."""
+
+    op: str
+    style: str  # "general" | "value" | "node"
+    left: Expr
+    right: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class ArithmeticExpr:
+    op: str  # "+", "-", "*", "div", "idiv", "mod"
+    left: Expr
+    right: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class UnaryExpr:
+    op: str  # "-" or "+"
+    operand: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class UnionExpr:
+    operands: tuple[Expr, ...]
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class IntersectExceptExpr:
+    op: str  # "intersect" | "except"
+    left: Expr
+    right: Expr
+    offset: int = 0
+
+
+# ---------------------------------------------------------------------------
+# paths
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NameTest:
+    """A name node test (``w``); principal kind depends on the axis."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class WildcardTest:
+    """``*`` or the extended ``*('h1,h2')`` (Definition 2)."""
+
+    hierarchies: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class KindTest:
+    """``text()``, ``node()``, ``leaf()``, ``comment()``, ``pi()``.
+
+    ``hierarchies`` carries the extended hierarchy restriction of
+    Definition 2 for ``text(...)`` and ``node(...)``.
+    """
+
+    kind: str
+    hierarchies: tuple[str, ...] = ()
+    target: str | None = None  # processing-instruction target
+
+NodeTest = Union[NameTest, WildcardTest, KindTest]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: axis, node test, predicates."""
+
+    axis: str
+    test: NodeTest
+    predicates: tuple[Expr, ...] = ()
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class ExprStep:
+    """A non-axis path step (XPath 2.0): ``$w/string(.)``.
+
+    The expression is evaluated once per input node with that node as
+    the focus; per-node results are concatenated.
+    """
+
+    expression: "Expr"
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """A location path.
+
+    ``anchor`` is ``"root"`` for ``/...``, ``"descendant"`` for
+    ``//...``, or ``"relative"``; ``primary`` is the optional leading
+    filter expression (``$x/child::a`` has primary ``$x``).
+    """
+
+    anchor: str
+    steps: tuple[Step, ...]
+    primary: Expr | None = None
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class FilterExpr:
+    """A primary expression with predicates: ``$seq[3]``."""
+
+    primary: Expr
+    predicates: tuple[Expr, ...]
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str
+    args: tuple[Expr, ...]
+    offset: int = 0
+
+
+# ---------------------------------------------------------------------------
+# XQuery constructs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IfExpr:
+    condition: Expr
+    then: Expr
+    otherwise: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class ForClause:
+    """``for $var at $pos in expr`` (one binding)."""
+
+    variable: str
+    sequence: Expr
+    position_variable: str | None = None
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class LetClause:
+    variable: str
+    expression: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class WhereClause:
+    condition: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    key: Expr
+    descending: bool = False
+    empty_least: bool = True
+
+
+@dataclass(frozen=True)
+class OrderByClause:
+    specs: tuple[OrderSpec, ...]
+    offset: int = 0
+
+FLWORClause = Union[ForClause, LetClause, WhereClause, OrderByClause]
+
+
+@dataclass(frozen=True)
+class FLWORExpr:
+    clauses: tuple[FLWORClause, ...]
+    return_expr: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class QuantifiedExpr:
+    """``some/every $v in expr (, ...) satisfies expr``."""
+
+    quantifier: str  # "some" | "every"
+    bindings: tuple[tuple[str, Expr], ...]
+    condition: Expr
+    offset: int = 0
+
+
+# ---------------------------------------------------------------------------
+# direct constructors
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttributeValue:
+    """An attribute value template: literal and enclosed-expr parts."""
+
+    parts: tuple[Union[str, Expr], ...]
+
+
+@dataclass(frozen=True)
+class ElementConstructor:
+    """A direct element constructor ``<b attr="{...}">content</b>``.
+
+    ``content`` items are literal strings, nested constructors, or
+    enclosed expressions.
+    """
+
+    name: str
+    attributes: tuple[tuple[str, AttributeValue], ...] = ()
+    content: tuple[Union[str, Expr], ...] = ()
+    offset: int = 0
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and all sub-expressions (preorder)."""
+    yield expr
+    children: list = []
+    if isinstance(expr, SequenceExpr):
+        children = list(expr.items)
+    elif isinstance(expr, RangeExpr):
+        children = [expr.lower, expr.upper]
+    elif isinstance(expr, (OrExpr, AndExpr, UnionExpr)):
+        children = list(expr.operands)
+    elif isinstance(expr, (ComparisonExpr, ArithmeticExpr,
+                           IntersectExceptExpr)):
+        children = [expr.left, expr.right]
+    elif isinstance(expr, UnaryExpr):
+        children = [expr.operand]
+    elif isinstance(expr, PathExpr):
+        if expr.primary is not None:
+            children.append(expr.primary)
+        for step in expr.steps:
+            if isinstance(step, ExprStep):
+                children.append(step.expression)
+            else:
+                children.extend(step.predicates)
+    elif isinstance(expr, FilterExpr):
+        children = [expr.primary, *expr.predicates]
+    elif isinstance(expr, FunctionCall):
+        children = list(expr.args)
+    elif isinstance(expr, IfExpr):
+        children = [expr.condition, expr.then, expr.otherwise]
+    elif isinstance(expr, FLWORExpr):
+        for clause in expr.clauses:
+            if isinstance(clause, ForClause):
+                children.append(clause.sequence)
+            elif isinstance(clause, LetClause):
+                children.append(clause.expression)
+            elif isinstance(clause, WhereClause):
+                children.append(clause.condition)
+            elif isinstance(clause, OrderByClause):
+                children.extend(spec.key for spec in clause.specs)
+        children.append(expr.return_expr)
+    elif isinstance(expr, QuantifiedExpr):
+        children.extend(binding[1] for binding in expr.bindings)
+        children.append(expr.condition)
+    elif isinstance(expr, ElementConstructor):
+        for _name, value in expr.attributes:
+            children.extend(p for p in value.parts if not isinstance(p, str))
+        children.extend(c for c in expr.content if not isinstance(c, str))
+    for child in children:
+        yield from walk(child)

@@ -1,0 +1,240 @@
+"""Tokenizer for the extended XPath/XQuery language.
+
+The lexer produces a flat token stream for ordinary expression text and
+exposes *character-level* helpers that the parser uses when it enters a
+direct element constructor (where XML syntax, not expression syntax,
+applies).  Tokens carry source offsets so the parser can re-synchronize
+the stream after character-mode excursions.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.errors import QuerySyntaxError
+from repro.markup.entities import PREDEFINED, decode_char_reference
+
+EOF = "eof"
+NAME = "name"
+STRING = "string"
+INTEGER = "integer"
+DECIMAL = "decimal"
+SYMBOL = "symbol"
+
+#: Multi-character symbols, longest first so maximal munch works.
+_SYMBOLS = [
+    "::", ":=", "//", "..", "!=", "<=", ">=", "<<", ">>",
+    "(", ")", "[", "]", "{", "}", "@", ",", ".", "/", "|",
+    "+", "-", "*", "=", "<", ">", "$", "?", ";",
+]
+
+_NAME_START_EXTRA = set("_")
+_NAME_EXTRA = set("_-.")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source extent."""
+
+    kind: str
+    value: str
+    start: int
+    end: int
+
+    def is_symbol(self, value: str) -> bool:
+        return self.kind == SYMBOL and self.value == value
+
+    def is_name(self, value: str | None = None) -> bool:
+        return self.kind == NAME and (value is None or self.value == value)
+
+
+class Lexer:
+    """Tokenizes expression text; supports parser-driven char mode."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self._pending: list[Token] = []
+        self._newlines = [i for i, c in enumerate(text) if c == "\n"]
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def location(self, offset: int) -> tuple[int, int]:
+        """1-based (line, column) of a character offset."""
+        line = bisect_right(self._newlines, offset - 1)
+        start = self._newlines[line - 1] + 1 if line else 0
+        return line + 1, offset - start + 1
+
+    def error(self, message: str, offset: int | None = None
+              ) -> QuerySyntaxError:
+        line, column = self.location(self.pos if offset is None else offset)
+        return QuerySyntaxError(message, line, column)
+
+    # -- token stream -----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        """Look ahead without consuming."""
+        while len(self._pending) <= ahead:
+            self._pending.append(self._scan())
+        return self._pending[ahead]
+
+    def next(self) -> Token:
+        """Consume and return the next token."""
+        token = self.peek()
+        self._pending.pop(0)
+        return token
+
+    def sync_to(self, offset: int) -> None:
+        """Discard lookahead and continue lexing from ``offset``.
+
+        Used by the parser when switching between token mode and the
+        character mode of direct constructors.
+        """
+        self.pos = offset
+        self._pending.clear()
+
+    # -- character mode (direct constructors) ---------------------------------
+
+    def char_at(self, offset: int) -> str:
+        return self.text[offset] if offset < len(self.text) else ""
+
+    def starts_with(self, literal: str, offset: int) -> bool:
+        return self.text.startswith(literal, offset)
+
+    # -- scanning ---------------------------------------------------------------
+
+    def _scan(self) -> Token:
+        self._skip_trivia()
+        start = self.pos
+        if start >= len(self.text):
+            return Token(EOF, "", start, start)
+        char = self.text[start]
+        if char in "\"'":
+            return self._scan_string(char)
+        if char.isdigit() or (char == "." and self.char_at(start + 1)
+                              .isdigit()):
+            return self._scan_number()
+        if self._is_name_start(char):
+            return self._scan_name()
+        for symbol in _SYMBOLS:
+            if self.text.startswith(symbol, start):
+                self.pos = start + len(symbol)
+                return Token(SYMBOL, symbol, start, self.pos)
+        raise self.error(f"unexpected character {char!r}")
+
+    def _skip_trivia(self) -> None:
+        text = self.text
+        while self.pos < len(text):
+            char = text[self.pos]
+            if char in " \t\r\n":
+                self.pos += 1
+            elif text.startswith("(:", self.pos):
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        """Skip an XQuery comment ``(: ... :)`` (they nest)."""
+        depth = 0
+        text = self.text
+        while self.pos < len(text):
+            if text.startswith("(:", self.pos):
+                depth += 1
+                self.pos += 2
+            elif text.startswith(":)", self.pos):
+                depth -= 1
+                self.pos += 2
+                if depth == 0:
+                    return
+            else:
+                self.pos += 1
+        raise self.error("unterminated comment")
+
+    def _scan_string(self, quote: str) -> Token:
+        start = self.pos
+        self.pos += 1
+        out: list[str] = []
+        text = self.text
+        while True:
+            if self.pos >= len(text):
+                raise self.error("unterminated string literal", start)
+            char = text[self.pos]
+            if char == quote:
+                if self.char_at(self.pos + 1) == quote:
+                    out.append(quote)  # doubled quote escape
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return Token(STRING, "".join(out), start, self.pos)
+            if char == "&":
+                out.append(self._scan_reference())
+            else:
+                out.append(char)
+                self.pos += 1
+
+    def _scan_reference(self) -> str:
+        """An entity or character reference inside a string literal."""
+        start = self.pos
+        semi = self.text.find(";", start)
+        if semi == -1:
+            raise self.error("unterminated entity reference", start)
+        body = self.text[start + 1:semi]
+        self.pos = semi + 1
+        if body.startswith("#"):
+            line, column = self.location(start)
+            return decode_char_reference(body[1:], line, column)
+        if body in PREDEFINED:
+            return PREDEFINED[body]
+        raise self.error(f"unknown entity '&{body};' in string literal",
+                         start)
+
+    def _scan_number(self) -> Token:
+        start = self.pos
+        text = self.text
+        kind = INTEGER
+        while self.pos < len(text) and text[self.pos].isdigit():
+            self.pos += 1
+        if self.char_at(self.pos) == "." and not self.starts_with(
+                "..", self.pos):
+            kind = DECIMAL
+            self.pos += 1
+            while self.pos < len(text) and text[self.pos].isdigit():
+                self.pos += 1
+        if self.char_at(self.pos) in "eE":
+            probe = self.pos + 1
+            if self.char_at(probe) in "+-":
+                probe += 1
+            if self.char_at(probe).isdigit():
+                kind = DECIMAL
+                self.pos = probe
+                while (self.pos < len(text)
+                       and text[self.pos].isdigit()):
+                    self.pos += 1
+        return Token(kind, text[start:self.pos], start, self.pos)
+
+    def _scan_name(self) -> Token:
+        start = self.pos
+        text = self.text
+        self.pos += 1
+        while self.pos < len(text):
+            char = text[self.pos]
+            if self._is_name_char(char):
+                self.pos += 1
+            elif (char == ":" and not self.starts_with("::", self.pos)
+                  and self._is_name_start(self.char_at(self.pos + 1))
+                  and ":" not in text[start:self.pos]):
+                self.pos += 1  # one prefix colon inside a QName
+            else:
+                break
+        return Token(NAME, text[start:self.pos], start, self.pos)
+
+    @staticmethod
+    def _is_name_start(char: str) -> bool:
+        return bool(char) and (char.isalpha() or char in _NAME_START_EXTRA
+                               or ord(char) > 0x7F)
+
+    @staticmethod
+    def _is_name_char(char: str) -> bool:
+        return bool(char) and (char.isalnum() or char in _NAME_EXTRA
+                               or ord(char) > 0x7F)

@@ -1,0 +1,782 @@
+"""Recursive-descent parser for the extended XPath/XQuery language.
+
+The parser follows the XQuery 1.0 precedence chain restricted to the
+constructs the paper uses (DESIGN.md §2), with the paper's additions:
+extended axes as first-class axis names and the extended node tests of
+Definition 2.  Direct element constructors are parsed in character
+mode; enclosed ``{...}`` expressions re-enter the token parser, so
+constructors and expressions nest arbitrarily.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QuerySyntaxError
+from repro.core.goddag.axes import AXES
+from repro.core.lang import ast
+from repro.core.lang.lexer import (
+    DECIMAL,
+    EOF,
+    INTEGER,
+    NAME,
+    STRING,
+    SYMBOL,
+    Lexer,
+    Token,
+)
+from repro.markup.entities import PREDEFINED, decode_char_reference
+
+#: Node-test names reserved by the language (never function calls).
+KIND_TEST_NAMES = frozenset({
+    "text", "node", "comment", "processing-instruction", "leaf",
+})
+
+_GENERAL_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+_VALUE_COMPARISONS = {"eq", "ne", "lt", "le", "gt", "ge"}
+
+
+def parse_query(text: str) -> ast.Expr:
+    """Parse the full extended XQuery language."""
+    parser = _Parser(text)
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+def parse_xpath(text: str) -> ast.Expr:
+    """Parse a pure (extended) XPath expression.
+
+    FLWOR, quantifiers, and constructors are rejected so callers get
+    the path language of the paper's §3 only.
+    """
+    expr = parse_query(text)
+    for node in ast.walk(expr):
+        if isinstance(node, (ast.FLWORExpr, ast.QuantifiedExpr,
+                             ast.ElementConstructor)):
+            raise QuerySyntaxError(
+                f"{type(node).__name__} is not allowed in a pure XPath "
+                f"expression")
+    return expr
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.lexer = Lexer(text)
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self.lexer.peek(ahead)
+
+    def _next(self) -> Token:
+        return self.lexer.next()
+
+    def _accept_symbol(self, value: str) -> Token | None:
+        if self._peek().is_symbol(value):
+            return self._next()
+        return None
+
+    def _accept_name(self, value: str) -> Token | None:
+        if self._peek().is_name(value):
+            return self._next()
+        return None
+
+    def _expect_symbol(self, value: str) -> Token:
+        token = self._peek()
+        if not token.is_symbol(value):
+            raise self._error(f"expected {value!r}", token)
+        return self._next()
+
+    def _expect_name_token(self, what: str = "a name") -> Token:
+        token = self._peek()
+        if token.kind != NAME:
+            raise self._error(f"expected {what}", token)
+        return self._next()
+
+    def _error(self, message: str, token: Token | None = None
+               ) -> QuerySyntaxError:
+        token = token or self._peek()
+        shown = token.value or "end of query"
+        return self.lexer.error(f"{message}, found {shown!r}", token.start)
+
+    def expect_eof(self) -> None:
+        token = self._peek()
+        if token.kind != EOF:
+            raise self._error("unexpected trailing content", token)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        first = self.parse_expr_single()
+        if not self._peek().is_symbol(","):
+            return first
+        items = [first]
+        while self._accept_symbol(","):
+            items.append(self.parse_expr_single())
+        return ast.SequenceExpr(tuple(items), offset=items[0].offset)
+
+    def parse_expr_single(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == NAME:
+            follower = self._peek(1)
+            if token.value in ("for", "let") and follower.is_symbol("$"):
+                return self._parse_flwor()
+            if (token.value in ("some", "every")
+                    and follower.is_symbol("$")):
+                return self._parse_quantified()
+            if token.value == "if" and follower.is_symbol("("):
+                return self._parse_if()
+        return self._parse_or()
+
+    # -- FLWOR ----------------------------------------------------------------
+
+    def _parse_flwor(self) -> ast.FLWORExpr:
+        offset = self._peek().start
+        clauses: list[ast.FLWORClause] = []
+        while True:
+            token = self._peek()
+            if token.is_name("for") and self._peek(1).is_symbol("$"):
+                clauses.extend(self._parse_for_clause())
+            elif token.is_name("let") and self._peek(1).is_symbol("$"):
+                clauses.extend(self._parse_let_clause())
+            else:
+                break
+        if self._peek().is_name("where"):
+            where = self._next()
+            clauses.append(ast.WhereClause(self.parse_expr_single(),
+                                           offset=where.start))
+        if self._peek().is_name("stable"):
+            self._next()
+        if self._peek().is_name("order"):
+            clauses.append(self._parse_order_by())
+        if not self._accept_name("return"):
+            raise self._error("expected 'return' in FLWOR expression")
+        return ast.FLWORExpr(tuple(clauses), self.parse_expr_single(),
+                             offset=offset)
+
+    def _parse_for_clause(self) -> list[ast.ForClause]:
+        self._expect_name_token()  # 'for'
+        out: list[ast.ForClause] = []
+        while True:
+            offset = self._peek().start
+            variable = self._parse_variable_name()
+            position_variable = None
+            if self._accept_name("at"):
+                position_variable = self._parse_variable_name()
+            if not self._accept_name("in"):
+                raise self._error("expected 'in' in for clause")
+            sequence = self.parse_expr_single()
+            out.append(ast.ForClause(variable, sequence, position_variable,
+                                     offset=offset))
+            if not (self._peek().is_symbol(",")
+                    and self._peek(1).is_symbol("$")):
+                return out
+            self._next()  # the comma
+
+    def _parse_let_clause(self) -> list[ast.LetClause]:
+        self._expect_name_token()  # 'let'
+        out: list[ast.LetClause] = []
+        while True:
+            offset = self._peek().start
+            variable = self._parse_variable_name()
+            self._expect_symbol(":=")
+            out.append(ast.LetClause(variable, self.parse_expr_single(),
+                                     offset=offset))
+            if not (self._peek().is_symbol(",")
+                    and self._peek(1).is_symbol("$")):
+                return out
+            self._next()
+
+    def _parse_order_by(self) -> ast.OrderByClause:
+        offset = self._next().start  # 'order'
+        if not self._accept_name("by"):
+            raise self._error("expected 'by' after 'order'")
+        specs: list[ast.OrderSpec] = []
+        while True:
+            key = self.parse_expr_single()
+            descending = False
+            if self._accept_name("ascending"):
+                pass
+            elif self._accept_name("descending"):
+                descending = True
+            empty_least = True
+            if self._accept_name("empty"):
+                if self._accept_name("greatest"):
+                    empty_least = False
+                elif not self._accept_name("least"):
+                    raise self._error(
+                        "expected 'greatest' or 'least' after 'empty'")
+            specs.append(ast.OrderSpec(key, descending, empty_least))
+            if not self._accept_symbol(","):
+                return ast.OrderByClause(tuple(specs), offset=offset)
+
+    def _parse_quantified(self) -> ast.QuantifiedExpr:
+        token = self._next()  # 'some' | 'every'
+        bindings: list[tuple[str, ast.Expr]] = []
+        while True:
+            variable = self._parse_variable_name()
+            if not self._accept_name("in"):
+                raise self._error("expected 'in' in quantified expression")
+            bindings.append((variable, self.parse_expr_single()))
+            if not self._accept_symbol(","):
+                break
+        if not self._accept_name("satisfies"):
+            raise self._error("expected 'satisfies'")
+        return ast.QuantifiedExpr(token.value, tuple(bindings),
+                                  self.parse_expr_single(),
+                                  offset=token.start)
+
+    def _parse_if(self) -> ast.IfExpr:
+        token = self._next()  # 'if'
+        self._expect_symbol("(")
+        condition = self.parse_expr()
+        self._expect_symbol(")")
+        if not self._accept_name("then"):
+            raise self._error("expected 'then'")
+        then = self.parse_expr_single()
+        if not self._accept_name("else"):
+            raise self._error("expected 'else'")
+        return ast.IfExpr(condition, then, self.parse_expr_single(),
+                          offset=token.start)
+
+    def _parse_variable_name(self) -> str:
+        self._expect_symbol("$")
+        return self._expect_name_token("a variable name").value
+
+    # -- operator chain ---------------------------------------------------------
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        if not self._peek().is_name("or"):
+            return left
+        operands = [left]
+        while self._accept_name("or"):
+            operands.append(self._parse_and())
+        return ast.OrExpr(tuple(operands), offset=left.offset)
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_comparison()
+        if not self._peek().is_name("and"):
+            return left
+        operands = [left]
+        while self._accept_name("and"):
+            operands.append(self._parse_comparison())
+        return ast.AndExpr(tuple(operands), offset=left.offset)
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_range()
+        token = self._peek()
+        if token.kind == SYMBOL and token.value in _GENERAL_COMPARISONS:
+            self._next()
+            return ast.ComparisonExpr(token.value, "general", left,
+                                      self._parse_range(),
+                                      offset=left.offset)
+        if token.kind == SYMBOL and token.value in ("<<", ">>"):
+            self._next()
+            return ast.ComparisonExpr(token.value, "node", left,
+                                      self._parse_range(),
+                                      offset=left.offset)
+        if token.kind == NAME and token.value in _VALUE_COMPARISONS:
+            self._next()
+            return ast.ComparisonExpr(token.value, "value", left,
+                                      self._parse_range(),
+                                      offset=left.offset)
+        if token.is_name("is"):
+            self._next()
+            return ast.ComparisonExpr("is", "node", left,
+                                      self._parse_range(),
+                                      offset=left.offset)
+        return left
+
+    def _parse_range(self) -> ast.Expr:
+        left = self._parse_additive()
+        if self._accept_name("to"):
+            return ast.RangeExpr(left, self._parse_additive(),
+                                 offset=left.offset)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == SYMBOL and token.value in ("+", "-"):
+                self._next()
+                left = ast.ArithmeticExpr(token.value, left,
+                                          self._parse_multiplicative(),
+                                          offset=left.offset)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_union()
+        while True:
+            token = self._peek()
+            if token.is_symbol("*") or token.value in ("div", "idiv",
+                                                       "mod"):
+                if token.kind == NAME or token.is_symbol("*"):
+                    op = "*" if token.is_symbol("*") else token.value
+                    self._next()
+                    left = ast.ArithmeticExpr(op, left, self._parse_union(),
+                                              offset=left.offset)
+                    continue
+            return left
+
+    def _parse_union(self) -> ast.Expr:
+        left = self._parse_intersect_except()
+        if not (self._peek().is_symbol("|")
+                or self._peek().is_name("union")):
+            return left
+        operands = [left]
+        while (self._accept_symbol("|")
+               or self._accept_name("union")):
+            operands.append(self._parse_intersect_except())
+        return ast.UnionExpr(tuple(operands), offset=left.offset)
+
+    def _parse_intersect_except(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.is_name("intersect") or token.is_name("except"):
+                self._next()
+                left = ast.IntersectExceptExpr(token.value, left,
+                                               self._parse_unary(),
+                                               offset=left.offset)
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == SYMBOL and token.value in ("-", "+"):
+            self._next()
+            return ast.UnaryExpr(token.value, self._parse_unary(),
+                                 offset=token.start)
+        return self._parse_path()
+
+    # -- paths --------------------------------------------------------------------
+
+    def _parse_path(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_symbol("/"):
+            self._next()
+            if self._at_step_start():
+                steps = self._parse_relative_steps()
+                return ast.PathExpr("root", tuple(steps),
+                                    offset=token.start)
+            return ast.PathExpr("root", (), offset=token.start)
+        if token.is_symbol("//"):
+            self._next()
+            steps = self._parse_relative_steps()
+            return ast.PathExpr("descendant", tuple(steps),
+                                offset=token.start)
+        if not self._at_step_start():
+            raise self._error("expected an expression")
+        return self._parse_relative_path()
+
+    def _parse_relative_path(self) -> ast.Expr:
+        offset = self._peek().start
+        first = self._parse_step_expr()
+        if not (self._peek().is_symbol("/") or self._peek().is_symbol("//")):
+            if isinstance(first, ast.Step):
+                return ast.PathExpr("relative", (first,), offset=offset)
+            return first
+        steps: list = []
+        primary: ast.Expr | None
+        if isinstance(first, ast.Step):
+            primary = None
+            steps.append(first)
+        else:
+            primary = first
+        while True:
+            if self._accept_symbol("//"):
+                steps.append(ast.Step("descendant-or-self",
+                                      ast.KindTest("node")))
+            elif not self._accept_symbol("/"):
+                break
+            steps.append(self._parse_path_step())
+        return ast.PathExpr("relative", tuple(steps), primary=primary,
+                            offset=offset)
+
+    def _parse_relative_steps(self) -> list:
+        steps = [self._parse_path_step()]
+        while True:
+            if self._accept_symbol("//"):
+                steps.append(ast.Step("descendant-or-self",
+                                      ast.KindTest("node")))
+                steps.append(self._parse_path_step())
+            elif self._accept_symbol("/"):
+                steps.append(self._parse_path_step())
+            else:
+                return steps
+
+    def _parse_path_step(self):
+        """An axis step, or (XPath 2.0) any expression used as a step."""
+        result = self._parse_step_expr()
+        if isinstance(result, ast.Step):
+            return result
+        return ast.ExprStep(result, offset=result.offset)
+
+    def _at_step_start(self) -> bool:
+        token = self._peek()
+        if token.kind in (NAME, STRING, INTEGER, DECIMAL):
+            return True
+        if token.kind == SYMBOL:
+            return token.value in ("(", ".", "..", "@", "$", "*", "<")
+        return False
+
+    def _parse_step_expr(self) -> ast.Expr | ast.Step:
+        """Either an axis step or a filter (primary) expression."""
+        token = self._peek()
+        if token.kind == SYMBOL and token.value in ("@", ".."):
+            return self._parse_axis_step()
+        if token.is_symbol("*"):
+            return self._parse_axis_step()
+        if token.kind == NAME:
+            follower = self._peek(1)
+            if follower.is_symbol("::"):
+                return self._parse_axis_step()
+            if follower.is_symbol("(") and token.value in KIND_TEST_NAMES:
+                return self._parse_axis_step()
+            if not follower.is_symbol("("):
+                return self._parse_axis_step()
+        return self._parse_filter()
+
+    def _parse_axis_step(self) -> ast.Step:
+        token = self._peek()
+        offset = token.start
+        if token.is_symbol(".."):
+            self._next()
+            step = ast.Step("parent", ast.KindTest("node"), offset=offset)
+            return self._with_predicates(step)
+        axis = "child"
+        if token.is_symbol("@"):
+            self._next()
+            axis = "attribute"
+        elif token.kind == NAME and self._peek(1).is_symbol("::"):
+            axis = token.value
+            if axis not in AXES:
+                raise self._error(f"unknown axis '{axis}'", token)
+            self._next()
+            self._next()
+        test = self._parse_node_test()
+        return self._with_predicates(ast.Step(axis, test, offset=offset))
+
+    def _with_predicates(self, step: ast.Step) -> ast.Step:
+        predicates: list[ast.Expr] = []
+        while self._accept_symbol("["):
+            predicates.append(self.parse_expr())
+            self._expect_symbol("]")
+        if not predicates:
+            return step
+        return ast.Step(step.axis, step.test, tuple(predicates),
+                        offset=step.offset)
+
+    def _parse_node_test(self) -> ast.NodeTest:
+        token = self._peek()
+        if token.is_symbol("*"):
+            self._next()
+            # Extended Definition 2 form: *('hierarchy, names').
+            if (self._peek().is_symbol("(")
+                    and self._peek(1).kind == STRING):
+                self._next()
+                hierarchies = self._parse_hierarchy_list()
+                self._expect_symbol(")")
+                return ast.WildcardTest(hierarchies)
+            return ast.WildcardTest()
+        if token.kind != NAME:
+            raise self._error("expected a node test", token)
+        if (token.value in KIND_TEST_NAMES
+                and self._peek(1).is_symbol("(")):
+            return self._parse_kind_test()
+        self._next()
+        return ast.NameTest(token.value)
+
+    def _parse_kind_test(self) -> ast.KindTest:
+        kind = self._next().value
+        self._expect_symbol("(")
+        hierarchies: tuple[str, ...] = ()
+        target: str | None = None
+        token = self._peek()
+        if kind in ("text", "node") and token.kind == STRING:
+            hierarchies = self._parse_hierarchy_list()
+        elif kind == "processing-instruction" and token.kind in (NAME,
+                                                                 STRING):
+            target = self._next().value
+        elif kind in ("comment", "leaf") and token.kind == STRING:
+            raise self._error(
+                f"{kind}() does not take a hierarchy argument", token)
+        self._expect_symbol(")")
+        return ast.KindTest(kind, hierarchies, target)
+
+    def _parse_hierarchy_list(self) -> tuple[str, ...]:
+        """Definition 2: a comma-separated list of hierarchy names."""
+        literal = self._next().value
+        names = tuple(part.strip() for part in literal.split(",")
+                      if part.strip())
+        if not names:
+            raise self._error("empty hierarchy list in node test")
+        return names
+
+    # -- filter / primary -----------------------------------------------------------
+
+    def _parse_filter(self) -> ast.Expr:
+        primary = self._parse_primary()
+        predicates: list[ast.Expr] = []
+        while self._accept_symbol("["):
+            predicates.append(self.parse_expr())
+            self._expect_symbol("]")
+        if predicates:
+            return ast.FilterExpr(primary, tuple(predicates),
+                                  offset=primary.offset)
+        return primary
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == STRING:
+            self._next()
+            return ast.Literal(token.value, offset=token.start)
+        if token.kind == INTEGER:
+            self._next()
+            return ast.Literal(int(token.value), offset=token.start)
+        if token.kind == DECIMAL:
+            self._next()
+            return ast.Literal(float(token.value), offset=token.start)
+        if token.is_symbol("$"):
+            self._next()
+            name = self._expect_name_token("a variable name").value
+            return ast.VarRef(name, offset=token.start)
+        if token.is_symbol("("):
+            self._next()
+            if self._accept_symbol(")"):
+                return ast.SequenceExpr((), offset=token.start)
+            expr = self.parse_expr()
+            self._expect_symbol(")")
+            return expr
+        if token.is_symbol("."):
+            self._next()
+            return ast.ContextItem(offset=token.start)
+        if token.is_symbol("<"):
+            return self._parse_direct_constructor(token)
+        if token.kind == NAME and self._peek(1).is_symbol("("):
+            return self._parse_function_call()
+        raise self._error("expected an expression", token)
+
+    def _parse_function_call(self) -> ast.FunctionCall:
+        name_token = self._next()
+        self._expect_symbol("(")
+        args: list[ast.Expr] = []
+        if not self._peek().is_symbol(")"):
+            args.append(self.parse_expr_single())
+            while self._accept_symbol(","):
+                args.append(self.parse_expr_single())
+        self._expect_symbol(")")
+        name = name_token.value
+        if name.startswith("fn:"):
+            name = name[3:]
+        return ast.FunctionCall(name, tuple(args), offset=name_token.start)
+
+    # -- direct constructors (character mode) ------------------------------------
+
+    def _parse_direct_constructor(self, lt_token: Token
+                                  ) -> ast.ElementConstructor:
+        after = self.lexer.char_at(lt_token.start + 1)
+        if not (after.isalpha() or after in "_" or ord(after or " ") > 0x7F):
+            raise self._error("'<' here must begin a direct element "
+                              "constructor", lt_token)
+        constructor, pos = self._scan_constructor(lt_token.start)
+        self.lexer.sync_to(pos)
+        return constructor
+
+    def _scan_constructor(self, pos: int
+                          ) -> tuple[ast.ElementConstructor, int]:
+        text = self.text
+        offset = pos
+        pos += 1  # consume '<'
+        name, pos = self._scan_xml_name(pos)
+        attributes: list[tuple[str, ast.AttributeValue]] = []
+        while True:
+            pos = self._skip_xml_space(pos)
+            if text.startswith("/>", pos):
+                return (ast.ElementConstructor(name, tuple(attributes), (),
+                                               offset=offset), pos + 2)
+            if text.startswith(">", pos):
+                pos += 1
+                break
+            attr_name, pos = self._scan_xml_name(pos)
+            pos = self._skip_xml_space(pos)
+            if not text.startswith("=", pos):
+                raise self.lexer.error("expected '=' in constructor "
+                                       "attribute", pos)
+            pos = self._skip_xml_space(pos + 1)
+            value, pos = self._scan_attribute_value(pos)
+            attributes.append((attr_name, value))
+        content, pos = self._scan_constructor_content(name, pos)
+        return (ast.ElementConstructor(name, tuple(attributes),
+                                       tuple(content), offset=offset), pos)
+
+    def _scan_constructor_content(self, name: str, pos: int
+                                  ) -> tuple[list, int]:
+        text = self.text
+        content: list = []
+        buffer: list[str] = []
+
+        def flush(strip_boundary: bool = True) -> None:
+            data = "".join(buffer)
+            buffer.clear()
+            if not data:
+                return
+            if strip_boundary and not data.strip():
+                return  # boundary whitespace is stripped (XQuery default)
+            content.append(data)
+
+        while True:
+            if pos >= len(text):
+                raise self.lexer.error(
+                    f"unterminated constructor <{name}>", pos)
+            char = text[pos]
+            if char == "<":
+                if text.startswith("</", pos):
+                    flush()
+                    pos += 2
+                    end_name, pos = self._scan_xml_name(pos)
+                    if end_name != name:
+                        raise self.lexer.error(
+                            f"constructor end tag </{end_name}> does not "
+                            f"match <{name}>", pos)
+                    pos = self._skip_xml_space(pos)
+                    if not text.startswith(">", pos):
+                        raise self.lexer.error(
+                            "expected '>' closing constructor end tag", pos)
+                    return content, pos + 1
+                if text.startswith("<!--", pos):
+                    end = text.find("-->", pos)
+                    if end == -1:
+                        raise self.lexer.error(
+                            "unterminated comment in constructor", pos)
+                    pos = end + 3
+                elif text.startswith("<![CDATA[", pos):
+                    end = text.find("]]>", pos)
+                    if end == -1:
+                        raise self.lexer.error(
+                            "unterminated CDATA in constructor", pos)
+                    buffer.append(text[pos + 9:end])
+                    pos = end + 3
+                else:
+                    flush()
+                    nested, pos = self._scan_constructor(pos)
+                    content.append(nested)
+            elif char == "{":
+                if text.startswith("{{", pos):
+                    buffer.append("{")
+                    pos += 2
+                    continue
+                flush()
+                expr, pos = self._scan_enclosed_expr(pos)
+                content.append(expr)
+            elif char == "}":
+                if text.startswith("}}", pos):
+                    buffer.append("}")
+                    pos += 2
+                    continue
+                raise self.lexer.error(
+                    "'}' must be doubled inside constructor content", pos)
+            elif char == "&":
+                piece, pos = self._scan_xml_reference(pos)
+                buffer.append(piece)
+            else:
+                buffer.append(char)
+                pos += 1
+
+    def _scan_enclosed_expr(self, pos: int) -> tuple[ast.Expr, int]:
+        """Parse ``{ Expr }`` by re-entering the token parser."""
+        self.lexer.sync_to(pos + 1)
+        expr = self.parse_expr()
+        closer = self._peek()
+        if not closer.is_symbol("}"):
+            raise self._error("expected '}' closing enclosed expression",
+                              closer)
+        self._next()
+        return expr, closer.end
+
+    def _scan_attribute_value(self, pos: int
+                              ) -> tuple[ast.AttributeValue, int]:
+        text = self.text
+        if pos >= len(text) or text[pos] not in "\"'":
+            raise self.lexer.error(
+                "constructor attribute value must be quoted", pos)
+        quote = text[pos]
+        pos += 1
+        parts: list = []
+        buffer: list[str] = []
+
+        def flush() -> None:
+            if buffer:
+                parts.append("".join(buffer))
+                buffer.clear()
+
+        while True:
+            if pos >= len(text):
+                raise self.lexer.error("unterminated attribute value", pos)
+            char = text[pos]
+            if char == quote:
+                if text.startswith(quote * 2, pos):
+                    buffer.append(quote)
+                    pos += 2
+                    continue
+                flush()
+                return ast.AttributeValue(tuple(parts)), pos + 1
+            if char == "{":
+                if text.startswith("{{", pos):
+                    buffer.append("{")
+                    pos += 2
+                    continue
+                flush()
+                expr, pos = self._scan_enclosed_expr(pos)
+                parts.append(expr)
+            elif char == "}":
+                if text.startswith("}}", pos):
+                    buffer.append("}")
+                    pos += 2
+                    continue
+                raise self.lexer.error(
+                    "'}' must be doubled inside attribute values", pos)
+            elif char == "&":
+                piece, pos = self._scan_xml_reference(pos)
+                buffer.append(piece)
+            elif char == "<":
+                raise self.lexer.error(
+                    "'<' is not allowed in attribute values", pos)
+            else:
+                buffer.append(char)
+                pos += 1
+
+    def _scan_xml_reference(self, pos: int) -> tuple[str, int]:
+        semi = self.text.find(";", pos)
+        if semi == -1:
+            raise self.lexer.error("unterminated entity reference", pos)
+        body = self.text[pos + 1:semi]
+        if body.startswith("#"):
+            line, column = self.lexer.location(pos)
+            return decode_char_reference(body[1:], line, column), semi + 1
+        if body in PREDEFINED:
+            return PREDEFINED[body], semi + 1
+        raise self.lexer.error(f"unknown entity '&{body};' in constructor",
+                               pos)
+
+    def _scan_xml_name(self, pos: int) -> tuple[str, int]:
+        text = self.text
+        start = pos
+        if pos >= len(text) or not (text[pos].isalpha() or text[pos] in "_"
+                                    or ord(text[pos]) > 0x7F):
+            raise self.lexer.error("expected an XML name", pos)
+        pos += 1
+        while pos < len(text) and (text[pos].isalnum()
+                                   or text[pos] in "_-.:"
+                                   or ord(text[pos]) > 0x7F):
+            pos += 1
+        return text[start:pos], pos
+
+    def _skip_xml_space(self, pos: int) -> int:
+        text = self.text
+        while pos < len(text) and text[pos] in " \t\r\n":
+            pos += 1
+        return pos

@@ -1,0 +1,16 @@
+"""The query runtime: evaluator, function library, serialization."""
+
+from repro.core.runtime.context import EvalContext, QueryOptions
+from repro.core.runtime.evaluator import evaluate, evaluate_query
+from repro.core.runtime.functions import default_registry
+from repro.core.runtime.serializer import serialize_item, serialize_items
+
+__all__ = [
+    "EvalContext",
+    "QueryOptions",
+    "evaluate",
+    "evaluate_query",
+    "default_registry",
+    "serialize_item",
+    "serialize_items",
+]

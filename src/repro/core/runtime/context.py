@@ -1,0 +1,105 @@
+"""Static and dynamic evaluation context.
+
+:class:`QueryOptions` collects the documented compatibility knobs;
+:class:`EvalContext` carries the focus (context item, position, size),
+variable bindings, and the per-query temporary-hierarchy manager that
+implements Definition 4(5) (temporary hierarchies die with the query).
+Contexts are immutable-ish: focus/variable changes produce shallow
+copies so sibling iterations cannot interfere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import QueryEvaluationError
+from repro.core.goddag.goddag import KyGoddag
+from repro.core.goddag.temp import TemporaryHierarchyManager
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Documented behavior knobs (DESIGN.md §3).
+
+    Attributes
+    ----------
+    analyze_strip_dotstar:
+        Strip redundant leading/trailing ``.*``/``.*?`` from
+        ``analyze-string`` patterns (paper-compat; Example 1 passes
+        ``.*un<a>a</a>we.*`` but expects ``<m>`` around ``unawe`` only).
+    analyze_wrapper / analyze_match:
+        Element names for the temporary hierarchy wrapper and match
+        tags (``res``/``m`` per Definition 4).
+    analyze_hierarchy_base:
+        Base name for temporary hierarchies ("say, rest").
+    """
+
+    analyze_strip_dotstar: bool = True
+    analyze_wrapper: str = "res"
+    analyze_match: str = "m"
+    analyze_hierarchy_base: str = "rest"
+
+
+class EvalContext:
+    """The dynamic context of one evaluation focus."""
+
+    __slots__ = ("goddag", "item", "position", "size", "variables",
+                 "functions", "options", "temp_manager")
+
+    def __init__(self, goddag: KyGoddag, functions: dict[str, Any],
+                 options: QueryOptions,
+                 temp_manager: TemporaryHierarchyManager,
+                 variables: dict[str, list] | None = None) -> None:
+        self.goddag = goddag
+        self.item = None
+        self.position = 0
+        self.size = 0
+        self.variables: dict[str, list] = dict(variables or {})
+        self.functions = functions
+        self.options = options
+        self.temp_manager = temp_manager
+
+    def _clone(self) -> "EvalContext":
+        clone = EvalContext.__new__(EvalContext)
+        clone.goddag = self.goddag
+        clone.item = self.item
+        clone.position = self.position
+        clone.size = self.size
+        clone.variables = self.variables
+        clone.functions = self.functions
+        clone.options = self.options
+        clone.temp_manager = self.temp_manager
+        return clone
+
+    def with_focus(self, item: Any, position: int, size: int
+                   ) -> "EvalContext":
+        """A context focused on one item of an iteration."""
+        clone = self._clone()
+        clone.item = item
+        clone.position = position
+        clone.size = size
+        return clone
+
+    def with_variable(self, name: str, value: list) -> "EvalContext":
+        """A context with one additional variable binding."""
+        clone = self._clone()
+        clone.variables = dict(self.variables)
+        clone.variables[name] = value
+        return clone
+
+    def with_variables(self, bindings: dict[str, list]) -> "EvalContext":
+        clone = self._clone()
+        clone.variables = dict(self.variables)
+        clone.variables.update(bindings)
+        return clone
+
+    def variable(self, name: str) -> list:
+        if name not in self.variables:
+            raise QueryEvaluationError(f"undefined variable ${name}")
+        return self.variables[name]
+
+    def context_item(self) -> Any:
+        if self.item is None:
+            raise QueryEvaluationError("the context item is undefined here")
+        return self.item

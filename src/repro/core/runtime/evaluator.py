@@ -1,0 +1,626 @@
+"""The tree-walking evaluator for the extended XQuery language.
+
+``evaluate_query`` is the public entry point: it parses (or accepts a
+pre-parsed AST), installs the default function library, runs the query
+against a KyGODDAG with the shared root as the initial context item,
+and — per Definition 4(5) — tears down every temporary hierarchy
+created by ``analyze-string`` when evaluation finishes.  Result items
+that live in temporary hierarchies are snapshotted to constructed DOM
+nodes first, so callers never hold dangling KyGODDAG references (this
+is why the paper notes such queries return "a string or a sequence of
+strings").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.errors import QueryEvaluationError
+from repro.markup import dom
+from repro.core.goddag.axes import evaluate_axis
+from repro.core.goddag.goddag import KyGoddag
+from repro.core.goddag.nodes import (
+    GAttr,
+    GComment,
+    GElement,
+    GLeaf,
+    GNode,
+    GPi,
+    GRoot,
+    GText,
+)
+from repro.core.goddag.temp import TemporaryHierarchyManager
+from repro.core.lang import ast
+from repro.core.lang.parser import parse_query
+from repro.core.runtime import values
+from repro.core.runtime.context import EvalContext, QueryOptions
+
+#: Axes whose predicate positions count *away* from the context node.
+REVERSE_AXES = frozenset({
+    "ancestor", "ancestor-or-self", "preceding", "preceding-sibling",
+    "parent", "xancestor", "xpreceding",
+})
+
+
+def evaluate_query(goddag: KyGoddag, query: str | ast.Expr,
+                   variables: dict[str, list] | None = None,
+                   options: QueryOptions | None = None,
+                   functions: dict[str, Any] | None = None,
+                   keep_temporaries: bool = False) -> list:
+    """Evaluate ``query`` against ``goddag`` and return the item list."""
+    from repro.core.runtime.functions import default_registry
+
+    expr = parse_query(query) if isinstance(query, str) else query
+    options = options or QueryOptions()
+    registry = dict(default_registry())
+    if functions:
+        registry.update(functions)
+    manager = TemporaryHierarchyManager(goddag)
+    context = EvalContext(goddag, registry, options, manager,
+                          variables=variables)
+    context.item = goddag.root
+    context.position = 1
+    context.size = 1
+    try:
+        result = evaluate(expr, context)
+        if not keep_temporaries:
+            result = [_snapshot(item, goddag) for item in result]
+        return result
+    finally:
+        if not keep_temporaries:
+            manager.drop_all()
+
+
+def _snapshot(item: Any, goddag: KyGoddag) -> Any:
+    """Copy items living in temporary hierarchies out of the KyGODDAG."""
+    if (isinstance(item, GNode) and item.hierarchy is not None
+            and goddag.is_temporary(item.hierarchy)):
+        return copy_gnode(item)
+    return item
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+
+def evaluate(expr: ast.Expr, ctx: EvalContext) -> list:
+    """Evaluate any AST node to a sequence."""
+    handler = _HANDLERS.get(type(expr))
+    if handler is None:
+        raise QueryEvaluationError(
+            f"no evaluator for {type(expr).__name__}")
+    return handler(expr, ctx)
+
+
+def _eval_literal(expr: ast.Literal, ctx: EvalContext) -> list:
+    return [expr.value]
+
+
+def _eval_var(expr: ast.VarRef, ctx: EvalContext) -> list:
+    return list(ctx.variable(expr.name))
+
+
+def _eval_context_item(expr: ast.ContextItem, ctx: EvalContext) -> list:
+    return [ctx.context_item()]
+
+
+def _eval_sequence(expr: ast.SequenceExpr, ctx: EvalContext) -> list:
+    out: list = []
+    for item in expr.items:
+        out.extend(evaluate(item, ctx))
+    return out
+
+
+def _eval_range(expr: ast.RangeExpr, ctx: EvalContext) -> list:
+    lower = _singleton_number(evaluate(expr.lower, ctx))
+    upper = _singleton_number(evaluate(expr.upper, ctx))
+    if lower is None or upper is None:
+        return []
+    return list(range(int(lower), int(upper) + 1))
+
+
+def _eval_or(expr: ast.OrExpr, ctx: EvalContext) -> list:
+    for operand in expr.operands:
+        if values.effective_boolean_value(evaluate(operand, ctx)):
+            return [True]
+    return [False]
+
+
+def _eval_and(expr: ast.AndExpr, ctx: EvalContext) -> list:
+    for operand in expr.operands:
+        if not values.effective_boolean_value(evaluate(operand, ctx)):
+            return [False]
+    return [True]
+
+
+def _eval_comparison(expr: ast.ComparisonExpr, ctx: EvalContext) -> list:
+    left = evaluate(expr.left, ctx)
+    right = evaluate(expr.right, ctx)
+    if expr.style == "general":
+        return [values.general_compare(expr.op, left, right)]
+    if expr.style == "value":
+        return values.value_compare(expr.op, left, right)
+    # node comparisons: is, <<, >>
+    if not left or not right:
+        return []
+    left_node = values.singleton_node(left, f"'{expr.op}'")
+    right_node = values.singleton_node(right, f"'{expr.op}'")
+    if expr.op == "is":
+        return [left_node is right_node]
+    if not isinstance(left_node, GNode) or not isinstance(right_node, GNode):
+        raise QueryEvaluationError(
+            "document-order comparison requires KyGODDAG nodes")
+    left_key = ctx.goddag.order_key(left_node)
+    right_key = ctx.goddag.order_key(right_node)
+    return [left_key < right_key if expr.op == "<<" else
+            left_key > right_key]
+
+
+def _eval_arithmetic(expr: ast.ArithmeticExpr, ctx: EvalContext) -> list:
+    left = _singleton_number(evaluate(expr.left, ctx))
+    right = _singleton_number(evaluate(expr.right, ctx))
+    if left is None or right is None:
+        return []
+    op = expr.op
+    try:
+        if op == "+":
+            return [left + right]
+        if op == "-":
+            return [left - right]
+        if op == "*":
+            return [left * right]
+        if op == "div":
+            return [left / right]
+        if op == "idiv":
+            return [int(left / right)]
+        if op == "mod":
+            result = math.fmod(left, right)
+            if isinstance(left, int) and isinstance(right, int):
+                return [int(result)]
+            return [result]
+    except ZeroDivisionError:
+        raise QueryEvaluationError("division by zero") from None
+    raise QueryEvaluationError(f"unknown arithmetic operator {op!r}")
+
+
+def _eval_unary(expr: ast.UnaryExpr, ctx: EvalContext) -> list:
+    value = _singleton_number(evaluate(expr.operand, ctx))
+    if value is None:
+        return []
+    return [-value if expr.op == "-" else value]
+
+
+def _eval_union(expr: ast.UnionExpr, ctx: EvalContext) -> list:
+    nodes: list = []
+    for operand in expr.operands:
+        nodes.extend(_require_gnodes(evaluate(operand, ctx), "union"))
+    return ctx.goddag.sort_nodes(nodes)
+
+
+def _eval_intersect_except(expr: ast.IntersectExceptExpr,
+                           ctx: EvalContext) -> list:
+    left = _require_gnodes(evaluate(expr.left, ctx), expr.op)
+    right = _require_gnodes(evaluate(expr.right, ctx), expr.op)
+    right_ids = {id(node) for node in right}
+    if expr.op == "intersect":
+        kept = [node for node in left if id(node) in right_ids]
+    else:
+        kept = [node for node in left if id(node) not in right_ids]
+    return ctx.goddag.sort_nodes(kept)
+
+
+def _eval_if(expr: ast.IfExpr, ctx: EvalContext) -> list:
+    if values.effective_boolean_value(evaluate(expr.condition, ctx)):
+        return evaluate(expr.then, ctx)
+    return evaluate(expr.otherwise, ctx)
+
+
+def _eval_quantified(expr: ast.QuantifiedExpr, ctx: EvalContext) -> list:
+    def recurse(index: int, current: EvalContext) -> bool:
+        if index == len(expr.bindings):
+            return values.effective_boolean_value(
+                evaluate(expr.condition, current))
+        variable, sequence_expr = expr.bindings[index]
+        for item in evaluate(sequence_expr, current):
+            bound = current.with_variable(variable, [item])
+            satisfied = recurse(index + 1, bound)
+            if satisfied and expr.quantifier == "some":
+                return True
+            if not satisfied and expr.quantifier == "every":
+                return False
+        return expr.quantifier == "every"
+
+    return [recurse(0, ctx)]
+
+
+# ---------------------------------------------------------------------------
+# FLWOR
+# ---------------------------------------------------------------------------
+
+
+def _eval_flwor(expr: ast.FLWORExpr, ctx: EvalContext) -> list:
+    tuples: list[EvalContext] = [ctx]
+    for clause in expr.clauses:
+        if isinstance(clause, ast.ForClause):
+            expanded: list[EvalContext] = []
+            for current in tuples:
+                sequence = evaluate(clause.sequence, current)
+                for position, item in enumerate(sequence, start=1):
+                    bound = current.with_variable(clause.variable, [item])
+                    if clause.position_variable:
+                        bound = bound.with_variable(
+                            clause.position_variable, [position])
+                    expanded.append(bound)
+            tuples = expanded
+        elif isinstance(clause, ast.LetClause):
+            tuples = [
+                current.with_variable(clause.variable,
+                                      evaluate(clause.expression, current))
+                for current in tuples
+            ]
+        elif isinstance(clause, ast.WhereClause):
+            tuples = [
+                current for current in tuples
+                if values.effective_boolean_value(
+                    evaluate(clause.condition, current))
+            ]
+        elif isinstance(clause, ast.OrderByClause):
+            tuples = _order_tuples(tuples, clause)
+        else:  # pragma: no cover - parser guarantees clause types
+            raise QueryEvaluationError(
+                f"unknown FLWOR clause {type(clause).__name__}")
+    out: list = []
+    for current in tuples:
+        out.extend(evaluate(expr.return_expr, current))
+    return out
+
+
+def _order_tuples(tuples: list[EvalContext],
+                  clause: ast.OrderByClause) -> list[EvalContext]:
+    """Stable multi-key ordering: sort by each spec from last to first."""
+    decorated = list(tuples)
+    for spec in reversed(clause.specs):
+        keyed = [(_order_key(evaluate(spec.key, current), spec), current)
+                 for current in decorated]
+        keyed.sort(key=lambda pair: pair[0], reverse=spec.descending)
+        decorated = [current for _key, current in keyed]
+    return decorated
+
+
+def _order_key(sequence: list, spec: ast.OrderSpec) -> tuple:
+    """A totally ordered key: (empty-rank, type-rank, value).
+
+    ``empty least`` makes the empty sequence the smallest key — first
+    ascending, last descending; ``empty greatest`` the largest.  The
+    direction flip itself is handled by the reverse sort.
+    """
+    if not sequence:
+        return (0 if spec.empty_least else 2, 0, 0)
+    value = values.atomize(sequence[0])
+    if isinstance(value, bool):
+        return (1, 0, int(value))
+    if isinstance(value, (int, float)):
+        return (1, 0, float(value))
+    return (1, 1, str(value))
+
+
+# ---------------------------------------------------------------------------
+# paths
+# ---------------------------------------------------------------------------
+
+
+def _eval_path(expr: ast.PathExpr, ctx: EvalContext) -> list:
+    if expr.anchor == "root":
+        current: list = [ctx.goddag.root]
+    elif expr.anchor == "descendant":
+        current = [ctx.goddag.root]
+        current = _apply_step(
+            ast.Step("descendant-or-self", ast.KindTest("node")),
+            current, ctx)
+    elif expr.primary is not None:
+        current = evaluate(expr.primary, ctx)
+    else:
+        current = [ctx.context_item()]
+    for step in expr.steps:
+        current = _apply_step(step, current, ctx)
+    return current
+
+
+def _apply_step(step, inputs: list, ctx: EvalContext) -> list:
+    if isinstance(step, ast.ExprStep):
+        return _apply_expr_step(step, inputs, ctx)
+    out: list = []
+    seen: set[int] = set()
+    size = len(inputs)
+    for position, item in enumerate(inputs, start=1):
+        if not isinstance(item, GNode):
+            raise QueryEvaluationError(
+                "path steps navigate KyGODDAG nodes; got "
+                f"{type(item).__name__} (constructed nodes are not "
+                f"navigable)")
+        focus = ctx.with_focus(item, position, size)
+        for node in _step_from(step, item, focus):
+            if id(node) not in seen:
+                seen.add(id(node))
+                out.append(node)
+    return ctx.goddag.sort_nodes(out)
+
+
+def _apply_expr_step(step: ast.ExprStep, inputs: list,
+                     ctx: EvalContext) -> list:
+    """XPath 2.0 expression step: evaluate once per input node.
+
+    All-node results merge in document order; all-atomic results keep
+    iteration order; mixing the two is an error (per the XQuery spec).
+    """
+    out: list = []
+    size = len(inputs)
+    for position, item in enumerate(inputs, start=1):
+        if not isinstance(item, GNode):
+            raise QueryEvaluationError(
+                "path steps navigate KyGODDAG nodes; got "
+                f"{type(item).__name__}")
+        focus = ctx.with_focus(item, position, size)
+        out.extend(evaluate(step.expression, focus))
+    node_flags = [isinstance(value, GNode) for value in out]
+    if all(node_flags):
+        return ctx.goddag.sort_nodes(out)
+    if any(node_flags):
+        raise QueryEvaluationError(
+            "a path step may not mix nodes and atomic values")
+    return out
+
+
+def _step_from(step: ast.Step, node: GNode, ctx: EvalContext) -> list:
+    name_hint = (step.test.name
+                 if isinstance(step.test, ast.NameTest) else None)
+    candidates = evaluate_axis(ctx.goddag, step.axis, node, name_hint)
+    candidates = [c for c in candidates
+                  if _matches_test(step.test, step.axis, c, ctx)]
+    candidates = ctx.goddag.sort_nodes(candidates)
+    if step.axis in REVERSE_AXES:
+        candidates.reverse()
+    for predicate in step.predicates:
+        candidates = _filter_predicate(candidates, predicate, ctx)
+    return candidates
+
+
+def _filter_predicate(candidates: list, predicate: ast.Expr,
+                      ctx: EvalContext) -> list:
+    kept: list = []
+    size = len(candidates)
+    for position, node in enumerate(candidates, start=1):
+        focus = ctx.with_focus(node, position, size)
+        result = evaluate(predicate, focus)
+        if _predicate_holds(result, position):
+            kept.append(node)
+    return kept
+
+
+def _predicate_holds(result: list, position: int) -> bool:
+    if (len(result) == 1 and isinstance(result[0], (int, float))
+            and not isinstance(result[0], bool)):
+        return float(result[0]) == float(position)
+    return values.effective_boolean_value(result)
+
+
+def _matches_test(test: ast.NodeTest, axis: str, node: GNode,
+                  ctx: EvalContext) -> bool:
+    principal_attribute = axis == "attribute"
+    if isinstance(test, ast.NameTest):
+        if principal_attribute:
+            return isinstance(node, GAttr) and node.name == test.name
+        return (isinstance(node, (GElement, GRoot))
+                and node.name == test.name)
+    if isinstance(test, ast.WildcardTest):
+        if principal_attribute:
+            return isinstance(node, GAttr)
+        if not isinstance(node, (GElement, GRoot)):
+            return False
+        return _in_hierarchies(node, test.hierarchies, ctx)
+    kind = test.kind
+    if kind == "node":
+        return _in_hierarchies(node, test.hierarchies, ctx)
+    if kind == "text":
+        return (isinstance(node, GText)
+                and _in_hierarchies(node, test.hierarchies, ctx))
+    if kind == "leaf":
+        return isinstance(node, GLeaf)
+    if kind == "comment":
+        return isinstance(node, GComment)
+    if kind == "processing-instruction":
+        if not isinstance(node, GPi):
+            return False
+        return test.target is None or node.target == test.target
+    raise QueryEvaluationError(f"unknown node test kind {test.kind!r}")
+
+
+def _in_hierarchies(node: GNode, hierarchies: tuple[str, ...],
+                    ctx: EvalContext) -> bool:
+    """Definition 2 hierarchy restriction.
+
+    The shared root and the shared leaves belong to *every* hierarchy;
+    unknown hierarchy names are reported (typo safety).
+    """
+    if not hierarchies:
+        return True
+    for name in hierarchies:
+        if not ctx.goddag.has_hierarchy(name):
+            raise QueryEvaluationError(
+                f"unknown hierarchy '{name}' in node test")
+    if node.hierarchy is None:  # root or leaf: present in all hierarchies
+        return True
+    return node.hierarchy in hierarchies
+
+
+# ---------------------------------------------------------------------------
+# filters and functions
+# ---------------------------------------------------------------------------
+
+
+def _eval_filter(expr: ast.FilterExpr, ctx: EvalContext) -> list:
+    current = evaluate(expr.primary, ctx)
+    for predicate in expr.predicates:
+        kept: list = []
+        size = len(current)
+        for position, item in enumerate(current, start=1):
+            focus = ctx.with_focus(item, position, size)
+            result = evaluate(predicate, focus)
+            if _predicate_holds(result, position):
+                kept.append(item)
+        current = kept
+    return current
+
+
+def _eval_function_call(expr: ast.FunctionCall, ctx: EvalContext) -> list:
+    function = ctx.functions.get(expr.name)
+    if function is None:
+        raise QueryEvaluationError(f"unknown function {expr.name}()")
+    args = [evaluate(arg, ctx) for arg in expr.args]
+    return function(ctx, args)
+
+
+# ---------------------------------------------------------------------------
+# constructors
+# ---------------------------------------------------------------------------
+
+
+def _eval_constructor(expr: ast.ElementConstructor,
+                      ctx: EvalContext) -> list:
+    element = dom.Element(expr.name)
+    for name, template in expr.attributes:
+        element.set(name, _attribute_value(template, ctx))
+    for piece in expr.content:
+        if isinstance(piece, str):
+            element.append(dom.Text(piece))
+        else:
+            _append_content(element, evaluate(piece, ctx))
+    return [element]
+
+
+def _attribute_value(template: ast.AttributeValue, ctx: EvalContext) -> str:
+    parts: list[str] = []
+    for piece in template.parts:
+        if isinstance(piece, str):
+            parts.append(piece)
+        else:
+            items = evaluate(piece, ctx)
+            parts.append(" ".join(values.string_value(values.atomize(item))
+                                  for item in items))
+    return "".join(parts)
+
+
+def _append_content(element: dom.Element, items: list) -> None:
+    """XQuery content rules: nodes are copied; adjacent atomics are
+    joined with single spaces into one text node."""
+    pending_atoms: list[str] = []
+
+    def flush() -> None:
+        if pending_atoms:
+            element.append(dom.Text(" ".join(pending_atoms)))
+            pending_atoms.clear()
+
+    for item in items:
+        if isinstance(item, GAttr):
+            element.set(item.name, item.value)
+        elif isinstance(item, dom.Attr):
+            element.set(item.name, item.value)
+        elif isinstance(item, GNode):
+            flush()
+            element.append(copy_gnode(item))
+        elif isinstance(item, dom.Node):
+            flush()
+            element.append(copy_dom(item))
+        else:
+            pending_atoms.append(values.string_value(item))
+    flush()
+
+
+def copy_gnode(node: GNode) -> dom.Node:
+    """Deep-copy a KyGODDAG node into constructed DOM content."""
+    if isinstance(node, GElement):
+        element = dom.Element(node.name, dict(node.attributes))
+        for child in node.children:
+            element.append(copy_gnode(child))
+        return element
+    if isinstance(node, (GText, GLeaf)):
+        return dom.Text(node.string_value())
+    if isinstance(node, GComment):
+        return dom.Comment(node.data)
+    if isinstance(node, GPi):
+        return dom.ProcessingInstruction(node.target, node.data)
+    raise QueryEvaluationError(
+        f"cannot copy a {node.kind} node into constructed content")
+
+
+def copy_dom(node: dom.Node) -> dom.Node:
+    """Deep-copy constructed DOM content."""
+    if isinstance(node, dom.Element):
+        element = dom.Element(node.name, dict(node.attributes))
+        for child in node.children:
+            element.append(copy_dom(child))
+        return element
+    if isinstance(node, dom.Text):
+        return dom.Text(node.data)
+    if isinstance(node, dom.Comment):
+        return dom.Comment(node.data)
+    if isinstance(node, dom.ProcessingInstruction):
+        return dom.ProcessingInstruction(node.target, node.data)
+    if isinstance(node, dom.Document):
+        raise QueryEvaluationError(
+            "cannot copy a whole document into constructed content")
+    raise QueryEvaluationError(
+        f"cannot copy node {type(node).__name__} into constructed content")
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _singleton_number(sequence: list) -> float | int | None:
+    if not sequence:
+        return None
+    if len(sequence) > 1:
+        raise QueryEvaluationError(
+            "arithmetic requires singleton operands")
+    value = values.atomize(sequence[0])
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    number = values.to_number(value)
+    return number
+
+
+def _require_gnodes(sequence: list, op: str) -> list:
+    for item in sequence:
+        if not isinstance(item, GNode):
+            raise QueryEvaluationError(
+                f"'{op}' operates on KyGODDAG node sequences")
+    return sequence
+
+
+_HANDLERS = {
+    ast.Literal: _eval_literal,
+    ast.VarRef: _eval_var,
+    ast.ContextItem: _eval_context_item,
+    ast.SequenceExpr: _eval_sequence,
+    ast.RangeExpr: _eval_range,
+    ast.OrExpr: _eval_or,
+    ast.AndExpr: _eval_and,
+    ast.ComparisonExpr: _eval_comparison,
+    ast.ArithmeticExpr: _eval_arithmetic,
+    ast.UnaryExpr: _eval_unary,
+    ast.UnionExpr: _eval_union,
+    ast.IntersectExceptExpr: _eval_intersect_except,
+    ast.IfExpr: _eval_if,
+    ast.QuantifiedExpr: _eval_quantified,
+    ast.FLWORExpr: _eval_flwor,
+    ast.PathExpr: _eval_path,
+    ast.FilterExpr: _eval_filter,
+    ast.FunctionCall: _eval_function_call,
+    ast.ElementConstructor: _eval_constructor,
+}

@@ -1,0 +1,28 @@
+"""Sample and synthetic corpora of multihierarchical documents.
+
+* :mod:`repro.corpus.boethius` — the paper's Figure 1 example (King
+  Alfred's Boethius, Cotton Otho A.vi) with its four hierarchies.
+* :mod:`repro.corpus.generator` — seeded synthetic manuscripts with
+  controllable size and overlap characteristics, used by the scaling
+  and baseline-comparison benchmarks.
+* :mod:`repro.corpus.tei` — a TEI-flavored variant of the generator.
+"""
+
+from repro.corpus.boethius import (
+    BASE_TEXT,
+    ENCODINGS,
+    boethius_cmh,
+    boethius_document,
+    boethius_goddag,
+)
+from repro.corpus.generator import GeneratorConfig, generate_document
+
+__all__ = [
+    "BASE_TEXT",
+    "ENCODINGS",
+    "boethius_cmh",
+    "boethius_document",
+    "boethius_goddag",
+    "GeneratorConfig",
+    "generate_document",
+]

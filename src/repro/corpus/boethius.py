@@ -1,0 +1,102 @@
+"""The paper's Figure 1 document: King Alfred's Boethius fragment.
+
+Figure 1 shows one manuscript fragment (Cotton Otho A.vi, a 10th
+century Old English manuscript) encoded four times:
+
+* ``physical``  — manuscript lines (``<line>``); the word *singallice*
+  is split across the two lines;
+* ``structural`` — verse lines and words (``<vline>``, ``<w>``);
+* ``restoration`` — editorial restorations (``<res>``);
+* ``damage`` — damaged regions (``<dmg>``).
+
+The paper's scan has OCR-mangled whitespace; the encodings below are
+the unique whitespace reconstruction under which all four hierarchies
+are encodings of the *same* base text (the CMH invariant — verified by
+``tests/test_corpus_boethius.py``).  The thorn character ``ϸ`` appears
+as ``D``/``Da`` in the OCR; we use ``ϸ`` throughout (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from repro.cmh import ConcurrentMarkupHierarchy, MultihierarchicalDocument
+from repro.core.goddag import KyGoddag
+
+#: The shared base text S of the manuscript fragment.
+BASE_TEXT = "gesceaftum unawendendne singallice sibbe gecynde ϸa"
+
+#: The four encodings of Figure 1, keyed by hierarchy name
+#: (in the paper's presentation order).
+ENCODINGS: dict[str, str] = {
+    "physical": (
+        "<r>"
+        "<line>gesceaftum unawendendne sin</line>"
+        "<line>gallice sibbe gecynde ϸa</line>"
+        "</r>"
+    ),
+    "structural": (
+        "<r>"
+        "<vline><w>gesceaftum</w> <w>unawendendne</w> </vline>"
+        "<vline><w>singallice</w> <w>sibbe</w> <w>gecynde</w> </vline>"
+        "<vline><w>ϸa</w></vline>"
+        "</r>"
+    ),
+    "restoration": (
+        "<r>"
+        "<res>gesceaftum una</res>wendendne s<res>in</res>"
+        "<res>gallice sibbe gecyn</res>de ϸa"
+        "</r>"
+    ),
+    "damage": (
+        "<r>"
+        "gesceaftum una<dmg>w</dmg>endendne singallice sibbe "
+        "gecyn<dmg>de ϸa</dmg>"
+        "</r>"
+    ),
+}
+
+#: DTD sources for the four hierarchies — together they form the CMH of
+#: the electronic edition (shared root ``r``, otherwise disjoint).
+DTD_SOURCES: dict[str, str] = {
+    "physical": """
+        <!ELEMENT r (line+)>
+        <!ELEMENT line (#PCDATA)>
+        <!ATTLIST line n CDATA #IMPLIED>
+    """,
+    "structural": """
+        <!ELEMENT r (vline+)>
+        <!ELEMENT vline (#PCDATA|w)*>
+        <!ELEMENT w (#PCDATA)>
+    """,
+    "restoration": """
+        <!ELEMENT r (#PCDATA|res)*>
+        <!ELEMENT res (#PCDATA)>
+        <!ATTLIST res resp CDATA #IMPLIED>
+    """,
+    "damage": """
+        <!ELEMENT r (#PCDATA|dmg)*>
+        <!ELEMENT dmg (#PCDATA)>
+        <!ATTLIST dmg degree CDATA #IMPLIED>
+    """,
+}
+
+
+def boethius_cmh() -> ConcurrentMarkupHierarchy:
+    """The CMH (root ``r`` + four DTDs) of the Figure 1 edition."""
+    return ConcurrentMarkupHierarchy.from_sources("r", DTD_SOURCES)
+
+
+def boethius_document(validate: bool = True) -> MultihierarchicalDocument:
+    """The Figure 1 multihierarchical document.
+
+    With ``validate`` (the default), each encoding is checked against
+    its DTD and the CMH invariants.
+    """
+    document = MultihierarchicalDocument.from_xml(BASE_TEXT, ENCODINGS)
+    if validate:
+        document.attach_cmh(boethius_cmh())
+    return document
+
+
+def boethius_goddag() -> KyGoddag:
+    """The KyGODDAG of the Figure 1 document (the paper's Figure 2)."""
+    return KyGoddag.build(boethius_document(validate=False))

@@ -1,0 +1,103 @@
+"""Exception taxonomy for the multihierarchical XQuery library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can install a single ``except ReproError`` barrier.  Errors
+are grouped by subsystem:
+
+* :class:`MarkupError` — XML lexing/parsing/well-formedness problems.
+* :class:`DTDError` / :class:`ValidationError` — schema definition and
+  document validation problems.
+* :class:`CMHError` / :class:`AlignmentError` — concurrent markup
+  hierarchy definition and text-alignment problems.
+* :class:`GoddagError` — KyGODDAG construction/manipulation problems.
+* :class:`QuerySyntaxError` / :class:`QueryEvaluationError` /
+  :class:`FunctionError` — static and dynamic query errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class MarkupError(ReproError):
+    """A problem lexing or parsing an XML document.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position whenever they are known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class DTDError(ReproError):
+    """A problem parsing or interpreting a DTD."""
+
+
+class ValidationError(ReproError):
+    """A document does not conform to its DTD."""
+
+
+class CMHError(ReproError):
+    """An invalid concurrent markup hierarchy definition.
+
+    Raised, for example, when two hierarchies share a non-root element
+    name, violating the paper's CMH definition (Section 3).
+    """
+
+
+class AlignmentError(CMHError):
+    """Hierarchy text content does not match the shared base text.
+
+    Carries ``hierarchy`` (the offending hierarchy name) and ``offset``
+    (the first character offset at which the two strings diverge), when
+    known.
+    """
+
+    def __init__(self, message: str, hierarchy: str | None = None,
+                 offset: int | None = None) -> None:
+        self.hierarchy = hierarchy
+        self.offset = offset
+        super().__init__(message)
+
+
+class GoddagError(ReproError):
+    """A problem constructing or manipulating a KyGODDAG."""
+
+
+class QueryError(ReproError):
+    """Base class for query language errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """A query failed to parse.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class QueryEvaluationError(QueryError):
+    """A query failed during evaluation (a dynamic error)."""
+
+
+class FunctionError(QueryEvaluationError):
+    """A built-in function was called with invalid arguments."""
+
+
+class BaselineError(ReproError):
+    """A problem in the fragmentation/milestone baseline encoders."""

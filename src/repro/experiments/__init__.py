@@ -1,0 +1,24 @@
+"""The paper's reproducible artifacts: queries, expected outputs, runner.
+
+* :mod:`repro.experiments.paperdata` — every printed artifact of the
+  paper (§4 query outputs, Example 1, Figure 2 inventory) with the
+  corresponding query text.
+* :mod:`repro.experiments.runner` — executes each experiment and
+  reports paper-expected vs measured (used by EXPERIMENTS.md and the
+  benchmark suite).
+"""
+
+from repro.experiments.paperdata import (
+    EXAMPLE_1,
+    PAPER_QUERIES,
+    PaperQuery,
+)
+from repro.experiments.runner import run_all, run_experiment
+
+__all__ = [
+    "PAPER_QUERIES",
+    "PaperQuery",
+    "EXAMPLE_1",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,47 @@
+"""From-scratch XML substrate: parser, DOM, serializer, DTD validation.
+
+The paper's KyGODDAG generalizes DOM, so this package provides the DOM
+layer it builds on.  No third-party XML library is used anywhere in the
+repository; this package is the single implementation of XML parsing and
+serialization.
+
+Public entry points:
+
+* :func:`parse` / :func:`parse_fragment` — string to DOM.
+* :class:`~repro.markup.dom.Document` and node classes — the DOM.
+* :func:`serialize` — DOM to string.
+* :func:`~repro.markup.dtd.parse_dtd` and
+  :func:`~repro.markup.validate.validate` — DTD support.
+"""
+
+from repro.markup.dom import (
+    Attr,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+from repro.markup.parser import parse, parse_fragment
+from repro.markup.serializer import serialize, escape_attribute, escape_text
+from repro.markup.dtd import DTD, parse_dtd
+from repro.markup.validate import validate
+
+__all__ = [
+    "Attr",
+    "Comment",
+    "Document",
+    "Element",
+    "Node",
+    "ProcessingInstruction",
+    "Text",
+    "parse",
+    "parse_fragment",
+    "serialize",
+    "escape_attribute",
+    "escape_text",
+    "DTD",
+    "parse_dtd",
+    "validate",
+]

@@ -1,0 +1,377 @@
+"""A lightweight mutable DOM for document-centric XML.
+
+The node classes mirror the W3C DOM Level 1 node types actually needed
+by the paper's machinery: :class:`Document`, :class:`Element`,
+:class:`Text`, :class:`Comment`, :class:`ProcessingInstruction`, and
+:class:`Attr`.  Compared to the stdlib's minidom this DOM is:
+
+* **offset-aware** — the parser records source line/column on nodes,
+  and the CMH layer annotates text nodes with character offsets into
+  the shared base text;
+* **order-aware** — ``document_order()`` yields a stable preorder
+  position used by the KyGODDAG order (paper Definition 3);
+* **mutation-friendly** — the baselines (fragmentation/milestones) and
+  the XQuery element constructors build documents programmatically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Optional
+
+
+class Node:
+    """Base class of all DOM nodes.
+
+    Attributes
+    ----------
+    parent:
+        The parent node (``None`` for a detached node or a document).
+    line, column:
+        1-based source position when produced by the parser, else
+        ``None``.
+    """
+
+    __slots__ = ("parent", "line", "column")
+
+    def __init__(self) -> None:
+        self.parent: Optional[ParentNode] = None
+        self.line: int | None = None
+        self.column: int | None = None
+
+    # -- tree navigation -------------------------------------------------
+
+    @property
+    def owner_document(self) -> Document | None:
+        """The :class:`Document` this node belongs to, if attached."""
+        node: Node | None = self
+        while node is not None and not isinstance(node, Document):
+            node = node.parent
+        return node
+
+    def ancestors(self) -> Iterator[ParentNode]:
+        """Yield ancestors from the parent up to (and including) the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root_element(self) -> Element | None:
+        """The outermost :class:`Element` ancestor-or-self, if any."""
+        candidate = self if isinstance(self, Element) else None
+        for ancestor in self.ancestors():
+            if isinstance(ancestor, Element):
+                candidate = ancestor
+        return candidate
+
+    @property
+    def following_sibling_nodes(self) -> list[Node]:
+        """Siblings after this node in document order."""
+        if self.parent is None:
+            return []
+        siblings = self.parent.children
+        index = _index_of(siblings, self)
+        return siblings[index + 1:]
+
+    @property
+    def preceding_sibling_nodes(self) -> list[Node]:
+        """Siblings before this node, in document order."""
+        if self.parent is None:
+            return []
+        siblings = self.parent.children
+        index = _index_of(siblings, self)
+        return siblings[:index]
+
+    # -- content ---------------------------------------------------------
+
+    def text_content(self) -> str:
+        """The string value: concatenated descendant text."""
+        raise NotImplementedError
+
+    def detach(self) -> None:
+        """Remove this node from its parent, if attached."""
+        if self.parent is not None:
+            self.parent.remove(self)
+
+
+class ParentNode(Node):
+    """A node that can hold children (document or element)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: list[Node] = []
+
+    # -- mutation ---------------------------------------------------------
+
+    def append(self, child: Node) -> Node:
+        """Append ``child``, reparenting it; returns the child."""
+        child.detach()
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def insert(self, index: int, child: Node) -> Node:
+        """Insert ``child`` at ``index``, reparenting it."""
+        child.detach()
+        child.parent = self
+        self.children.insert(index, child)
+        return child
+
+    def remove(self, child: Node) -> Node:
+        """Detach ``child`` from this node; returns the child."""
+        index = _index_of(self.children, child)
+        del self.children[index]
+        child.parent = None
+        return child
+
+    def replace(self, old: Node, new: Node) -> Node:
+        """Replace child ``old`` with ``new``; returns ``old``."""
+        index = _index_of(self.children, old)
+        new.detach()
+        new.parent = self
+        self.children[index] = new
+        old.parent = None
+        return old
+
+    # -- traversal ---------------------------------------------------------
+
+    def iter(self) -> Iterator[Node]:
+        """Preorder traversal of self and all descendants."""
+        yield self
+        for child in self.children:
+            if isinstance(child, ParentNode):
+                yield from child.iter()
+            else:
+                yield child
+
+    def iter_elements(self, name: str | None = None) -> Iterator[Element]:
+        """Preorder traversal of descendant elements.
+
+        When ``name`` is given, only elements with that tag are yielded.
+        """
+        for node in self.iter():
+            if isinstance(node, Element) and node is not self:
+                if name is None or node.name == name:
+                    yield node
+
+    def iter_text(self) -> Iterator[Text]:
+        """Preorder traversal of descendant text nodes."""
+        for node in self.iter():
+            if isinstance(node, Text):
+                yield node
+
+    def text_content(self) -> str:
+        return "".join(child.text_content() for child in self.children)
+
+    def normalize(self) -> None:
+        """Merge adjacent text node children, recursively; drop empties."""
+        merged: list[Node] = []
+        for child in self.children:
+            if (isinstance(child, Text) and merged
+                    and isinstance(merged[-1], Text)):
+                merged[-1].data += child.data
+                child.parent = None
+            elif isinstance(child, Text) and child.data == "":
+                child.parent = None
+            else:
+                merged.append(child)
+                if isinstance(child, ParentNode):
+                    child.normalize()
+        self.children = merged
+
+
+class Document(ParentNode):
+    """An XML document: at most one element child plus comments/PIs."""
+
+    __slots__ = ("doctype_name", "dtd")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.doctype_name: str | None = None
+        self.dtd = None  # populated by the parser when a DTD is present
+
+    @property
+    def root(self) -> Element:
+        """The document element.
+
+        Raises
+        ------
+        ValueError
+            If the document has no element child (an empty or
+            comment-only document).
+        """
+        for child in self.children:
+            if isinstance(child, Element):
+                return child
+        raise ValueError("document has no root element")
+
+    def document_order(self) -> dict[int, int]:
+        """Map ``id(node)`` to its preorder position, including attributes.
+
+        Attributes order immediately after their owner element, in
+        declaration order, matching XPath document order.
+        """
+        order: dict[int, int] = {}
+        counter = 0
+        for node in self.iter():
+            order[id(node)] = counter
+            counter += 1
+            if isinstance(node, Element):
+                for attr in node.attribute_nodes:
+                    order[id(attr)] = counter
+                    counter += 1
+        return order
+
+
+class Element(ParentNode):
+    """An XML element with ordered attributes and children."""
+
+    __slots__ = ("name", "attributes", "_attr_nodes")
+
+    def __init__(self, name: str,
+                 attributes: dict[str, str] | None = None) -> None:
+        super().__init__()
+        self.name = name
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self._attr_nodes: dict[str, Attr] | None = None
+
+    # -- attributes --------------------------------------------------------
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """The value of attribute ``name``, or ``default``."""
+        return self.attributes.get(name, default)
+
+    def set(self, name: str, value: str) -> None:
+        """Set attribute ``name`` to ``value``."""
+        self.attributes[name] = value
+        self._attr_nodes = None
+
+    def delete_attribute(self, name: str) -> None:
+        """Remove attribute ``name`` if present."""
+        self.attributes.pop(name, None)
+        self._attr_nodes = None
+
+    @property
+    def attribute_nodes(self) -> list[Attr]:
+        """Attribute nodes in declaration order (lazily materialized)."""
+        if self._attr_nodes is None or set(self._attr_nodes) != set(
+                self.attributes):
+            self._attr_nodes = {
+                name: Attr(name, value, self)
+                for name, value in self.attributes.items()
+            }
+        # Refresh values in case the dict was mutated in place.
+        for name, attr in self._attr_nodes.items():
+            attr.value = self.attributes[name]
+        return list(self._attr_nodes.values())
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def prefix(self) -> str | None:
+        """The namespace prefix part of a prefixed name, or ``None``."""
+        head, sep, _tail = self.name.partition(":")
+        return head if sep else None
+
+    @property
+    def local_name(self) -> str:
+        """The local part of the (possibly prefixed) element name."""
+        _head, sep, tail = self.name.partition(":")
+        return tail if sep else self.name
+
+    def find(self, name: str) -> Element | None:
+        """The first descendant element with tag ``name``, if any."""
+        return next(self.iter_elements(name), None)
+
+    def findall(self, name: str) -> list[Element]:
+        """All descendant elements with tag ``name``, in document order."""
+        return list(self.iter_elements(name))
+
+    def child_elements(self) -> list[Element]:
+        """Direct element children, in order."""
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Element {self.name} attrs={self.attributes}>"
+
+
+class Text(Node):
+    """A run of character data.
+
+    ``start``/``end`` are filled in by the CMH alignment layer with the
+    node's character span in the shared base text.
+    """
+
+    __slots__ = ("data", "start", "end")
+
+    def __init__(self, data: str) -> None:
+        super().__init__()
+        self.data = data
+        self.start: int | None = None
+        self.end: int | None = None
+
+    def text_content(self) -> str:
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Text {self.data!r}>"
+
+
+class Comment(Node):
+    """An XML comment; carries no text value for queries."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: str) -> None:
+        super().__init__()
+        self.data = data
+
+    def text_content(self) -> str:
+        return ""
+
+
+class ProcessingInstruction(Node):
+    """A processing instruction ``<?target data?>``."""
+
+    __slots__ = ("target", "data")
+
+    def __init__(self, target: str, data: str) -> None:
+        super().__init__()
+        self.target = target
+        self.data = data
+
+    def text_content(self) -> str:
+        return ""
+
+
+class Attr(Node):
+    """An attribute node, materialized on demand from an element."""
+
+    __slots__ = ("name", "value", "owner")
+
+    def __init__(self, name: str, value: str, owner: Element) -> None:
+        super().__init__()
+        self.name = name
+        self.value = value
+        self.owner = owner
+        self.parent = owner
+
+    def text_content(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Attr {self.name}={self.value!r}>"
+
+
+def _index_of(children: list[Node], child: Node) -> int:
+    """Index of ``child`` in ``children`` by identity.
+
+    ``list.index`` uses ``==`` which is identity for these classes, but
+    an explicit identity scan keeps the contract obvious.
+    """
+    for index, candidate in enumerate(children):
+        if candidate is child:
+            return index
+    raise ValueError("node is not a child of this parent")

@@ -1,0 +1,536 @@
+"""DTD support: declarations, content models, and their automata.
+
+The paper defines a Concurrent Markup Hierarchy as "a collection of
+DTDs ... and an XML element r" (Section 3), so DTDs are a first-class
+substrate here.  This module parses the subset of DTD syntax used by
+document-centric schemas:
+
+* ``<!ELEMENT name EMPTY|ANY|(#PCDATA|a|b)*|deterministic-model>``
+* ``<!ATTLIST name attr CDATA|ID|IDREF|IDREFS|NMTOKEN|NMTOKENS|(a|b)
+  #REQUIRED|#IMPLIED|#FIXED "v"|"v">``
+* ``<!ENTITY name "value">`` (internal general entities)
+
+Content models compile to epsilon-free NFAs (Thompson construction +
+epsilon elimination) so validation of a child sequence is a linear scan
+(:meth:`ContentModel.matches`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DTDError
+
+# --------------------------------------------------------------------------
+# Content model expression tree
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModelNode:
+    """A node in a content model expression tree.
+
+    ``kind`` is one of ``name`` (an element name in ``value``), ``seq``
+    (``a, b``), ``choice`` (``a | b``), ``opt`` (``x?``), ``star``
+    (``x*``), ``plus`` (``x+``), or ``pcdata``.
+    """
+
+    kind: str
+    value: str | None = None
+    children: tuple["ModelNode", ...] = ()
+
+    def to_source(self) -> str:
+        """Render back to DTD content-model syntax."""
+        if self.kind == "name":
+            return self.value or ""
+        if self.kind == "pcdata":
+            return "#PCDATA"
+        if self.kind == "seq":
+            return "(" + ",".join(c.to_source() for c in self.children) + ")"
+        if self.kind == "choice":
+            return "(" + "|".join(c.to_source() for c in self.children) + ")"
+        suffix = {"opt": "?", "star": "*", "plus": "+"}[self.kind]
+        return self.children[0].to_source() + suffix
+
+
+class _NFA:
+    """An epsilon-NFA over element names, built by Thompson construction."""
+
+    def __init__(self) -> None:
+        self.transitions: list[dict[str, set[int]]] = []
+        self.epsilon: list[set[int]] = []
+
+    def add_state(self) -> int:
+        self.transitions.append({})
+        self.epsilon.append(set())
+        return len(self.transitions) - 1
+
+    def add_edge(self, source: int, symbol: str, target: int) -> None:
+        self.transitions[source].setdefault(symbol, set()).add(target)
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.epsilon[source].add(target)
+
+    def closure(self, states: set[int]) -> frozenset[int]:
+        stack = list(states)
+        seen = set(states)
+        while stack:
+            state = stack.pop()
+            for target in self.epsilon[state]:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+
+class ContentModel:
+    """A compiled element content model.
+
+    Attributes
+    ----------
+    kind:
+        ``"EMPTY"``, ``"ANY"``, ``"mixed"`` (``(#PCDATA|...)*``), or
+        ``"children"`` (an element content model).
+    """
+
+    def __init__(self, kind: str, tree: ModelNode | None = None,
+                 mixed_names: frozenset[str] | None = None) -> None:
+        self.kind = kind
+        self.tree = tree
+        self.mixed_names = mixed_names or frozenset()
+        self._nfa: _NFA | None = None
+        self._start: frozenset[int] | None = None
+        self._accept: int | None = None
+        if kind == "children" and tree is not None:
+            self._compile(tree)
+
+    # -- compilation -----------------------------------------------------
+
+    def _compile(self, tree: ModelNode) -> None:
+        nfa = _NFA()
+        start = nfa.add_state()
+        accept = nfa.add_state()
+        self._build(nfa, tree, start, accept)
+        self._nfa = nfa
+        self._start = nfa.closure({start})
+        self._accept = accept
+
+    def _build(self, nfa: _NFA, node: ModelNode, source: int,
+               target: int) -> None:
+        if node.kind == "name":
+            assert node.value is not None
+            nfa.add_edge(source, node.value, target)
+        elif node.kind == "seq":
+            current = source
+            for index, child in enumerate(node.children):
+                nxt = (target if index == len(node.children) - 1
+                       else nfa.add_state())
+                self._build(nfa, child, current, nxt)
+                current = nxt
+        elif node.kind == "choice":
+            for child in node.children:
+                self._build(nfa, child, source, target)
+        elif node.kind == "opt":
+            nfa.add_epsilon(source, target)
+            self._build(nfa, node.children[0], source, target)
+        elif node.kind == "star":
+            hub = nfa.add_state()
+            nfa.add_epsilon(source, hub)
+            nfa.add_epsilon(hub, target)
+            self._build(nfa, node.children[0], hub, hub)
+        elif node.kind == "plus":
+            hub = nfa.add_state()
+            self._build(nfa, node.children[0], source, hub)
+            nfa.add_epsilon(hub, target)
+            self._build(nfa, node.children[0], hub, hub)
+        else:  # pragma: no cover - guarded by the parser
+            raise DTDError(f"unexpected model node {node.kind!r}")
+
+    # -- matching -----------------------------------------------------------
+
+    def allows_text(self) -> bool:
+        """True when character data may appear in this content."""
+        return self.kind in ("ANY", "mixed")
+
+    def allows_element(self, name: str) -> bool:
+        """True when ``name`` may appear *somewhere* in this content."""
+        if self.kind == "ANY":
+            return True
+        if self.kind == "mixed":
+            return name in self.mixed_names
+        if self.kind == "EMPTY":
+            return False
+        assert self._nfa is not None
+        return any(name in edges for edges in self._nfa.transitions)
+
+    def matches(self, names: list[str]) -> bool:
+        """True when the child-element name sequence satisfies the model."""
+        if self.kind == "ANY":
+            return True
+        if self.kind == "EMPTY":
+            return not names
+        if self.kind == "mixed":
+            return all(name in self.mixed_names for name in names)
+        nfa, states = self._nfa, self._start
+        assert nfa is not None and states is not None
+        for name in names:
+            reached: set[int] = set()
+            for state in states:
+                reached |= nfa.transitions[state].get(name, set())
+            if not reached:
+                return False
+            states = nfa.closure(reached)
+        return self._accept in states
+
+    def to_source(self) -> str:
+        """Render back to DTD syntax (canonicalized)."""
+        if self.kind in ("EMPTY", "ANY"):
+            return self.kind
+        if self.kind == "mixed":
+            if self.mixed_names:
+                names = "|".join(sorted(self.mixed_names))
+                return f"(#PCDATA|{names})*"
+            return "(#PCDATA)"
+        assert self.tree is not None
+        return self.tree.to_source()
+
+
+# --------------------------------------------------------------------------
+# Attribute declarations
+# --------------------------------------------------------------------------
+
+ATTRIBUTE_TYPES = frozenset({
+    "CDATA", "ID", "IDREF", "IDREFS", "NMTOKEN", "NMTOKENS",
+    "ENTITY", "ENTITIES", "NOTATION",
+})
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """One attribute declaration from an ``<!ATTLIST>``.
+
+    ``kind`` is an XML attribute type or ``"enumeration"`` (with the
+    allowed tokens in ``enumeration``); ``default_kind`` is one of
+    ``#REQUIRED``, ``#IMPLIED``, ``#FIXED``, or ``"default"``.
+    """
+
+    element: str
+    name: str
+    kind: str
+    enumeration: tuple[str, ...] = ()
+    default_kind: str = "#IMPLIED"
+    default_value: str | None = None
+
+
+@dataclass
+class ElementDecl:
+    """An ``<!ELEMENT>`` declaration with its compiled content model."""
+
+    name: str
+    model: ContentModel
+    attributes: dict[str, AttributeDecl] = field(default_factory=dict)
+
+
+class DTD:
+    """A parsed DTD: element declarations and general entities."""
+
+    def __init__(self) -> None:
+        self.elements: dict[str, ElementDecl] = {}
+        self.general_entities: dict[str, str] = {}
+
+    @property
+    def element_names(self) -> frozenset[str]:
+        """All declared element names."""
+        return frozenset(self.elements)
+
+    def declared_children(self, name: str) -> frozenset[str]:
+        """Element names the model of ``name`` can contain directly."""
+        decl = self.elements.get(name)
+        if decl is None:
+            return frozenset()
+        model = decl.model
+        if model.kind == "mixed":
+            return model.mixed_names
+        if model.kind == "children" and model.tree is not None:
+            names: set[str] = set()
+            stack = [model.tree]
+            while stack:
+                node = stack.pop()
+                if node.kind == "name" and node.value:
+                    names.add(node.value)
+                stack.extend(node.children)
+            return frozenset(names)
+        return frozenset()
+
+    def reachable_from(self, root: str) -> frozenset[str]:
+        """Element names reachable from ``root`` through content models."""
+        seen: set[str] = set()
+        stack = [root]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.declared_children(name))
+        return frozenset(seen & set(self.elements))
+
+
+# --------------------------------------------------------------------------
+# DTD parsing
+# --------------------------------------------------------------------------
+
+
+class _DTDScanner:
+    """Tokenizer over a DTD internal subset."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        self.skip_insignificant()
+        return self.pos >= len(self.text)
+
+    def skip_insignificant(self) -> None:
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in " \t\r\n":
+                self.pos += 1
+            elif self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos)
+                if end == -1:
+                    raise DTDError("unterminated comment in DTD")
+                self.pos = end + 3
+            elif self.text.startswith("<?", self.pos):
+                end = self.text.find("?>", self.pos)
+                if end == -1:
+                    raise DTDError("unterminated PI in DTD")
+                self.pos = end + 2
+            elif char == "%":
+                # Parameter entities are out of scope: skip the reference.
+                end = self.text.find(";", self.pos)
+                if end == -1:
+                    raise DTDError("unterminated parameter entity reference")
+                self.pos = end + 1
+            else:
+                return
+
+    def expect(self, literal: str) -> None:
+        self.skip_insignificant()
+        if not self.text.startswith(literal, self.pos):
+            context = self.text[self.pos:self.pos + 20]
+            raise DTDError(f"expected {literal!r} in DTD near {context!r}")
+        self.pos += len(literal)
+
+    def read_name(self) -> str:
+        self.skip_insignificant()
+        start = self.pos
+        while (self.pos < len(self.text)
+               and self.text[self.pos] not in " \t\r\n>()|,?*+\"'"):
+            self.pos += 1
+        if self.pos == start:
+            context = self.text[self.pos:self.pos + 20]
+            raise DTDError(f"expected a name in DTD near {context!r}")
+        return self.text[start:self.pos]
+
+    def read_quoted(self) -> str:
+        self.skip_insignificant()
+        if self.pos >= len(self.text) or self.text[self.pos] not in "\"'":
+            raise DTDError("expected quoted literal in DTD")
+        quote = self.text[self.pos]
+        self.pos += 1
+        end = self.text.find(quote, self.pos)
+        if end == -1:
+            raise DTDError("unterminated quoted literal in DTD")
+        value = self.text[self.pos:end]
+        self.pos = end + 1
+        return value
+
+    def peek_char(self) -> str:
+        self.skip_insignificant()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+
+def parse_dtd(subset: str) -> DTD:
+    """Parse a DTD internal subset into a :class:`DTD`."""
+    dtd = DTD()
+    scanner = _DTDScanner(subset)
+    while not scanner.at_end():
+        if scanner.text.startswith("<!ELEMENT", scanner.pos):
+            scanner.pos += len("<!ELEMENT")
+            _parse_element_decl(scanner, dtd)
+        elif scanner.text.startswith("<!ATTLIST", scanner.pos):
+            scanner.pos += len("<!ATTLIST")
+            _parse_attlist_decl(scanner, dtd)
+        elif scanner.text.startswith("<!ENTITY", scanner.pos):
+            scanner.pos += len("<!ENTITY")
+            _parse_entity_decl(scanner, dtd)
+        elif scanner.text.startswith("<!NOTATION", scanner.pos):
+            end = scanner.text.find(">", scanner.pos)
+            if end == -1:
+                raise DTDError("unterminated NOTATION declaration")
+            scanner.pos = end + 1
+        else:
+            context = scanner.text[scanner.pos:scanner.pos + 20]
+            raise DTDError(f"unrecognized DTD declaration near {context!r}")
+    return dtd
+
+
+def _parse_element_decl(scanner: _DTDScanner, dtd: DTD) -> None:
+    name = scanner.read_name()
+    model = _parse_content_model(scanner)
+    scanner.expect(">")
+    if name in dtd.elements:
+        raise DTDError(f"duplicate <!ELEMENT {name}> declaration")
+    dtd.elements[name] = ElementDecl(name, model)
+
+
+def _parse_content_model(scanner: _DTDScanner) -> ContentModel:
+    scanner.skip_insignificant()
+    if scanner.text.startswith("EMPTY", scanner.pos):
+        scanner.pos += 5
+        return ContentModel("EMPTY")
+    if scanner.text.startswith("ANY", scanner.pos):
+        scanner.pos += 3
+        return ContentModel("ANY")
+    scanner.expect("(")
+    scanner.skip_insignificant()
+    if scanner.text.startswith("#PCDATA", scanner.pos):
+        scanner.pos += len("#PCDATA")
+        names: set[str] = set()
+        while True:
+            scanner.skip_insignificant()
+            if scanner.peek_char() == "|":
+                scanner.expect("|")
+                names.add(scanner.read_name())
+            else:
+                break
+        scanner.expect(")")
+        if scanner.peek_char() == "*":
+            scanner.pos += 1
+        elif names:
+            raise DTDError("mixed content with names requires a trailing '*'")
+        return ContentModel("mixed", mixed_names=frozenset(names))
+    tree = _parse_group_body(scanner)
+    return ContentModel("children", tree=tree)
+
+
+def _parse_group_body(scanner: _DTDScanner) -> ModelNode:
+    """Parse the body of a group whose '(' is already consumed."""
+    items = [_parse_cp(scanner)]
+    scanner.skip_insignificant()
+    separator = scanner.peek_char()
+    if separator not in "|,)":
+        raise DTDError(f"expected '|', ',' or ')' in content model, "
+                       f"found {separator!r}")
+    while scanner.peek_char() == separator and separator != ")":
+        scanner.expect(separator)
+        items.append(_parse_cp(scanner))
+        scanner.skip_insignificant()
+    scanner.expect(")")
+    if len(items) == 1:
+        node = items[0]
+    else:
+        kind = "choice" if separator == "|" else "seq"
+        node = ModelNode(kind, children=tuple(items))
+    return _apply_occurrence(scanner, node)
+
+
+def _parse_cp(scanner: _DTDScanner) -> ModelNode:
+    scanner.skip_insignificant()
+    if scanner.peek_char() == "(":
+        scanner.expect("(")
+        return _parse_group_body(scanner)
+    name = scanner.read_name()
+    return _apply_occurrence(scanner, ModelNode("name", value=name))
+
+
+def _apply_occurrence(scanner: _DTDScanner, node: ModelNode) -> ModelNode:
+    char = scanner.text[scanner.pos] if scanner.pos < len(scanner.text) else ""
+    if char == "?":
+        scanner.pos += 1
+        return ModelNode("opt", children=(node,))
+    if char == "*":
+        scanner.pos += 1
+        return ModelNode("star", children=(node,))
+    if char == "+":
+        scanner.pos += 1
+        return ModelNode("plus", children=(node,))
+    return node
+
+
+def _parse_attlist_decl(scanner: _DTDScanner, dtd: DTD) -> None:
+    element_name = scanner.read_name()
+    while True:
+        scanner.skip_insignificant()
+        if scanner.peek_char() == ">":
+            scanner.expect(">")
+            break
+        attr_name = scanner.read_name()
+        scanner.skip_insignificant()
+        enumeration: tuple[str, ...] = ()
+        if scanner.peek_char() == "(":
+            scanner.expect("(")
+            tokens = [scanner.read_name()]
+            while scanner.peek_char() == "|":
+                scanner.expect("|")
+                tokens.append(scanner.read_name())
+            scanner.expect(")")
+            kind = "enumeration"
+            enumeration = tuple(tokens)
+        else:
+            kind = scanner.read_name()
+            if kind not in ATTRIBUTE_TYPES:
+                raise DTDError(f"unknown attribute type {kind!r} for "
+                               f"'{element_name}/@{attr_name}'")
+            if kind == "NOTATION":
+                scanner.expect("(")
+                while scanner.peek_char() != ")":
+                    scanner.read_name()
+                    if scanner.peek_char() == "|":
+                        scanner.expect("|")
+                scanner.expect(")")
+        scanner.skip_insignificant()
+        default_kind = "#IMPLIED"
+        default_value: str | None = None
+        if scanner.peek_char() == "#":
+            default_kind = scanner.read_name()
+            if default_kind not in ("#REQUIRED", "#IMPLIED", "#FIXED"):
+                raise DTDError(f"unknown attribute default {default_kind!r}")
+            if default_kind == "#FIXED":
+                default_value = scanner.read_quoted()
+        elif scanner.peek_char() in "\"'":
+            default_kind = "default"
+            default_value = scanner.read_quoted()
+        decl = AttributeDecl(element_name, attr_name, kind, enumeration,
+                             default_kind, default_value)
+        element = dtd.elements.get(element_name)
+        if element is None:
+            # ATTLIST may precede ELEMENT; create a permissive placeholder.
+            element = ElementDecl(element_name, ContentModel("ANY"))
+            dtd.elements[element_name] = element
+        element.attributes.setdefault(attr_name, decl)
+
+
+def _parse_entity_decl(scanner: _DTDScanner, dtd: DTD) -> None:
+    scanner.skip_insignificant()
+    if scanner.peek_char() == "%":
+        # Parameter entity: consume and ignore (out of scope).
+        scanner.expect("%")
+        scanner.read_name()
+        scanner.read_quoted()
+        scanner.expect(">")
+        return
+    name = scanner.read_name()
+    scanner.skip_insignificant()
+    if (scanner.text.startswith("SYSTEM", scanner.pos)
+            or scanner.text.startswith("PUBLIC", scanner.pos)):
+        keyword = scanner.read_name()
+        scanner.read_quoted()
+        if keyword == "PUBLIC":
+            scanner.read_quoted()
+        scanner.expect(">")
+        return  # external entities are recorded as absent
+    value = scanner.read_quoted()
+    scanner.expect(">")
+    dtd.general_entities.setdefault(name, value)

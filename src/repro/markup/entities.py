@@ -1,0 +1,103 @@
+"""Entity and character-reference handling for the XML parser.
+
+Supports the five predefined XML entities, decimal/hexadecimal character
+references, and internal general entities declared in a DTD internal
+subset.  Entity values are expanded recursively with cycle detection, as
+required for well-formedness (WFC: No Recursion).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MarkupError
+
+PREDEFINED = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+def decode_char_reference(body: str, line: int | None = None,
+                          column: int | None = None) -> str:
+    """Decode the body of a ``&#...;`` character reference.
+
+    ``body`` excludes the ``&#`` prefix and the ``;`` suffix, e.g.
+    ``"x2014"`` or ``"955"``.
+    """
+    try:
+        if body.startswith(("x", "X")):
+            code = int(body[1:], 16)
+        else:
+            code = int(body, 10)
+    except ValueError:
+        raise MarkupError(f"malformed character reference '&#{body};'",
+                          line, column) from None
+    if not _is_xml_char(code):
+        raise MarkupError(
+            f"character reference '&#{body};' is not a legal XML character",
+            line, column)
+    return chr(code)
+
+
+def _is_xml_char(code: int) -> bool:
+    """True when the code point is allowed by the XML 1.0 Char production."""
+    return (code in (0x9, 0xA, 0xD)
+            or 0x20 <= code <= 0xD7FF
+            or 0xE000 <= code <= 0xFFFD
+            or 0x10000 <= code <= 0x10FFFF)
+
+
+class EntityTable:
+    """General entities visible while parsing one document."""
+
+    def __init__(self) -> None:
+        self._general: dict[str, str] = {}
+
+    def declare(self, name: str, value: str) -> None:
+        """Declare an internal general entity.
+
+        Per XML, the *first* declaration of an entity binds; later ones
+        are ignored.
+        """
+        self._general.setdefault(name, value)
+
+    def resolve(self, name: str, line: int | None = None,
+                column: int | None = None,
+                _stack: tuple[str, ...] = ()) -> str:
+        """Fully expand entity ``name`` to character data."""
+        if name in PREDEFINED:
+            return PREDEFINED[name]
+        if name not in self._general:
+            raise MarkupError(f"reference to undeclared entity '&{name};'",
+                              line, column)
+        if name in _stack:
+            chain = " -> ".join(_stack + (name,))
+            raise MarkupError(f"recursive entity reference: {chain}",
+                              line, column)
+        return self._expand(self._general[name], line, column,
+                            _stack + (name,))
+
+    def _expand(self, value: str, line: int | None, column: int | None,
+                stack: tuple[str, ...]) -> str:
+        """Expand references appearing inside an entity replacement text."""
+        out: list[str] = []
+        index = 0
+        while index < len(value):
+            char = value[index]
+            if char != "&":
+                out.append(char)
+                index += 1
+                continue
+            semi = value.find(";", index)
+            if semi == -1:
+                raise MarkupError("unterminated entity reference inside "
+                                  "entity value", line, column)
+            body = value[index + 1:semi]
+            if body.startswith("#"):
+                out.append(decode_char_reference(body[1:], line, column))
+            else:
+                out.append(self.resolve(body, line, column, stack))
+            index = semi + 1
+        return "".join(out)

@@ -1,0 +1,86 @@
+"""XML serialization for the DOM of :mod:`repro.markup.dom`.
+
+``serialize`` produces parseable XML with minimal escaping; an optional
+``indent`` reformats element-only content for human inspection (mixed
+content is never re-indented — whitespace is significant in
+document-centric XML).
+"""
+
+from __future__ import annotations
+
+from repro.markup import dom
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", '"': "&quot;"}
+
+
+def escape_text(data: str) -> str:
+    """Escape character data for element content."""
+    for char, escape in _TEXT_ESCAPES.items():
+        data = data.replace(char, escape)
+    return data
+
+
+def escape_attribute(data: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    for char, escape in _ATTR_ESCAPES.items():
+        data = data.replace(char, escape)
+    return data.replace("\n", "&#10;").replace("\t", "&#9;")
+
+
+def serialize(node: dom.Node, indent: str | None = None) -> str:
+    """Serialize a DOM node (or document) to a string.
+
+    Parameters
+    ----------
+    node:
+        Any DOM node; documents serialize their full child list.
+    indent:
+        When given (e.g. ``"  "``), elements whose content holds no text
+        are pretty-printed one child per line.
+    """
+    out: list[str] = []
+    _write(node, out, indent, 0)
+    return "".join(out)
+
+
+def _write(node: dom.Node, out: list[str], indent: str | None,
+           depth: int) -> None:
+    if isinstance(node, dom.Document):
+        for index, child in enumerate(node.children):
+            if indent is not None and index > 0:
+                out.append("\n")
+            _write(child, out, indent, depth)
+    elif isinstance(node, dom.Element):
+        _write_element(node, out, indent, depth)
+    elif isinstance(node, dom.Text):
+        out.append(escape_text(node.data))
+    elif isinstance(node, dom.Comment):
+        out.append(f"<!--{node.data}-->")
+    elif isinstance(node, dom.ProcessingInstruction):
+        separator = " " if node.data else ""
+        out.append(f"<?{node.target}{separator}{node.data}?>")
+    elif isinstance(node, dom.Attr):
+        out.append(f'{node.name}="{escape_attribute(node.value)}"')
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot serialize node of type {type(node).__name__}")
+
+
+def _write_element(element: dom.Element, out: list[str],
+                   indent: str | None, depth: int) -> None:
+    attrs = "".join(
+        f' {name}="{escape_attribute(value)}"'
+        for name, value in element.attributes.items())
+    if not element.children:
+        out.append(f"<{element.name}{attrs}/>")
+        return
+    out.append(f"<{element.name}{attrs}>")
+    pretty = indent is not None and not any(
+        isinstance(child, dom.Text) for child in element.children)
+    for child in element.children:
+        if pretty:
+            out.append("\n" + indent * (depth + 1))
+        _write(child, out, indent, depth + 1)
+    if pretty:
+        out.append("\n" + indent * depth)
+    out.append(f"</{element.name}>")

@@ -1,0 +1,128 @@
+"""DTD validation of DOM documents.
+
+``validate(document, dtd)`` checks the constraints that matter for
+concurrent markup hierarchies:
+
+* every element is declared;
+* each element's child sequence satisfies its content model;
+* character data appears only where the model allows it (whitespace is
+  tolerated in element content, as XML validators conventionally do for
+  "ignorable whitespace");
+* attributes are declared, required attributes are present, enumerated
+  and ``#FIXED`` values are honored, defaults are applied;
+* ``ID`` values are unique and ``IDREF``/``IDREFS`` values resolve.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.markup import dom
+from repro.markup.dtd import DTD, AttributeDecl
+from repro.markup.parser import is_valid_name
+
+
+def validate(document: dom.Document, dtd: DTD | None = None,
+             apply_defaults: bool = True) -> None:
+    """Validate ``document`` against ``dtd``.
+
+    Uses ``document.dtd`` when ``dtd`` is not given.  Raises
+    :class:`~repro.errors.ValidationError` on the first violation.
+    """
+    if dtd is None:
+        dtd = document.dtd
+    if dtd is None:
+        raise ValidationError("no DTD available to validate against")
+    ids: set[str] = set()
+    idrefs: list[tuple[str, dom.Element]] = []
+    root = document.root
+    if (document.doctype_name is not None
+            and root.name != document.doctype_name):
+        raise ValidationError(
+            f"root element '{root.name}' does not match DOCTYPE "
+            f"'{document.doctype_name}'")
+    _validate_element(root, dtd, ids, idrefs, apply_defaults)
+    for value, element in idrefs:
+        for token in value.split():
+            if token not in ids:
+                raise ValidationError(
+                    f"IDREF '{token}' on element '{element.name}' does not "
+                    f"match any ID in the document")
+
+
+def _validate_element(element: dom.Element, dtd: DTD, ids: set[str],
+                      idrefs: list[tuple[str, dom.Element]],
+                      apply_defaults: bool) -> None:
+    decl = dtd.elements.get(element.name)
+    if decl is None:
+        raise ValidationError(f"element '{element.name}' is not declared")
+    model = decl.model
+    child_names: list[str] = []
+    for child in element.children:
+        if isinstance(child, dom.Element):
+            child_names.append(child.name)
+        elif isinstance(child, dom.Text):
+            if child.data.strip() and not model.allows_text():
+                raise ValidationError(
+                    f"character data is not allowed in element "
+                    f"'{element.name}' ({model.to_source()})")
+    if not model.matches(child_names):
+        sequence = ", ".join(child_names) or "(no children)"
+        raise ValidationError(
+            f"children of '{element.name}' do not match its content model "
+            f"{model.to_source()}: {sequence}")
+    _validate_attributes(element, decl.attributes, ids, idrefs,
+                         apply_defaults)
+    for child in element.children:
+        if isinstance(child, dom.Element):
+            _validate_element(child, dtd, ids, idrefs, apply_defaults)
+
+
+def _validate_attributes(element: dom.Element,
+                         declared: dict[str, AttributeDecl],
+                         ids: set[str],
+                         idrefs: list[tuple[str, dom.Element]],
+                         apply_defaults: bool) -> None:
+    for name in element.attributes:
+        if name not in declared and not name.startswith("xml"):
+            raise ValidationError(
+                f"attribute '{name}' is not declared on element "
+                f"'{element.name}'")
+    for name, decl in declared.items():
+        value = element.get(name)
+        if value is None:
+            if decl.default_kind == "#REQUIRED":
+                raise ValidationError(
+                    f"required attribute '{name}' is missing on element "
+                    f"'{element.name}'")
+            if decl.default_value is not None and apply_defaults:
+                element.set(name, decl.default_value)
+            continue
+        if decl.default_kind == "#FIXED" and value != decl.default_value:
+            raise ValidationError(
+                f"attribute '{name}' on '{element.name}' must have the "
+                f"fixed value {decl.default_value!r}, found {value!r}")
+        if decl.kind == "enumeration" and value not in decl.enumeration:
+            allowed = "|".join(decl.enumeration)
+            raise ValidationError(
+                f"attribute '{name}' on '{element.name}' must be one of "
+                f"({allowed}), found {value!r}")
+        if decl.kind == "ID":
+            if not is_valid_name(value):
+                raise ValidationError(
+                    f"ID value {value!r} on '{element.name}' is not a "
+                    f"valid XML name")
+            if value in ids:
+                raise ValidationError(f"duplicate ID value {value!r}")
+            ids.add(value)
+        elif decl.kind in ("IDREF", "IDREFS"):
+            idrefs.append((value, element))
+        elif decl.kind in ("NMTOKEN", "NMTOKENS"):
+            for token in value.split():
+                if not all(_is_nmtoken_char(c) for c in token):
+                    raise ValidationError(
+                        f"value {token!r} of '{name}' on '{element.name}' "
+                        f"is not a valid NMTOKEN")
+
+
+def _is_nmtoken_char(char: str) -> bool:
+    return char.isalnum() or char in ":_-.·" or ord(char) > 0x7F

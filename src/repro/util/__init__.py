@@ -1,0 +1,21 @@
+"""Small shared utilities: interval arithmetic, identifiers, text helpers."""
+
+from repro.util.intervals import (
+    Span,
+    contains,
+    crosses,
+    overlaps,
+    strictly_after,
+    strictly_before,
+)
+from repro.util.ids import NameAllocator
+
+__all__ = [
+    "Span",
+    "contains",
+    "crosses",
+    "overlaps",
+    "strictly_after",
+    "strictly_before",
+    "NameAllocator",
+]

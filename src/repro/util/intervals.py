@@ -1,0 +1,73 @@
+"""Half-open character interval arithmetic.
+
+Every markup node in a multihierarchical document annotates a contiguous
+span of the base text, represented as a half-open interval
+``[start, end)`` of character offsets.  Because every markup boundary is
+a leaf boundary (see ``repro.core.goddag.partition``), the paper's
+leaf-set comparisons (Definition 1) reduce to the interval predicates in
+this module; the reduction is exercised by property tests in
+``tests/test_prop_axes.py``.
+
+An *empty* span (``start == end``) carries no leaves.  The predicates
+below follow the set semantics: an empty set overlaps nothing and is
+contained in everything, but callers in the axes layer explicitly
+exclude empty-span nodes (see DESIGN.md, "Nodes with empty spans").
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Span(NamedTuple):
+    """A half-open interval ``[start, end)`` of character offsets."""
+
+    start: int
+    end: int
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the span covers no characters."""
+        return self.start >= self.end
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return max(0, self.end - self.start)
+
+
+def overlaps(a: Span, b: Span) -> bool:
+    """True when the two spans share at least one character."""
+    return a.start < b.end and b.start < a.end
+
+
+def contains(outer: Span, inner: Span) -> bool:
+    """True when ``inner`` lies entirely within ``outer``.
+
+    Mirrors set containment of leaf sets for non-empty spans.  An empty
+    ``inner`` is vacuously contained.
+    """
+    return outer.start <= inner.start and inner.end <= outer.end
+
+
+def strictly_before(a: Span, b: Span) -> bool:
+    """True when every character of ``a`` precedes every one of ``b``.
+
+    Equivalent to ``max(leaves(a)) < min(leaves(b))`` in the paper's
+    notation, for non-empty spans.
+    """
+    return a.end <= b.start
+
+
+def strictly_after(a: Span, b: Span) -> bool:
+    """True when every character of ``a`` follows every one of ``b``."""
+    return b.end <= a.start
+
+
+def crosses(a: Span, b: Span) -> bool:
+    """True when the spans *properly* overlap (neither contains the other).
+
+    This is the paper's ``overlapping`` relation: the spans intersect and
+    each has at least one character outside the other.
+    """
+    if a.is_empty or b.is_empty:
+        return False
+    return overlaps(a, b) and not contains(a, b) and not contains(b, a)

@@ -1,0 +1,31 @@
+"""Shared fixtures: the paper's Figure 1 document in every form."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cmh import MultihierarchicalDocument
+from repro.core.goddag import KyGoddag
+from repro.corpus.boethius import BASE_TEXT, ENCODINGS, boethius_document
+
+
+@pytest.fixture()
+def boethius_doc() -> MultihierarchicalDocument:
+    """A fresh Figure 1 multihierarchical document."""
+    return boethius_document(validate=False)
+
+
+@pytest.fixture()
+def goddag(boethius_doc: MultihierarchicalDocument) -> KyGoddag:
+    """A fresh KyGODDAG of the Figure 1 document."""
+    return KyGoddag.build(boethius_doc)
+
+
+@pytest.fixture(scope="session")
+def base_text() -> str:
+    return BASE_TEXT
+
+
+@pytest.fixture(scope="session")
+def encodings() -> dict[str, str]:
+    return dict(ENCODINGS)

@@ -1,0 +1,61 @@
+"""Shared hypothesis strategies for multihierarchical documents."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.errors import CMHError
+from repro.cmh import Hierarchy, MultihierarchicalDocument
+from repro.cmh.spans import Span, SpanSet
+
+#: A small alphabet keeps texts readable in failure reports while still
+#: exercising multi-byte characters.
+TEXT_ALPHABET = "ab ϸx"
+
+ELEMENT_NAMES = ("w", "line", "dmg", "res", "seg")
+
+
+@st.composite
+def base_texts(draw, min_size: int = 1, max_size: int = 40) -> str:
+    return draw(st.text(alphabet=TEXT_ALPHABET, min_size=min_size,
+                        max_size=max_size))
+
+
+@st.composite
+def span_sets(draw, text: str, max_spans: int = 6) -> SpanSet:
+    """A properly-nesting span set over ``text``.
+
+    Spans are drawn independently; draws that would properly overlap an
+    already accepted span are discarded (not shrunk away), which keeps
+    the strategy deterministic per draw sequence.
+    """
+    spans = SpanSet(text)
+    count = draw(st.integers(min_value=0, max_value=max_spans))
+    for index in range(count):
+        if not text:
+            break
+        start = draw(st.integers(min_value=0, max_value=len(text)))
+        end = draw(st.integers(min_value=start, max_value=len(text)))
+        name = draw(st.sampled_from(ELEMENT_NAMES))
+        try:
+            spans.add(Span(start, end, name, depth_hint=index))
+        except CMHError:
+            continue  # properly overlapping within one hierarchy
+    return spans
+
+
+@st.composite
+def multihierarchical_documents(draw, max_hierarchies: int = 3,
+                                max_spans: int = 6,
+                                min_text: int = 1,
+                                max_text: int = 40
+                                ) -> MultihierarchicalDocument:
+    text = draw(base_texts(min_size=min_text, max_size=max_text))
+    document = MultihierarchicalDocument(text)
+    n_hierarchies = draw(st.integers(min_value=1,
+                                     max_value=max_hierarchies))
+    for index in range(n_hierarchies):
+        spans = draw(span_sets(text, max_spans=max_spans))
+        document.add_hierarchy(
+            Hierarchy(f"h{index}", spans.to_document("r")))
+    return document

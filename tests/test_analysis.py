@@ -1,0 +1,86 @@
+"""Tests for the overlap analytics module."""
+
+from __future__ import annotations
+
+from repro.analysis import OverlapPair, analyze_overlap, split_elements
+from repro.core.goddag import KyGoddag
+from repro.corpus import GeneratorConfig, generate_document
+from repro.corpus.boethius import boethius_document
+
+
+class TestBoethiusProfile:
+    def test_counts(self, goddag):
+        report = analyze_overlap(goddag)
+        assert report.text_length == 51
+        assert report.element_count == 16
+        assert report.leaf_count == 16
+        assert report.hierarchy_names == [
+            "physical", "structural", "restoration", "damage"]
+
+    def test_known_overlaps(self, goddag):
+        report = analyze_overlap(goddag)
+        # singallice × both lines; res spans × lines/words; dmg2 × gecynde.
+        assert report.pair_count("line", "w") == 2
+        assert report.pair_count("dmg", "w") == 1
+        assert report.pair_count("w", "line") == 2  # unordered lookup
+
+    def test_unknown_pair_is_zero(self, goddag):
+        # vline2 [24,49) properly crosses both lines ([0,27) and [27,51)).
+        assert analyze_overlap(goddag).pair_count("line", "vline") == 2
+        assert analyze_overlap(goddag).pair_count("dmg", "dmg") == 0
+
+    def test_accepts_document(self):
+        report = analyze_overlap(boethius_document(validate=False))
+        assert report.element_count == 16
+
+    def test_rows_printable(self, goddag):
+        rows = dict(analyze_overlap(goddag).rows())
+        assert rows["elements"] == "16"
+        assert "overlap line × w" in rows
+
+    def test_rates(self, goddag):
+        report = analyze_overlap(goddag)
+        assert 0.0 < report.overlap_rate <= 1.0
+        assert report.leaves_per_element == 1.0  # 16 leaves / 16 elements
+
+
+class TestSplitElements:
+    def test_singallice_is_split(self, goddag):
+        split = split_elements(goddag, "w", "line")
+        assert [w.string_value() for w in split] == ["singallice"]
+
+    def test_no_splits_without_overlap(self):
+        document = generate_document(GeneratorConfig(
+            n_words=60, seed=5, hyphenation_rate=0.0,
+            boundary_cross_rate=0.0, damage_rate=0.0,
+            restoration_rate=0.0))
+        goddag = KyGoddag.build(document)
+        assert split_elements(goddag, "w", "line") == []
+
+    def test_symmetric_counts(self, goddag):
+        report = analyze_overlap(goddag)
+        lines_split = split_elements(goddag, "line", "w")
+        words_split = split_elements(goddag, "w", "line")
+        # one word crossing two lines: 2 pairs, 2 lines, 1 word
+        assert report.pair_count("line", "w") == 2
+        assert len(lines_split) == 2
+        assert len(words_split) == 1
+
+
+class TestSyntheticSweep:
+    def test_overlap_grows_with_rates(self):
+        def rate_at(rate: float) -> float:
+            document = generate_document(GeneratorConfig(
+                n_words=200, seed=9, hyphenation_rate=rate,
+                boundary_cross_rate=rate))
+            return analyze_overlap(document).overlap_rate
+
+        assert rate_at(0.8) > rate_at(0.0)
+
+    def test_pairs_sorted_and_unordered(self):
+        document = generate_document(GeneratorConfig(n_words=150, seed=3))
+        report = analyze_overlap(document)
+        for pair in report.pairs:
+            assert isinstance(pair, OverlapPair)
+            assert pair.left_name <= pair.right_name
+            assert pair.count > 0

@@ -1,0 +1,53 @@
+"""Tests for the analyze-string flags extension (3rd argument)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FunctionError
+from repro.core.runtime import evaluate_query, serialize_items
+
+
+def run_str(goddag, query):
+    return serialize_items(evaluate_query(goddag, query))
+
+
+class TestFlags:
+    def test_case_insensitive(self, goddag):
+        out = run_str(goddag,
+                      'analyze-string(/descendant::w[2], "UNAWE", "i")')
+        assert out == "<res><m>unawe</m>ndendne</res>"
+
+    def test_without_flag_no_match(self, goddag):
+        out = run_str(goddag,
+                      'analyze-string(/descendant::w[2], "UNAWE")')
+        assert out == "<res>unawendendne</res>"
+
+    def test_verbose_flag(self, goddag):
+        out = run_str(
+            goddag,
+            'analyze-string(/descendant::w[2], "un awe", "x")')
+        assert out == "<res><m>unawe</m>ndendne</res>"
+
+    def test_flags_combine(self, goddag):
+        out = run_str(
+            goddag,
+            'analyze-string(/descendant::w[2], "UN AWE", "ix")')
+        assert out == "<res><m>unawe</m>ndendne</res>"
+
+    def test_bad_flag_rejected(self, goddag):
+        with pytest.raises(FunctionError, match="unsupported regex flag"):
+            evaluate_query(
+                goddag, 'analyze-string(/descendant::w[2], "x", "q")')
+
+    def test_flags_with_fragment_pattern(self, goddag):
+        out = run_str(
+            goddag,
+            'analyze-string(/descendant::w[2], "UN<a>A</a>WE", "i")')
+        assert out == "<res><m>un<a>a</a>we</m>ndendne</res>"
+
+    def test_dotall_flag_accepted(self, goddag):
+        # The Boethius text has no newline; 's' must still be legal.
+        out = run_str(goddag,
+                      'analyze-string(/descendant::w[2], "n.w", "s")')
+        assert out == "<res>u<m>naw</m>endendne</res>"

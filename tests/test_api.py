@@ -1,0 +1,111 @@
+"""Tests for the Engine facade and .mhx container IO."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Engine, QueryOptions, ReproError, load_mhx, save_mhx
+from repro.corpus.boethius import BASE_TEXT, DTD_SOURCES, ENCODINGS
+
+
+@pytest.fixture()
+def engine() -> Engine:
+    return Engine.from_xml(BASE_TEXT, ENCODINGS)
+
+
+class TestEngine:
+    def test_query(self, engine):
+        result = engine.query("count(/descendant::w)")
+        assert result.serialize() == "6"
+
+    def test_xpath(self, engine):
+        result = engine.xpath("/descendant::w[1]")
+        assert result.strings() == ["<w>gesceaftum</w>"]
+
+    def test_xpath_rejects_flwor(self, engine):
+        from repro.errors import QuerySyntaxError
+
+        with pytest.raises(QuerySyntaxError):
+            engine.xpath("for $x in //w return $x")
+
+    def test_compile_execute(self, engine):
+        compiled = engine.compile("count(/descendant::w) + $extra")
+        result = engine.execute(compiled, variables={"extra": [1]})
+        assert result.serialize() == "7"
+        assert engine.execute(compiled,
+                              variables={"extra": [10]}).serialize() == "16"
+
+    def test_result_protocols(self, engine):
+        result = engine.query("1, 2, 3")
+        assert len(result) == 3
+        assert list(result) == [1, 2, 3]
+        assert result[0] == 1
+
+    def test_serialize_modes(self, engine):
+        result = engine.query("'a', 'b'")
+        assert result.serialize() == "ab"
+        assert result.serialize(mode="xquery") == "a b"
+
+    def test_stats_and_describe(self, engine):
+        rows = dict(engine.stats().rows())
+        assert rows["leaves"] == "16"
+        assert "hierarchy physical" in rows
+        assert "KyGODDAG over 51 characters" in engine.describe()
+
+    def test_to_dot(self, engine):
+        dot = engine.to_dot()
+        assert dot.startswith("digraph")
+        assert "cluster_physical" in dot
+
+    def test_options_threaded(self):
+        engine = Engine.from_xml(
+            BASE_TEXT, ENCODINGS,
+            options=QueryOptions(analyze_strip_dotstar=False))
+        out = engine.query(
+            'analyze-string(/descendant::w[2], ".*unawe.*")')
+        assert out.serialize() == "<res><m>unawendendne</m></res>"
+
+
+class TestMhxContainer:
+    def test_round_trip(self, engine, tmp_path):
+        path = tmp_path / "boethius.mhx"
+        engine.save_mhx(path)
+        loaded = Engine.from_mhx(path)
+        assert loaded.query("count(/descendant::w)").serialize() == "6"
+        assert loaded.document.text == BASE_TEXT
+
+    def test_container_is_json(self, engine, tmp_path):
+        path = tmp_path / "doc.mhx"
+        engine.save_mhx(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["format"] == "mhx-1"
+        assert set(payload["hierarchies"]) == set(ENCODINGS)
+
+    def test_dtds_validated_on_load(self, tmp_path):
+        path = tmp_path / "doc.mhx"
+        payload = {
+            "format": "mhx-1",
+            "text": BASE_TEXT,
+            "hierarchies": dict(ENCODINGS),
+            "dtds": dict(DTD_SOURCES),
+        }
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        document = load_mhx(path)
+        assert document.cmh is not None
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "doc.mhx"
+        path.write_text('{"format": "other"}', encoding="utf-8")
+        with pytest.raises(ReproError, match="not an mhx-1"):
+            load_mhx(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            load_mhx(tmp_path / "missing.mhx")
+
+    def test_save_mhx_function(self, engine, tmp_path):
+        path = tmp_path / "direct.mhx"
+        save_mhx(engine.document, path)
+        assert load_mhx(path).text == BASE_TEXT

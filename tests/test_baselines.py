@@ -1,0 +1,205 @@
+"""Tests for the fragmentation/milestone baselines and flat queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    defragment,
+    demilestone,
+    fragment_document,
+    milestone_document,
+)
+from repro.baselines.flatquery import (
+    fragment_groups,
+    groups_overlapping,
+    lines_containing_group,
+    milestone_groups,
+    primary_groups,
+    search_groups,
+    text_offsets,
+)
+from repro.cmh.spans import spans_of
+from repro.corpus.generator import GeneratorConfig, generate_document
+from repro.markup import parse, serialize
+
+
+def span_signature(document):
+    return sorted((s.start, s.end, s.name) for s in spans_of(document))
+
+
+class TestFragmentation:
+    def test_flat_document_is_well_formed(self, boethius_doc):
+        flat = fragment_document(boethius_doc)
+        reparsed = parse(serialize(flat))
+        assert reparsed.root.name == "r"
+
+    def test_text_preserved(self, boethius_doc):
+        flat = fragment_document(boethius_doc)
+        assert flat.root.text_content() == boethius_doc.text
+
+    def test_singallice_is_fragmented(self, boethius_doc):
+        flat = fragment_document(boethius_doc)
+        words = fragment_groups(flat, "w")
+        singallice = [g for g in words if g.text == "singallice"]
+        assert len(singallice) == 1
+        assert len(singallice[0].elements) == 2  # split by the line break
+        parts = [e.get("part") for e in singallice[0].elements]
+        assert parts == ["I", "F"]
+
+    def test_unfragmented_elements_have_no_part(self, boethius_doc):
+        flat = fragment_document(boethius_doc)
+        words = fragment_groups(flat, "w")
+        whole = [g for g in words if g.text == "sibbe"][0]
+        assert whole.elements[0].get("part") is None
+
+    def test_round_trip_boethius(self, boethius_doc):
+        flat = fragment_document(boethius_doc)
+        rebuilt = defragment(flat)
+        assert rebuilt.text == boethius_doc.text
+        for name in boethius_doc.hierarchy_names:
+            assert span_signature(rebuilt[name].document) == \
+                span_signature(boethius_doc[name].document)
+
+    def test_round_trip_synthetic(self):
+        document = generate_document(GeneratorConfig(n_words=120, seed=7))
+        flat = fragment_document(document)
+        assert flat.root.text_content() == document.text
+        rebuilt = defragment(flat)
+        for name in document.hierarchy_names:
+            assert span_signature(rebuilt[name].document) == \
+                span_signature(document[name].document)
+
+    def test_fragment_count_grows_with_overlap(self):
+        tame = generate_document(GeneratorConfig(
+            n_words=150, seed=3, hyphenation_rate=0.0,
+            boundary_cross_rate=0.0))
+        wild = generate_document(GeneratorConfig(
+            n_words=150, seed=3, hyphenation_rate=0.9,
+            boundary_cross_rate=1.0))
+        count_tame = sum(1 for _ in
+                         fragment_document(tame).root.iter_elements())
+        count_wild = sum(1 for _ in
+                         fragment_document(wild).root.iter_elements())
+        assert count_wild > count_tame
+
+    def test_hierarchy_order_controls_nesting(self, boethius_doc):
+        flat = fragment_document(
+            boethius_doc,
+            hierarchy_order=["structural", "physical", "restoration",
+                             "damage"])
+        assert flat.root.text_content() == boethius_doc.text
+        rebuilt = defragment(flat)
+        for name in boethius_doc.hierarchy_names:
+            assert span_signature(rebuilt[name].document) == \
+                span_signature(boethius_doc[name].document)
+
+
+class TestMilestones:
+    def test_document_well_formed_and_aligned(self, boethius_doc):
+        flat = milestone_document(boethius_doc, primary="structural")
+        reparsed = parse(serialize(flat))
+        assert reparsed.root.text_content() == boethius_doc.text
+
+    def test_markers_present(self, boethius_doc):
+        flat = milestone_document(boethius_doc, primary="structural")
+        names = {e.name for e in flat.root.iter_elements()}
+        assert {"lineS", "lineE", "dmgS", "dmgE", "resS", "resE"} <= names
+        assert "w" in names  # primary keeps real elements
+
+    def test_round_trip(self, boethius_doc):
+        flat = milestone_document(boethius_doc, primary="structural")
+        rebuilt = demilestone(flat, "structural")
+        for name in boethius_doc.hierarchy_names:
+            assert span_signature(rebuilt[name].document) == \
+                span_signature(boethius_doc[name].document)
+
+    def test_round_trip_synthetic(self):
+        document = generate_document(GeneratorConfig(n_words=100, seed=11))
+        flat = milestone_document(document, primary="structural")
+        rebuilt = demilestone(flat, "structural")
+        for name in document.hierarchy_names:
+            assert span_signature(rebuilt[name].document) == \
+                span_signature(document[name].document)
+
+    def test_unknown_primary_rejected(self, boethius_doc):
+        from repro.errors import BaselineError
+
+        with pytest.raises(BaselineError, match="no hierarchy"):
+            milestone_document(boethius_doc, primary="bogus")
+
+
+class TestFlatQueries:
+    def test_text_offsets_cover_document(self, boethius_doc):
+        flat = fragment_document(boethius_doc)
+        offsets, text = text_offsets(flat)
+        assert text == boethius_doc.text
+        root_span = offsets[id(flat.root)]
+        assert root_span == (0, len(text))
+
+    def test_search_requires_reassembly(self, boethius_doc):
+        flat = fragment_document(boethius_doc)
+        # Naive DOM search cannot see the fragmented word...
+        naive = [e for e in flat.root.iter_elements("w")
+                 if e.text_content() == "singallice"]
+        assert naive == []
+        # ...but group reassembly finds it.
+        words = fragment_groups(flat, "w")
+        assert len(search_groups(words, "singallice")) == 1
+
+    def test_flat_answer_matches_goddag_q_i1(self, boethius_doc, goddag):
+        from repro.core.runtime import evaluate_query
+
+        flat = fragment_document(boethius_doc)
+        words = fragment_groups(flat, "w")
+        hits = search_groups(words, "singallice")
+        lines = fragment_groups(flat, "line")
+        flat_lines = sorted(
+            g.text for g in lines_containing_group(lines, hits))
+        goddag_lines = sorted(
+            evaluate_query(goddag, PAPER_Q_I1))
+        assert flat_lines == goddag_lines
+
+    def test_flat_damaged_words_match_goddag(self, boethius_doc, goddag):
+        from repro.core.runtime import evaluate_query
+
+        flat = fragment_document(boethius_doc)
+        words = fragment_groups(flat, "w")
+        damage = fragment_groups(flat, "dmg")
+        flat_damaged = sorted(
+            g.text for g in groups_overlapping(words, damage))
+        goddag_damaged = sorted(evaluate_query(
+            goddag,
+            "for $w in /descendant::w[xancestor::dmg or xdescendant::dmg "
+            "or overlapping::dmg] return string($w)"))
+        assert flat_damaged == goddag_damaged
+
+    def test_milestone_groups_extents(self, boethius_doc):
+        flat = milestone_document(boethius_doc, primary="structural")
+        lines = milestone_groups(flat, "line")
+        assert [(g.start, g.end) for g in lines] == [(0, 27), (27, 51)]
+
+    def test_primary_groups(self, boethius_doc):
+        flat = milestone_document(boethius_doc, primary="structural")
+        words = primary_groups(flat, "w")
+        assert [g.text for g in words] == [
+            "gesceaftum", "unawendendne", "singallice", "sibbe",
+            "gecynde", "ϸa"]
+
+    def test_flat_milestone_answer_matches_goddag(self, boethius_doc,
+                                                  goddag):
+        from repro.core.runtime import evaluate_query
+
+        flat = milestone_document(boethius_doc, primary="structural")
+        words = primary_groups(flat, "w")
+        hits = search_groups(words, "singallice")
+        lines = milestone_groups(flat, "line")
+        flat_lines = sorted(
+            g.text for g in lines_containing_group(lines, hits))
+        assert flat_lines == sorted(evaluate_query(goddag, PAPER_Q_I1))
+
+
+PAPER_Q_I1 = ('for $l in /descendant::line'
+              '[xdescendant::w[string(.) = "singallice"] or '
+              'overlapping::w[string(.) = "singallice"]] '
+              'return string($l)')

@@ -1,0 +1,127 @@
+"""Tests for the mhxq command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.corpus.boethius import BASE_TEXT, ENCODINGS
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestQueryCommands:
+    def test_query_sample(self, capsys):
+        code, out, _err = run_cli(capsys, "query", "--sample",
+                                  "count(/descendant::w)")
+        assert code == 0
+        assert out.strip() == "6"
+
+    def test_query_paper_i1(self, capsys):
+        query = ('for $l in /descendant::line[overlapping::w'
+                 '[string(.) = "singallice"] or xdescendant::w'
+                 '[string(.) = "singallice"]] return string($l)')
+        code, out, _err = run_cli(capsys, "query", "--sample", query)
+        assert code == 0
+        assert out.strip() == BASE_TEXT
+
+    def test_query_xquery_mode(self, capsys):
+        code, out, _err = run_cli(capsys, "query", "--sample",
+                                  "--mode", "xquery", "'a', 'b'")
+        assert out.strip() == "a b"
+
+    def test_query_from_file(self, capsys, tmp_path):
+        query_file = tmp_path / "q.xq"
+        query_file.write_text("count(/descendant::leaf())",
+                              encoding="utf-8")
+        code, out, _err = run_cli(capsys, "query", "--sample",
+                                  f"@{query_file}")
+        assert out.strip() == "16"
+
+    def test_xpath_command(self, capsys):
+        code, out, _err = run_cli(capsys, "xpath", "--sample",
+                                  "/descendant::dmg[1]")
+        assert out.strip() == "<dmg>w</dmg>"
+
+    def test_query_without_document_errors(self, capsys):
+        code, _out, err = run_cli(capsys, "query", "1+1")
+        assert code == 1
+        assert "provide --mhx" in err
+
+
+class TestInspectionCommands:
+    def test_stats(self, capsys):
+        code, out, _err = run_cli(capsys, "stats", "--sample")
+        assert code == 0
+        assert "leaves" in out and "16" in out
+
+    def test_describe(self, capsys):
+        _code, out, _err = run_cli(capsys, "describe", "--sample")
+        assert "hierarchy physical" in out
+
+    def test_render_dot(self, capsys):
+        _code, out, _err = run_cli(capsys, "render", "--sample")
+        assert out.startswith("digraph")
+
+    def test_leaves(self, capsys):
+        _code, out, _err = run_cli(capsys, "leaves", "--sample")
+        assert "'gesceaftum'" in out
+        assert len(out.strip().splitlines()) == 16
+
+    def test_validate(self, capsys):
+        code, out, _err = run_cli(capsys, "validate", "--sample")
+        assert code == 0
+        assert "OK" in out
+
+    def test_experiments(self, capsys):
+        code, out, _err = run_cli(capsys, "experiments")
+        assert code == 0
+        assert "Q-I.1" in out and "EXACT" in out
+
+
+class TestBaselineCommands:
+    def test_fragment(self, capsys):
+        _code, out, _err = run_cli(capsys, "fragment", "--sample")
+        assert 'part="I"' in out
+
+    def test_milestone(self, capsys):
+        _code, out, _err = run_cli(capsys, "milestone", "--sample",
+                                   "--primary", "structural")
+        assert "lineS" in out
+
+
+class TestPackAndLoad:
+    def test_pack_then_query(self, capsys, tmp_path):
+        text_file = tmp_path / "base.txt"
+        text_file.write_text(BASE_TEXT, encoding="utf-8")
+        files = []
+        for name, xml in ENCODINGS.items():
+            xml_file = tmp_path / f"{name}.xml"
+            xml_file.write_text(xml, encoding="utf-8")
+            files.append(f"{name}={xml_file}")
+        out_path = tmp_path / "doc.mhx"
+        code, out, _err = run_cli(capsys, "pack", str(out_path),
+                                  "--text", str(text_file), *files)
+        assert code == 0
+        assert "4 hierarchies" in out
+        code, out, _err = run_cli(capsys, "query", "--mhx", str(out_path),
+                                  "count(/descendant::line)")
+        assert out.strip() == "2"
+
+    def test_pack_bad_spec(self, capsys, tmp_path):
+        text_file = tmp_path / "base.txt"
+        text_file.write_text("x", encoding="utf-8")
+        code, _out, err = run_cli(capsys, "pack",
+                                  str(tmp_path / "o.mhx"),
+                                  "--text", str(text_file), "noequals")
+        assert code == 1
+        assert "NAME=FILE" in err
+
+    def test_bad_query_reports_error(self, capsys):
+        code, _out, err = run_cli(capsys, "query", "--sample", "for $x in")
+        assert code == 1
+        assert "error:" in err

@@ -1,0 +1,92 @@
+"""Tests for the experiments registry and runner internals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lang import parse_query
+from repro.experiments.paperdata import (
+    EXAMPLE_1,
+    FIGURE_2_INVENTORY,
+    PAPER_QUERIES,
+)
+from repro.experiments.runner import (
+    ExperimentReport,
+    format_reports,
+    run_all,
+    run_experiment,
+    run_figure_2,
+)
+
+
+class TestPaperData:
+    def test_four_queries_registered(self):
+        assert [spec.id for spec in PAPER_QUERIES] == [
+            "Q-I.1", "Q-I.2", "Q-II.1", "Q-III.1"]
+
+    def test_all_queries_parse(self):
+        for spec in PAPER_QUERIES:
+            parse_query(spec.query)
+            if spec.amended_query:
+                parse_query(spec.amended_query)
+
+    def test_exact_specs_have_equal_expectations(self):
+        for spec in PAPER_QUERIES:
+            if spec.id in ("Q-I.1", "Q-II.1"):
+                assert spec.expected_output == spec.paper_output
+
+    def test_delta_specs_carry_amendments_and_notes(self):
+        for spec in PAPER_QUERIES:
+            if spec.expected_output != spec.paper_output:
+                assert spec.amended_query is not None
+                assert spec.amended_output is not None
+                assert spec.notes
+
+    def test_example_1_fields(self):
+        assert EXAMPLE_1["pattern"] == ".*un<a>a</a>we.*"
+        assert EXAMPLE_1["paper_output"].startswith("<res><m>")
+
+    def test_figure_2_inventory_totals(self):
+        counts = FIGURE_2_INVENTORY["elements"]
+        assert sum(sum(v.values()) for v in counts.values()) == 16
+        assert FIGURE_2_INVENTORY["leaves"] == 16
+
+
+class TestRunner:
+    def test_reports_shape(self):
+        reports = run_all()
+        assert [r.id for r in reports] == [
+            "FIG2", "EX1", "Q-I.1", "Q-I.2", "Q-II.1", "Q-III.1"]
+        for report in reports:
+            assert isinstance(report, ExperimentReport)
+            assert report.measured
+
+    def test_reuses_provided_goddag(self, goddag):
+        report = run_experiment("Q-I.1", goddag)
+        assert report.matches_paper
+        # Temp hierarchies from analyze-string queries must not leak.
+        run_experiment("Q-II.1", goddag)
+        assert goddag.hierarchy_names == [
+            "physical", "structural", "restoration", "damage"]
+
+    def test_figure_2_direct(self, goddag):
+        report = run_figure_2(goddag)
+        assert report.matches_paper
+        assert "leaves=16" in report.measured
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("TAB-7")
+
+    def test_summary_row_statuses(self):
+        exact = ExperimentReport("X", "t", "a", "a", True, True)
+        delta = ExperimentReport("Y", "t", "a", "b", False, True)
+        broken = ExperimentReport("Z", "t", "a", "c", False, False)
+        assert "EXACT" in exact.summary_row()
+        assert "documented delta" in delta.summary_row()
+        assert "MISMATCH" in broken.summary_row()
+
+    def test_format_includes_amended_lines(self):
+        text = format_reports(run_all())
+        assert "amended" in text
+        assert "notes" in text

@@ -1,0 +1,111 @@
+"""Unit tests for the sorted span index."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.goddag.index import SpanIndex
+from repro.core.goddag.nodes import GElement, GText
+
+
+class TestConstruction:
+    def test_covers_root_elements_and_text(self, goddag):
+        index = SpanIndex(goddag)
+        kinds = {type(node) for node in index.nodes}
+        assert GElement in kinds and GText in kinds
+        assert goddag.root in index.nodes
+        # 1 root + 16 elements + 22 text nodes
+        assert len(index) == 39
+
+    def test_sorted_by_start_then_wider_first(self, goddag):
+        index = SpanIndex(goddag)
+        pairs = [(node.start, -node.end) for node in index.nodes]
+        assert pairs == sorted(pairs)
+
+    def test_end_sorted_view(self, goddag):
+        index = SpanIndex(goddag)
+        assert list(index.ends_sorted) == sorted(index.ends)
+
+    def test_cached_on_goddag(self, goddag):
+        first = goddag.span_index()
+        assert goddag.span_index() is first
+
+    def test_invalidated_by_hierarchy_change(self, goddag):
+        from repro.cmh.spans import Span, SpanSet
+
+        first = goddag.span_index()
+        spans = SpanSet(goddag.text, [Span(0, 5, "x")])
+        goddag.add_hierarchy_from_spans("tmp", spans, temporary=True)
+        second = goddag.span_index()
+        assert second is not first
+        # <x> element + its text + the trailing text node after it
+        assert len(second) == len(first) + 3
+        goddag.remove_hierarchy("tmp")
+        assert len(goddag.span_index()) == len(first)
+
+
+class TestSlices:
+    def test_start_slice_bounds(self, goddag):
+        index = SpanIndex(goddag)
+        left, right = index.start_slice(11, 23)  # unawendendne's span
+        starts = index.starts[left:right]
+        assert (starts >= 11).all() and (starts < 23).all()
+        # Everything outside the slice is outside the range.
+        outside = np.concatenate([index.starts[:left],
+                                  index.starts[right:]])
+        assert not ((outside >= 11) & (outside < 23)).any()
+
+    def test_end_slice_bounds(self, goddag):
+        index = SpanIndex(goddag)
+        left, right = index.end_slice(14, 24)
+        ends = index.ends_sorted[left:right]
+        assert (ends >= 14).all() and (ends < 24).all()
+
+    def test_empty_slice(self, goddag):
+        index = SpanIndex(goddag)
+        left, right = index.start_slice(51, 51)
+        assert left == right
+
+    def test_name_mask(self, goddag):
+        index = SpanIndex(goddag)
+        mask = index.name_mask("w")
+        assert mask.sum() == 6
+        assert all(index.nodes[i].name == "w"
+                   for i in np.flatnonzero(mask))
+        assert index.name_mask("w") is mask  # cached
+
+    def test_name_mask_root(self, goddag):
+        index = SpanIndex(goddag)
+        assert index.name_mask("r").sum() == 1
+
+
+class TestExclusionHelpers:
+    def test_root_excludes_only_itself_for_xdescendant(self, goddag):
+        index = SpanIndex(goddag)
+        mask = index.ancestor_or_self_exclusion(goddag.root, 0,
+                                                len(index))
+        excluded = [index.nodes[i] for i in np.flatnonzero(mask)]
+        assert excluded == [goddag.root]
+
+    def test_element_excludes_chain_and_root(self, goddag):
+        index = SpanIndex(goddag)
+        word = next(w for w in goddag.elements("w")
+                    if w.string_value() == "gesceaftum")
+        mask = index.ancestor_or_self_exclusion(word, 0, len(index))
+        excluded = {index.nodes[i] for i in np.flatnonzero(mask)}
+        assert word in excluded
+        assert goddag.root in excluded
+        assert any(getattr(n, "name", None) == "vline" for n in excluded)
+        # Other hierarchies are never excluded.
+        assert not any(getattr(n, "name", None) == "line"
+                       for n in excluded)
+
+    def test_is_descendant_or_self(self, goddag):
+        index = SpanIndex(goddag)
+        vline = next(goddag.elements("vline"))
+        word = vline.children[0]
+        assert index.is_descendant_or_self(vline, word)
+        assert index.is_descendant_or_self(vline, vline)
+        assert not index.is_descendant_or_self(word, vline)
+        assert index.is_descendant_or_self(goddag.root, vline)
+        assert not index.is_descendant_or_self(vline, goddag.root)

@@ -1,0 +1,115 @@
+"""Tests for the query language tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.core.lang.lexer import EOF, Lexer
+
+
+def tokens_of(text: str) -> list[tuple[str, str]]:
+    lexer = Lexer(text)
+    out = []
+    while True:
+        token = lexer.next()
+        if token.kind == EOF:
+            return out
+        out.append((token.kind, token.value))
+
+
+class TestBasicTokens:
+    def test_names_and_symbols(self):
+        assert tokens_of("child::w") == [
+            ("name", "child"), ("symbol", "::"), ("name", "w")]
+
+    def test_hyphenated_name_is_one_token(self):
+        assert tokens_of("analyze-string") == [("name", "analyze-string")]
+
+    def test_prefixed_name(self):
+        assert tokens_of("fn:string") == [("name", "fn:string")]
+
+    def test_prefix_not_confused_with_axis(self):
+        assert tokens_of("a::b") == [
+            ("name", "a"), ("symbol", "::"), ("name", "b")]
+
+    def test_variable(self):
+        assert tokens_of("$leaf") == [("symbol", "$"), ("name", "leaf")]
+
+    def test_numbers(self):
+        assert tokens_of("42 3.14 .5 1e3") == [
+            ("integer", "42"), ("decimal", "3.14"), ("decimal", ".5"),
+            ("decimal", "1e3")]
+
+    def test_dotdot_not_a_decimal(self):
+        assert tokens_of("1..") == [("integer", "1"), ("symbol", "..")]
+
+    def test_multi_char_symbols(self):
+        assert [v for _k, v in tokens_of(":= :: // .. != <= >= << >>")] == [
+            ":=", "::", "//", "..", "!=", "<=", ">=", "<<", ">>"]
+
+    def test_unicode_names(self):
+        assert tokens_of("ϸorn") == [("name", "ϸorn")]
+
+
+class TestStrings:
+    def test_double_quoted(self):
+        assert tokens_of('"hello"') == [("string", "hello")]
+
+    def test_single_quoted(self):
+        assert tokens_of("'hello'") == [("string", "hello")]
+
+    def test_doubled_quote_escape(self):
+        assert tokens_of('"a""b"') == [("string", 'a"b')]
+
+    def test_entity_references(self):
+        assert tokens_of('"&lt;&amp;&#65;"') == [("string", "<&A")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError, match="unterminated"):
+            tokens_of('"oops')
+
+    def test_unknown_entity(self):
+        with pytest.raises(QuerySyntaxError, match="unknown entity"):
+            tokens_of('"&bogus;"')
+
+
+class TestCommentsAndErrors:
+    def test_comment_skipped(self):
+        assert tokens_of("a (: comment :) b") == [
+            ("name", "a"), ("name", "b")]
+
+    def test_nested_comments(self):
+        assert tokens_of("a (: outer (: inner :) still :) b") == [
+            ("name", "a"), ("name", "b")]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(QuerySyntaxError, match="unterminated comment"):
+            tokens_of("a (: open")
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError, match="unexpected character"):
+            tokens_of("#")
+
+    def test_error_location(self):
+        lexer = Lexer("abc\n  #")
+        lexer.next()
+        with pytest.raises(QuerySyntaxError) as info:
+            lexer.next()
+        assert info.value.line == 2
+        assert info.value.column == 3
+
+
+class TestStreamControl:
+    def test_peek_does_not_consume(self):
+        lexer = Lexer("a b")
+        assert lexer.peek().value == "a"
+        assert lexer.peek(1).value == "b"
+        assert lexer.next().value == "a"
+
+    def test_sync_to_rewinds(self):
+        lexer = Lexer("a b c")
+        first = lexer.next()
+        lexer.peek()  # fill the lookahead
+        lexer.sync_to(first.end)
+        assert lexer.next().value == "b"

@@ -1,0 +1,333 @@
+"""Tests for the query parser: paths, FLWOR, constructors, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.core.lang import ast, parse_query, parse_xpath
+
+
+class TestPaths:
+    def test_absolute_path(self):
+        expr = parse_query("/descendant::line")
+        assert isinstance(expr, ast.PathExpr)
+        assert expr.anchor == "root"
+        assert expr.steps[0].axis == "descendant"
+        assert expr.steps[0].test == ast.NameTest("line")
+
+    def test_root_only(self):
+        expr = parse_query("/")
+        assert isinstance(expr, ast.PathExpr)
+        assert expr.anchor == "root" and expr.steps == ()
+
+    def test_double_slash_abbreviation(self):
+        # The "descendant" anchor encodes the leading
+        # /descendant-or-self::node()/ step; it is applied at evaluation.
+        expr = parse_query("//w")
+        assert expr.anchor == "descendant"
+        assert expr.steps[0].axis == "child"
+        assert expr.steps[0].test == ast.NameTest("w")
+
+    def test_relative_multi_step(self):
+        expr = parse_query("a/b//c")
+        assert isinstance(expr, ast.PathExpr)
+        axes = [step.axis for step in expr.steps]
+        assert axes == ["child", "child", "descendant-or-self", "child"]
+
+    def test_attribute_abbreviation(self):
+        expr = parse_query("@type")
+        assert expr.steps[0].axis == "attribute"
+
+    def test_parent_abbreviation(self):
+        expr = parse_query("../x")
+        assert expr.steps[0].axis == "parent"
+        assert expr.steps[0].test == ast.KindTest("node")
+
+    def test_extended_axes_parse(self):
+        for axis in ("xancestor", "xdescendant", "xfollowing",
+                     "xpreceding", "preceding-overlapping",
+                     "following-overlapping", "overlapping"):
+            expr = parse_query(f"{axis}::w")
+            assert expr.steps[0].axis == axis
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(QuerySyntaxError, match="unknown axis"):
+            parse_query("sideways::w")
+
+    def test_predicates(self):
+        expr = parse_query('w[string(.) = "x"][2]')
+        assert len(expr.steps[0].predicates) == 2
+
+    def test_primary_then_steps(self):
+        expr = parse_query("$res/child::node()")
+        assert isinstance(expr.primary, ast.VarRef)
+        assert expr.steps[0].axis == "child"
+
+    def test_variable_with_predicate(self):
+        expr = parse_query("$leaf[ancestor::w]")
+        assert isinstance(expr, ast.FilterExpr)
+
+
+class TestNodeTests:
+    def test_kind_tests(self):
+        for kind in ("text", "node", "comment", "leaf"):
+            expr = parse_query(f"child::{kind}()")
+            assert expr.steps[0].test == ast.KindTest(kind)
+
+    def test_extended_hierarchy_tests(self):
+        expr = parse_query("child::text('structural')")
+        assert expr.steps[0].test == ast.KindTest(
+            "text", ("structural",))
+        expr = parse_query("child::node('a, b')")
+        assert expr.steps[0].test == ast.KindTest("node", ("a", "b"))
+
+    def test_extended_wildcard(self):
+        expr = parse_query("child::*('damage')")
+        assert expr.steps[0].test == ast.WildcardTest(("damage",))
+
+    def test_plain_wildcard(self):
+        expr = parse_query("child::*")
+        assert expr.steps[0].test == ast.WildcardTest()
+
+    def test_pi_with_target(self):
+        expr = parse_query("child::processing-instruction('tgt')")
+        assert expr.steps[0].test.target == "tgt"
+
+    def test_leaf_with_argument_rejected(self):
+        with pytest.raises(QuerySyntaxError, match="hierarchy argument"):
+            parse_query("child::leaf('x')")
+
+    def test_empty_hierarchy_list_rejected(self):
+        with pytest.raises(QuerySyntaxError, match="empty hierarchy"):
+            parse_query("child::text('')")
+
+
+class TestOperators:
+    def test_precedence_or_and(self):
+        expr = parse_query("a or b and c")
+        assert isinstance(expr, ast.OrExpr)
+        assert isinstance(expr.operands[1], ast.AndExpr)
+
+    def test_comparison_styles(self):
+        assert parse_query("1 = 2").style == "general"
+        assert parse_query("1 eq 2").style == "value"
+        assert parse_query("$a is $b").style == "node"
+        assert parse_query("$a << $b").op == "<<"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_query("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_range(self):
+        expr = parse_query("1 to 5")
+        assert isinstance(expr, ast.RangeExpr)
+
+    def test_union_and_intersect(self):
+        expr = parse_query("a | b union c")
+        assert isinstance(expr, ast.UnionExpr)
+        assert len(expr.operands) == 3
+        expr = parse_query("a intersect b")
+        assert isinstance(expr, ast.IntersectExceptExpr)
+
+    def test_unary_minus(self):
+        expr = parse_query("-1")
+        assert isinstance(expr, ast.UnaryExpr)
+
+    def test_sequence_comma(self):
+        expr = parse_query("1, 2, 3")
+        assert isinstance(expr, ast.SequenceExpr)
+        assert len(expr.items) == 3
+
+    def test_empty_parens(self):
+        expr = parse_query("()")
+        assert expr == ast.SequenceExpr((), offset=0)
+
+    def test_div_mod_are_contextual(self):
+        # 'div' as an element name in a path vs as an operator.
+        expr = parse_query("div")
+        assert isinstance(expr, ast.PathExpr)
+        expr = parse_query("4 div 2")
+        assert isinstance(expr, ast.ArithmeticExpr)
+
+
+class TestFLWOR:
+    def test_for_let_where_return(self):
+        expr = parse_query(
+            'for $x in //w let $s := string($x) '
+            'where contains($s, "a") return $s')
+        assert isinstance(expr, ast.FLWORExpr)
+        kinds = [type(c).__name__ for c in expr.clauses]
+        assert kinds == ["ForClause", "LetClause", "WhereClause"]
+
+    def test_for_with_at(self):
+        expr = parse_query("for $x at $i in (1,2) return $i")
+        assert expr.clauses[0].position_variable == "i"
+
+    def test_multiple_bindings(self):
+        expr = parse_query("for $a in 1, $b in 2 return $a + $b")
+        assert len(expr.clauses) == 2
+
+    def test_order_by(self):
+        expr = parse_query(
+            "for $x in //w order by string($x) descending return $x")
+        order = expr.clauses[-1]
+        assert isinstance(order, ast.OrderByClause)
+        assert order.specs[0].descending
+
+    def test_order_by_empty_greatest(self):
+        expr = parse_query(
+            "for $x in //w order by $x empty greatest return $x")
+        assert not expr.clauses[-1].specs[0].empty_least
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(QuerySyntaxError, match="return"):
+            parse_query("for $x in //w")
+
+    def test_if_then_else(self):
+        expr = parse_query("if (1) then 2 else 3")
+        assert isinstance(expr, ast.IfExpr)
+
+    def test_if_requires_else(self):
+        with pytest.raises(QuerySyntaxError, match="else"):
+            parse_query("if (1) then 2")
+
+    def test_quantified(self):
+        expr = parse_query("some $x in (1,2) satisfies $x = 2")
+        assert isinstance(expr, ast.QuantifiedExpr)
+        assert expr.quantifier == "some"
+        expr = parse_query("every $x in (1,2) satisfies $x > 0")
+        assert expr.quantifier == "every"
+
+    def test_keyword_names_usable_as_steps(self):
+        # 'for' not followed by '$' is an ordinary name test.
+        expr = parse_query("for")
+        assert isinstance(expr, ast.PathExpr)
+
+
+class TestConstructors:
+    def test_empty_element(self):
+        expr = parse_query("<br/>")
+        assert expr == ast.ElementConstructor("br", (), (), offset=0)
+
+    def test_text_content(self):
+        expr = parse_query("<b>bold</b>")
+        assert expr.content == ("bold",)
+
+    def test_enclosed_expression(self):
+        expr = parse_query("<b>{$leaf}</b>")
+        assert isinstance(expr.content[0], ast.VarRef)
+
+    def test_nested_constructors(self):
+        expr = parse_query("<i><b>{$x}</b></i>")
+        inner = expr.content[0]
+        assert isinstance(inner, ast.ElementConstructor)
+        assert inner.name == "b"
+
+    def test_mixed_content(self):
+        expr = parse_query("<p>before {$x} after</p>")
+        assert expr.content[0] == "before "
+        assert isinstance(expr.content[1], ast.VarRef)
+        assert expr.content[2] == " after"
+
+    def test_boundary_whitespace_stripped(self):
+        expr = parse_query("<p>  <b/>  </p>")
+        assert all(isinstance(c, ast.ElementConstructor)
+                   for c in expr.content)
+
+    def test_attributes_literal(self):
+        expr = parse_query('<a href="x">t</a>')
+        assert expr.attributes[0][0] == "href"
+        assert expr.attributes[0][1].parts == ("x",)
+
+    def test_attribute_value_template(self):
+        expr = parse_query('<a n="{position()}"/>')
+        assert isinstance(expr.attributes[0][1].parts[0], ast.FunctionCall)
+
+    def test_brace_escapes(self):
+        expr = parse_query("<a>{{literal}}</a>")
+        assert expr.content == ("{literal}",)
+
+    def test_entity_in_content(self):
+        expr = parse_query("<a>&lt;&#65;</a>")
+        assert expr.content == ("<A",)
+
+    def test_cdata_in_content(self):
+        expr = parse_query("<a><![CDATA[{raw}]]></a>")
+        assert expr.content == ("{raw}",)
+
+    def test_mismatched_end_tag_rejected(self):
+        with pytest.raises(QuerySyntaxError, match="does not match"):
+            parse_query("<a></b>")
+
+    def test_less_than_is_comparison_after_operand(self):
+        expr = parse_query("1 < 2")
+        assert isinstance(expr, ast.ComparisonExpr)
+
+    def test_constructor_in_sequence(self):
+        expr = parse_query("<b>{$x}</b>, <br/>")
+        assert isinstance(expr, ast.SequenceExpr)
+        assert len(expr.items) == 2
+
+
+class TestFunctionCalls:
+    def test_simple_call(self):
+        expr = parse_query("string($l)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "string"
+
+    def test_fn_prefix_stripped(self):
+        assert parse_query("fn:string(1)").name == "string"
+
+    def test_hyphenated_function(self):
+        expr = parse_query('analyze-string($w, ".*unawe.*")')
+        assert expr.name == "analyze-string"
+        assert len(expr.args) == 2
+
+    def test_no_args(self):
+        assert parse_query("position()").args == ()
+
+    def test_kind_test_names_not_functions(self):
+        expr = parse_query("text()")
+        assert isinstance(expr, ast.PathExpr)
+        assert expr.steps[0].test == ast.KindTest("text")
+
+
+class TestParseXPath:
+    def test_accepts_paths(self):
+        parse_xpath("/descendant::line[overlapping::w]")
+
+    def test_rejects_flwor(self):
+        with pytest.raises(QuerySyntaxError, match="FLWORExpr"):
+            parse_xpath("for $x in //w return $x")
+
+    def test_rejects_constructors(self):
+        with pytest.raises(QuerySyntaxError, match="ElementConstructor"):
+            parse_xpath("<b/>")
+
+    def test_rejects_quantified(self):
+        with pytest.raises(QuerySyntaxError, match="QuantifiedExpr"):
+            parse_xpath("some $x in //w satisfies $x")
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("source", [
+        "",
+        "for $x in",
+        "let $x := ",
+        "1 +",
+        "(1, 2",
+        "child::",
+        "$",
+        "a[",
+        "if (1) then",
+        "<a>{1</a>",
+    ])
+    def test_rejected(self, source):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(source)
+
+    def test_trailing_content_rejected(self):
+        with pytest.raises(QuerySyntaxError, match="trailing"):
+            parse_query("1 1")

@@ -1,0 +1,165 @@
+"""Unit tests for the DOM layer: navigation, mutation, ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.markup import parse
+from repro.markup.dom import Attr, Comment, Document, Element, Text
+
+
+@pytest.fixture()
+def tree() -> Document:
+    return parse('<r><a x="1">one<b/>two</a><c><d/></c></r>')
+
+
+class TestNavigation:
+    def test_root(self, tree):
+        assert tree.root.name == "r"
+
+    def test_root_raises_without_element(self):
+        with pytest.raises(ValueError):
+            Document().root
+
+    def test_owner_document(self, tree):
+        d = tree.root.find("d")
+        assert d.owner_document is tree
+
+    def test_ancestors(self, tree):
+        d = tree.root.find("d")
+        names = [getattr(node, "name", "#doc") for node in d.ancestors()]
+        assert names == ["c", "r", "#doc"]
+
+    def test_root_element_of_detached(self):
+        element = Element("solo")
+        assert element.root_element() is element
+
+    def test_siblings(self, tree):
+        a = tree.root.find("a")
+        following = a.following_sibling_nodes
+        assert [n.name for n in following] == ["c"]
+        c = tree.root.find("c")
+        assert [n.name for n in c.preceding_sibling_nodes] == ["a"]
+
+    def test_iter_preorder(self, tree):
+        names = [node.name for node in tree.root.iter()
+                 if isinstance(node, Element)]
+        assert names == ["r", "a", "b", "c", "d"]
+
+    def test_iter_elements_filter(self, tree):
+        assert [e.name for e in tree.root.iter_elements("d")] == ["d"]
+
+    def test_find_and_findall(self, tree):
+        assert tree.root.find("b").name == "b"
+        assert tree.root.find("missing") is None
+        assert len(tree.root.findall("d")) == 1
+
+    def test_child_elements(self, tree):
+        assert [e.name for e in tree.root.child_elements()] == ["a", "c"]
+
+    def test_text_content(self, tree):
+        assert tree.root.text_content() == "onetwo"
+
+
+class TestMutation:
+    def test_append_reparents(self):
+        a, b = Element("a"), Element("b")
+        a.append(b)
+        assert b.parent is a
+        c = Element("c")
+        c.append(b)
+        assert b.parent is c
+        assert a.children == []
+
+    def test_insert(self):
+        a = Element("a")
+        a.append(Element("x"))
+        a.insert(0, Element("first"))
+        assert [e.name for e in a.children] == ["first", "x"]
+
+    def test_remove(self):
+        a = Element("a")
+        b = a.append(Element("b"))
+        a.remove(b)
+        assert a.children == [] and b.parent is None
+
+    def test_remove_non_child_raises(self):
+        with pytest.raises(ValueError):
+            Element("a").remove(Element("b"))
+
+    def test_replace(self):
+        a = Element("a")
+        old = a.append(Element("old"))
+        new = Element("new")
+        a.replace(old, new)
+        assert a.children == [new] and old.parent is None
+
+    def test_detach(self):
+        a = Element("a")
+        b = a.append(Element("b"))
+        b.detach()
+        assert a.children == []
+
+    def test_normalize_merges_text(self):
+        a = Element("a")
+        a.append(Text("x"))
+        a.append(Text("y"))
+        a.append(Text(""))
+        a.normalize()
+        assert len(a.children) == 1
+        assert a.children[0].data == "xy"
+
+
+class TestAttributes:
+    def test_get_set_delete(self):
+        a = Element("a", {"x": "1"})
+        assert a.get("x") == "1"
+        assert a.get("y", "dflt") == "dflt"
+        a.set("y", "2")
+        assert a.get("y") == "2"
+        a.delete_attribute("x")
+        assert a.get("x") is None
+
+    def test_attribute_nodes(self):
+        a = Element("a", {"x": "1", "y": "2"})
+        nodes = a.attribute_nodes
+        assert [(n.name, n.value) for n in nodes] == [("x", "1"),
+                                                      ("y", "2")]
+        assert all(isinstance(n, Attr) and n.owner is a for n in nodes)
+
+    def test_attribute_nodes_track_updates(self):
+        a = Element("a", {"x": "1"})
+        _first = a.attribute_nodes
+        a.set("x", "9")
+        assert a.attribute_nodes[0].value == "9"
+
+    def test_attr_text_content(self):
+        assert Attr("n", "v", Element("a")).text_content() == "v"
+
+    def test_prefix_and_local_name(self):
+        assert Element("tei:w").prefix == "tei"
+        assert Element("tei:w").local_name == "w"
+        assert Element("w").prefix is None
+        assert Element("w").local_name == "w"
+
+
+class TestDocumentOrder:
+    def test_positions_monotone(self, tree):
+        order = tree.document_order()
+        a = tree.root.find("a")
+        b = tree.root.find("b")
+        c = tree.root.find("c")
+        assert order[id(a)] < order[id(b)] < order[id(c)]
+
+    def test_attributes_follow_owner(self, tree):
+        order = tree.document_order()
+        a = tree.root.find("a")
+        attr = a.attribute_nodes[0]
+        assert order[id(a)] < order[id(attr)] < order[id(a.children[0])]
+
+    def test_comment_text_nodes_ordered(self):
+        doc = parse("<a>x<!--c-->y</a>")
+        order = doc.document_order()
+        x, comment, y = doc.root.children
+        assert isinstance(comment, Comment)
+        assert order[id(x)] < order[id(comment)] < order[id(y)]

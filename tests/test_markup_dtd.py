@@ -1,0 +1,208 @@
+"""Unit tests for DTD parsing, content models, and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DTDError, ValidationError
+from repro.markup import parse, validate
+from repro.markup.dtd import parse_dtd
+
+
+def model_of(source: str, name: str = "a"):
+    return parse_dtd(source).elements[name].model
+
+
+class TestContentModelParsing:
+    def test_empty(self):
+        assert model_of("<!ELEMENT a EMPTY>").kind == "EMPTY"
+
+    def test_any(self):
+        assert model_of("<!ELEMENT a ANY>").kind == "ANY"
+
+    def test_pcdata_only(self):
+        model = model_of("<!ELEMENT a (#PCDATA)>")
+        assert model.kind == "mixed"
+        assert model.mixed_names == frozenset()
+
+    def test_mixed_with_names(self):
+        model = model_of("<!ELEMENT a (#PCDATA|b|c)*>")
+        assert model.mixed_names == {"b", "c"}
+
+    def test_mixed_requires_star(self):
+        with pytest.raises(DTDError, match="trailing"):
+            parse_dtd("<!ELEMENT a (#PCDATA|b)>")
+
+    def test_children_model_source_round_trip(self):
+        model = model_of("<!ELEMENT a (b,(c|d)*,e?)>")
+        assert model.kind == "children"
+        assert model.to_source() == "(b,(c|d)*,e?)"
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(DTDError, match="duplicate"):
+            parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a EMPTY>")
+
+    def test_comments_and_pis_skipped(self):
+        dtd = parse_dtd("<!--x--><?pi?><!ELEMENT a EMPTY>")
+        assert "a" in dtd.elements
+
+
+class TestContentModelMatching:
+    @pytest.mark.parametrize("sequence,ok", [
+        (["b"], True),
+        (["b", "e"], True),
+        (["b", "c", "d", "c"], True),
+        (["b", "c", "e"], True),
+        ([], False),
+        (["c"], False),
+        (["b", "e", "e"], False),
+        (["b", "x"], False),
+    ])
+    def test_seq_choice_occurrence(self, sequence, ok):
+        model = model_of("<!ELEMENT a (b,(c|d)*,e?)>")
+        assert model.matches(sequence) is ok
+
+    @pytest.mark.parametrize("sequence,ok", [
+        (["b"], True), (["b", "b"], True), ([], False),
+    ])
+    def test_plus(self, sequence, ok):
+        assert model_of("<!ELEMENT a (b+)>").matches(sequence) is ok
+
+    def test_opt(self):
+        model = model_of("<!ELEMENT a (b?)>")
+        assert model.matches([]) and model.matches(["b"])
+        assert not model.matches(["b", "b"])
+
+    def test_any_matches_everything(self):
+        assert model_of("<!ELEMENT a ANY>").matches(["x", "y"])
+
+    def test_empty_matches_nothing_else(self):
+        model = model_of("<!ELEMENT a EMPTY>")
+        assert model.matches([]) and not model.matches(["b"])
+
+    def test_allows_element_and_text(self):
+        mixed = model_of("<!ELEMENT a (#PCDATA|b)*>")
+        assert mixed.allows_text() and mixed.allows_element("b")
+        assert not mixed.allows_element("c")
+        children = model_of("<!ELEMENT a (b)>")
+        assert not children.allows_text()
+
+    def test_nested_groups(self):
+        model = model_of("<!ELEMENT a ((b,c)|(d,e))+>")
+        assert model.matches(["b", "c", "d", "e"])
+        assert not model.matches(["b", "e"])
+
+
+class TestReachability:
+    def test_declared_children(self):
+        dtd = parse_dtd("<!ELEMENT a (b,c)><!ELEMENT b EMPTY>"
+                        "<!ELEMENT c (#PCDATA|d)*><!ELEMENT d EMPTY>")
+        assert dtd.declared_children("a") == {"b", "c"}
+        assert dtd.declared_children("c") == {"d"}
+
+    def test_reachable_from(self):
+        dtd = parse_dtd("<!ELEMENT r (a)><!ELEMENT a (b?)>"
+                        "<!ELEMENT b EMPTY><!ELEMENT orphan EMPTY>")
+        assert dtd.reachable_from("r") == {"r", "a", "b"}
+
+
+class TestAttlist:
+    def test_types_and_defaults(self):
+        dtd = parse_dtd(
+            '<!ELEMENT a EMPTY>'
+            '<!ATTLIST a id ID #REQUIRED '
+            ' kind (x|y) "x" note CDATA #IMPLIED '
+            ' fixed CDATA #FIXED "f">')
+        attrs = dtd.elements["a"].attributes
+        assert attrs["id"].kind == "ID"
+        assert attrs["id"].default_kind == "#REQUIRED"
+        assert attrs["kind"].enumeration == ("x", "y")
+        assert attrs["kind"].default_value == "x"
+        assert attrs["fixed"].default_kind == "#FIXED"
+
+    def test_attlist_before_element(self):
+        dtd = parse_dtd('<!ATTLIST a x CDATA #IMPLIED>'
+                        '<!ENTITY e "v">')
+        assert "x" in dtd.elements["a"].attributes
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(DTDError, match="unknown attribute type"):
+            parse_dtd("<!ELEMENT a EMPTY><!ATTLIST a x BOGUS #IMPLIED>")
+
+    def test_entities_recorded(self):
+        dtd = parse_dtd('<!ENTITY name "value">')
+        assert dtd.general_entities == {"name": "value"}
+
+
+class TestValidation:
+    DTD = ("<!ELEMENT r (line+)>"
+           "<!ELEMENT line (#PCDATA|w)*>"
+           "<!ELEMENT w (#PCDATA)>"
+           '<!ATTLIST line n CDATA #REQUIRED kind (verse|prose) "prose">'
+           "<!ATTLIST w id ID #IMPLIED ref IDREF #IMPLIED>")
+
+    def _validate(self, body: str):
+        doc = parse(f"<r>{body}</r>")
+        validate(doc, parse_dtd(self.DTD))
+        return doc
+
+    def test_valid_document(self):
+        self._validate('<line n="1">x<w>y</w></line>')
+
+    def test_default_applied(self):
+        doc = self._validate('<line n="1"/>')
+        assert doc.root.find("line").get("kind") == "prose"
+
+    def test_undeclared_element(self):
+        dtd = parse_dtd("<!ELEMENT r ANY>")
+        with pytest.raises(ValidationError, match="not declared"):
+            validate(parse("<r><bogus/></r>"), dtd)
+
+    def test_model_violation(self):
+        with pytest.raises(ValidationError, match="content model"):
+            validate(parse("<r><w>x</w></r>"), parse_dtd(self.DTD))
+
+    def test_text_where_forbidden(self):
+        dtd = parse_dtd("<!ELEMENT r (a)><!ELEMENT a EMPTY>")
+        with pytest.raises(ValidationError, match="character data"):
+            validate(parse("<r>oops<a/></r>"), dtd)
+
+    def test_whitespace_tolerated_in_element_content(self):
+        dtd = parse_dtd("<!ELEMENT r (a)><!ELEMENT a EMPTY>")
+        validate(parse("<r>  <a/>  </r>"), dtd)
+
+    def test_missing_required_attribute(self):
+        with pytest.raises(ValidationError, match="required"):
+            self._validate("<line>x</line>")
+
+    def test_undeclared_attribute(self):
+        with pytest.raises(ValidationError, match="not declared"):
+            self._validate('<line n="1" bogus="y"/>')
+
+    def test_enumeration_enforced(self):
+        with pytest.raises(ValidationError, match="must be one of"):
+            self._validate('<line n="1" kind="sonnet"/>')
+
+    def test_duplicate_id(self):
+        with pytest.raises(ValidationError, match="duplicate ID"):
+            self._validate('<line n="1"><w id="w1"/><w id="w1"/></line>')
+
+    def test_dangling_idref(self):
+        with pytest.raises(ValidationError, match="IDREF"):
+            self._validate('<line n="1"><w ref="nowhere"/></line>')
+
+    def test_idref_resolves(self):
+        self._validate('<line n="1"><w id="w1"/><w ref="w1"/></line>')
+
+    def test_doctype_root_mismatch(self):
+        doc = parse("<!DOCTYPE other><r/>")
+        with pytest.raises(ValidationError, match="DOCTYPE"):
+            validate(doc, parse_dtd("<!ELEMENT r EMPTY>"))
+
+    def test_no_dtd_available(self):
+        with pytest.raises(ValidationError, match="no DTD"):
+            validate(parse("<r/>"))
+
+    def test_validate_uses_document_dtd(self):
+        doc = parse("<!DOCTYPE r [<!ELEMENT r EMPTY>]><r/>")
+        validate(doc)

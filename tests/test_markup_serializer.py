@@ -1,0 +1,92 @@
+"""Tests for XML serialization: escaping, pretty-printing, node kinds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.markup import parse, serialize
+from repro.markup.dom import (
+    Attr,
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+)
+from repro.markup.serializer import escape_attribute, escape_text
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_text_keeps_quotes(self):
+        assert escape_text("'\"") == "'\""
+
+    def test_attribute_escapes(self):
+        assert escape_attribute('<&"') == "&lt;&amp;&quot;"
+
+    def test_attribute_whitespace_preserved_as_refs(self):
+        assert escape_attribute("a\nb\tc") == "a&#10;b&#9;c"
+
+    def test_unicode_passes_through(self):
+        assert escape_text("ϸæð") == "ϸæð"
+
+
+class TestNodeSerialization:
+    def test_empty_element_self_closes(self):
+        assert serialize(Element("br")) == "<br/>"
+
+    def test_attributes_in_order(self):
+        assert serialize(Element("a", {"x": "1", "y": "2"})) == \
+            '<a x="1" y="2"/>'
+
+    def test_text_node(self):
+        assert serialize(Text("a<b")) == "a&lt;b"
+
+    def test_comment(self):
+        assert serialize(Comment(" hi ")) == "<!-- hi -->"
+
+    def test_pi_with_and_without_data(self):
+        assert serialize(ProcessingInstruction("t", "d")) == "<?t d?>"
+        assert serialize(ProcessingInstruction("t", "")) == "<?t?>"
+
+    def test_attr_node(self):
+        assert serialize(Attr("n", 'v"w', Element("a"))) == 'n="v&quot;w"'
+
+    def test_document_with_prolog_nodes(self):
+        document = Document()
+        document.append(Comment("c"))
+        document.append(Element("r"))
+        assert serialize(document) == "<!--c--><r/>"
+
+
+class TestPrettyPrinting:
+    def test_element_only_content_indented(self):
+        document = parse("<r><a><b/></a><c/></r>")
+        pretty = serialize(document, indent="  ")
+        assert pretty == ("<r>\n  <a>\n    <b/>\n  </a>\n  <c/>\n</r>")
+
+    def test_mixed_content_not_reindented(self):
+        source = "<r>text<b/>more</r>"
+        assert serialize(parse(source), indent="  ") == source
+
+    def test_pretty_output_reparses_equal_for_element_content(self):
+        document = parse("<r><a/><b><c/></b></r>")
+        pretty = serialize(document, indent="  ")
+        reparsed = parse(pretty)
+        names = [e.name for e in reparsed.root.iter_elements()]
+        assert names == ["a", "b", "c"]
+
+
+class TestRoundTripStability:
+    @pytest.mark.parametrize("source", [
+        "<r/>",
+        '<r a="1"/>',
+        "<r>x &amp; y</r>",
+        "<r><!--c--><?pi d?>t</r>",
+        '<r a="&quot;&#10;"/>',
+    ])
+    def test_serialize_is_fixpoint(self, source):
+        once = serialize(parse(source))
+        assert serialize(parse(once)) == once

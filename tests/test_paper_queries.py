@@ -1,0 +1,116 @@
+"""Integration tests: every printed artifact of the paper (§4, Ex. 1).
+
+These are the reproduction's acceptance tests — see EXPERIMENTS.md for
+the paper-vs-measured discussion of the two documented deltas.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runtime import evaluate_query, serialize_items
+from repro.experiments.paperdata import (
+    EXAMPLE_1,
+    FIGURE_2_INVENTORY,
+    PAPER_QUERIES,
+)
+from repro.experiments.runner import (
+    format_reports,
+    run_all,
+    run_experiment,
+)
+
+
+def output_of(goddag, query: str) -> str:
+    return serialize_items(evaluate_query(goddag, query))
+
+
+class TestPaperQueryOutputs:
+    def test_q_i1_exact(self, goddag):
+        spec = PAPER_QUERIES[0]
+        assert output_of(goddag, spec.query) == spec.paper_output
+
+    def test_q_i1_returns_two_line_strings(self, goddag):
+        spec = PAPER_QUERIES[0]
+        items = evaluate_query(goddag, spec.query)
+        assert items == ["gesceaftum unawendendne sin",
+                         "gallice sibbe gecynde ϸa"]
+
+    def test_q_i2_literal_strict_output(self, goddag):
+        spec = PAPER_QUERIES[1]
+        assert output_of(goddag, spec.query) == spec.expected_output
+
+    def test_q_i2_amended_matches_paper_highlighting(self, goddag):
+        spec = PAPER_QUERIES[1]
+        assert output_of(goddag, spec.amended_query) == spec.amended_output
+        # The amended output bolds exactly the damaged words' leaves.
+        assert spec.amended_output.count("<b>") == 6
+
+    def test_q_ii1_exact(self, goddag):
+        spec = PAPER_QUERIES[2]
+        assert output_of(goddag, spec.query) == spec.paper_output
+
+    def test_q_iii1_literal(self, goddag):
+        spec = PAPER_QUERIES[3]
+        assert output_of(goddag, spec.query) == spec.expected_output
+
+    def test_q_iii1_amended_intent(self, goddag):
+        spec = PAPER_QUERIES[3]
+        assert output_of(goddag, spec.amended_query) == spec.amended_output
+
+    def test_example_1_exact(self, goddag):
+        query = (f"analyze-string({EXAMPLE_1['target_query']}, "
+                 f"\"{EXAMPLE_1['pattern']}\")")
+        assert output_of(goddag, query) == EXAMPLE_1["paper_output"]
+
+    def test_queries_leave_goddag_clean(self, goddag):
+        """Definition 4(5): temporaries die with their query."""
+        before = (goddag.hierarchy_names,
+                  [l.text for l in goddag.leaves()])
+        for spec in PAPER_QUERIES:
+            output_of(goddag, spec.query)
+        after = (goddag.hierarchy_names,
+                 [l.text for l in goddag.leaves()])
+        assert before == after
+
+    def test_queries_idempotent(self, goddag):
+        for spec in PAPER_QUERIES:
+            first = output_of(goddag, spec.query)
+            second = output_of(goddag, spec.query)
+            assert first == second
+
+
+class TestFigure2:
+    def test_inventory(self, goddag):
+        from repro.core.goddag import collect
+
+        stats = collect(goddag)
+        assert stats.leaf_count == FIGURE_2_INVENTORY["leaves"]
+        for hierarchy in stats.hierarchies:
+            expected = FIGURE_2_INVENTORY["elements"][hierarchy.name]
+            assert hierarchy.elements_by_name == expected
+
+
+class TestRunner:
+    def test_run_all_statuses(self):
+        reports = {r.id: r for r in run_all()}
+        assert reports["FIG2"].matches_paper
+        assert reports["EX1"].matches_paper
+        assert reports["Q-I.1"].matches_paper
+        assert reports["Q-II.1"].matches_paper
+        # The two documented deltas still match our derivation and
+        # their amended variants match their documented expectations.
+        for delta_id in ("Q-I.2", "Q-III.1"):
+            report = reports[delta_id]
+            assert report.matches_expected
+            assert report.amended_matches
+
+    def test_run_experiment_by_id(self):
+        assert run_experiment("Q-I.1").matches_paper
+        with pytest.raises(KeyError):
+            run_experiment("Q-IX.9")
+
+    def test_format_reports_readable(self):
+        text = format_reports(run_all())
+        assert "Q-III.1" in text
+        assert "paper" in text and "measured" in text

@@ -1,0 +1,204 @@
+"""Property tests: the interval implementation of Definition 1 agrees
+with the *literal* leaf-set semantics, plus the axis algebra.
+
+``literal_*`` below compute each extended axis exactly as the paper
+writes it — with explicit leaf sets, ``min``/``max`` over the leaf
+order, and within-hierarchy ancestor/descendant exclusions — and the
+tests assert the production (interval-based) axes return identical node
+sets on randomly generated multihierarchical documents.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.goddag import KyGoddag, evaluate_axis
+from repro.core.goddag.nodes import GElement, GText, _HierarchyNode
+
+from tests.strategies import multihierarchical_documents
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def span_nodes(goddag):
+    """Root + every element/text node (the extended axes' domain)."""
+    nodes = [goddag.root]
+    for name in goddag.hierarchy_names:
+        nodes.extend(n for n in goddag.nodes_of(name)
+                     if isinstance(n, (GElement, GText)))
+    return nodes
+
+
+def leaf_ids(goddag, node):
+    return frozenset(id(l) for l in goddag.leaves_of(node))
+
+
+def leaf_positions(goddag, node):
+    return sorted(l.start for l in goddag.leaves_of(node))
+
+
+def in_same_hierarchy_descendants(node, other):
+    if isinstance(node, _HierarchyNode):
+        return node.is_ancestor_of(other)
+    # The root's descendants are all hierarchy nodes.
+    return isinstance(other, _HierarchyNode) or other is node
+
+
+def literal_xancestor(goddag, n):
+    ln = leaf_ids(goddag, n)
+    if not ln:
+        return set()
+    out = set()
+    for m in span_nodes(goddag):
+        if m is n or in_same_hierarchy_descendants(n, m):
+            continue
+        lm = leaf_ids(goddag, m)
+        if lm and ln <= lm:
+            out.add(id(m))
+    return out
+
+
+def literal_xdescendant(goddag, n):
+    ln = leaf_ids(goddag, n)
+    if not ln:
+        return set()
+    out = set()
+    for m in span_nodes(goddag):
+        if m is n or in_same_hierarchy_descendants(m, n):
+            continue
+        lm = leaf_ids(goddag, m)
+        if lm and lm <= ln:
+            out.add(id(m))
+    for leaf in goddag.leaves():
+        if id(leaf) in ln and not isinstance(n, type(leaf)):
+            out.add(id(leaf))
+    return out
+
+
+def literal_xfollowing(goddag, n):
+    positions = leaf_positions(goddag, n)
+    if not positions:
+        return set()
+    out = set()
+    for m in span_nodes(goddag) + list(goddag.leaves()):
+        other = leaf_positions(goddag, m)
+        if other and max(positions) < min(other):
+            out.add(id(m))
+    return out
+
+
+def literal_overlapping(goddag, n):
+    ln = leaf_ids(goddag, n)
+    positions = leaf_positions(goddag, n)
+    if not positions:
+        return set()
+    out = set()
+    for m in span_nodes(goddag):
+        if m is n:
+            continue
+        lm = leaf_ids(goddag, m)
+        other = leaf_positions(goddag, m)
+        if not other or not (ln & lm):
+            continue
+        preceding = (min(other) < min(positions) <= max(other)
+                     and max(positions) > max(other))
+        following = (min(other) <= max(positions) < max(other)
+                     and min(positions) < min(other))
+        if preceding or following:
+            out.add(id(m))
+    return out
+
+
+@SETTINGS
+@given(document=multihierarchical_documents())
+def test_xancestor_matches_literal_definition(document):
+    goddag = KyGoddag.build(document)
+    for node in span_nodes(goddag):
+        measured = {id(m) for m in evaluate_axis(goddag, "xancestor", node)}
+        assert measured == literal_xancestor(goddag, node)
+
+
+@SETTINGS
+@given(document=multihierarchical_documents())
+def test_xdescendant_matches_literal_definition(document):
+    goddag = KyGoddag.build(document)
+    for node in span_nodes(goddag):
+        measured = {id(m)
+                    for m in evaluate_axis(goddag, "xdescendant", node)}
+        assert measured == literal_xdescendant(goddag, node)
+
+
+@SETTINGS
+@given(document=multihierarchical_documents())
+def test_xfollowing_matches_literal_definition(document):
+    goddag = KyGoddag.build(document)
+    for node in span_nodes(goddag):
+        measured = {id(m)
+                    for m in evaluate_axis(goddag, "xfollowing", node)}
+        assert measured == literal_xfollowing(goddag, node)
+
+
+@SETTINGS
+@given(document=multihierarchical_documents())
+def test_overlapping_matches_literal_definition(document):
+    goddag = KyGoddag.build(document)
+    for node in span_nodes(goddag):
+        measured = {id(m)
+                    for m in evaluate_axis(goddag, "overlapping", node)}
+        assert measured == literal_overlapping(goddag, node)
+
+
+@SETTINGS
+@given(document=multihierarchical_documents())
+def test_xfollowing_xpreceding_duality(document):
+    goddag = KyGoddag.build(document)
+    nodes = span_nodes(goddag)
+    for node in nodes:
+        for other in evaluate_axis(goddag, "xfollowing", node):
+            assert node in evaluate_axis(goddag, "xpreceding", other)
+        for other in evaluate_axis(goddag, "xpreceding", node):
+            assert node in evaluate_axis(goddag, "xfollowing", other)
+
+
+@SETTINGS
+@given(document=multihierarchical_documents())
+def test_xancestor_xdescendant_duality(document):
+    goddag = KyGoddag.build(document)
+    for node in span_nodes(goddag):
+        for other in evaluate_axis(goddag, "xancestor", node):
+            if isinstance(other, (GElement, GText)) or other is goddag.root:
+                assert node in evaluate_axis(goddag, "xdescendant", other)
+
+
+@SETTINGS
+@given(document=multihierarchical_documents())
+def test_overlapping_symmetry_and_directions(document):
+    goddag = KyGoddag.build(document)
+    for node in span_nodes(goddag):
+        for other in evaluate_axis(goddag, "preceding-overlapping", node):
+            assert node in evaluate_axis(goddag, "following-overlapping",
+                                         other)
+        for other in evaluate_axis(goddag, "overlapping", node):
+            assert node in evaluate_axis(goddag, "overlapping", other)
+
+
+@SETTINGS
+@given(document=multihierarchical_documents())
+def test_standard_axes_stay_in_hierarchy(document):
+    goddag = KyGoddag.build(document)
+    for name in goddag.hierarchy_names:
+        for node in goddag.nodes_of(name):
+            for axis in ("descendant", "following", "preceding",
+                         "following-sibling", "preceding-sibling"):
+                for result in evaluate_axis(goddag, axis, node):
+                    if isinstance(result, _HierarchyNode):
+                        assert result.hierarchy == name
+
+
+@SETTINGS
+@given(document=multihierarchical_documents())
+def test_document_order_is_total(document):
+    goddag = KyGoddag.build(document)
+    keys = [goddag.order_key(n) for n in goddag.iter_nodes()]
+    assert len(set(keys)) == len(keys)
+    assert keys == sorted(keys)

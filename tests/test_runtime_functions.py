@@ -1,0 +1,224 @@
+"""Tests for the built-in function library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FunctionError, QueryEvaluationError
+from repro.core.runtime import evaluate_query, serialize_items
+
+
+def run(goddag, query):
+    return evaluate_query(goddag, query)
+
+
+def one(goddag, query):
+    result = run(goddag, query)
+    assert len(result) == 1, result
+    return result[0]
+
+
+class TestStringFunctions:
+    def test_string_of_node(self, goddag):
+        assert one(goddag, "string(/descendant::line[1])") == \
+            "gesceaftum unawendendne sin"
+
+    def test_string_of_number(self, goddag):
+        assert one(goddag, "string(1.0)") == "1"
+        assert one(goddag, "string(2.5)") == "2.5"
+
+    def test_string_of_empty(self, goddag):
+        assert one(goddag, "string(())") == ""
+
+    def test_concat(self, goddag):
+        assert one(goddag, 'concat("a", "b", "c")') == "abc"
+
+    def test_string_join(self, goddag):
+        assert one(goddag,
+                   'string-join(("a", "b"), "-")') == "a-b"
+        assert one(goddag, 'string-join(("a", "b"))') == "ab"
+
+    def test_contains_starts_ends(self, goddag):
+        assert one(goddag, 'contains("singallice", "gall")') is True
+        assert one(goddag, 'starts-with("singallice", "sin")') is True
+        assert one(goddag, 'ends-with("singallice", "lice")') is True
+        assert one(goddag, 'contains("x", "y")') is False
+
+    def test_substring(self, goddag):
+        assert one(goddag, 'substring("12345", 2)') == "2345"
+        assert one(goddag, 'substring("12345", 2, 3)') == "234"
+        assert one(goddag, 'substring("12345", 0)') == "12345"
+        assert one(goddag, 'substring("12345", 1.7)') == "2345"
+
+    def test_substring_before_after(self, goddag):
+        assert one(goddag, 'substring-before("a-b", "-")') == "a"
+        assert one(goddag, 'substring-after("a-b", "-")') == "b"
+        assert one(goddag, 'substring-before("ab", "-")') == ""
+
+    def test_string_length(self, goddag):
+        assert one(goddag, 'string-length("abc")') == 3
+
+    def test_normalize_space(self, goddag):
+        assert one(goddag, 'normalize-space("  a   b ")') == "a b"
+
+    def test_translate(self, goddag):
+        assert one(goddag, 'translate("abc", "abc", "ABC")') == "ABC"
+        assert one(goddag, 'translate("abc", "b", "")') == "ac"
+
+    def test_case_functions(self, goddag):
+        assert one(goddag, 'upper-case("aϸ")') == "AϷ"
+        assert one(goddag, 'lower-case("AB")') == "ab"
+
+    def test_matches(self, goddag):
+        assert one(goddag, 'matches("unawendendne", ".*unawe.*")') is True
+        assert one(goddag, 'matches("abc", "^b")') is False
+        assert one(goddag, 'matches("ABC", "abc", "i")') is True
+
+    def test_matches_bad_pattern(self, goddag):
+        with pytest.raises(FunctionError, match="invalid regular"):
+            run(goddag, 'matches("x", "(")')
+
+    def test_matches_bad_flag(self, goddag):
+        with pytest.raises(FunctionError, match="unsupported regex flag"):
+            run(goddag, 'matches("x", "x", "q")')
+
+    def test_replace(self, goddag):
+        assert one(goddag, 'replace("banana", "a", "o")') == "bonono"
+        assert one(goddag, 'replace("a1b2", "[0-9]", "")') == "ab"
+        assert one(goddag,
+                   'replace("abc", "(b)", "[$1]")') == "a[b]c"
+
+    def test_tokenize(self, goddag):
+        assert run(goddag, 'tokenize("a b  c", "\\s+")') == ["a", "b", "c"]
+        assert run(goddag, 'tokenize("", "x")') == []
+
+
+class TestNumericFunctions:
+    def test_number(self, goddag):
+        assert one(goddag, 'number("3.5")') == 3.5
+        import math
+
+        assert math.isnan(one(goddag, 'number("abc")'))
+
+    def test_sum_avg(self, goddag):
+        assert one(goddag, "sum((1, 2, 3))") == 6
+        assert one(goddag, "sum(())") == 0
+        assert one(goddag, "avg((1, 2, 3))") == 2
+        assert run(goddag, "avg(())") == []
+
+    def test_min_max(self, goddag):
+        assert one(goddag, "min((3, 1, 2))") == 1
+        assert one(goddag, "max((3, 1, 2))") == 3
+        assert one(goddag, 'min(("b", "a"))') == "a"
+
+    def test_rounding(self, goddag):
+        assert one(goddag, "floor(1.7)") == 1
+        assert one(goddag, "ceiling(1.2)") == 2
+        assert one(goddag, "round(2.5)") == 3  # XPath rounds .5 up
+        assert one(goddag, "round(-2.5)") == -2
+        assert one(goddag, "abs(-4)") == 4
+
+
+class TestBooleanFunctions:
+    def test_boolean_not(self, goddag):
+        assert one(goddag, 'boolean("x")') is True
+        assert one(goddag, 'boolean("")') is False
+        assert one(goddag, "not(())") is True
+        assert one(goddag, "true()") is True
+        assert one(goddag, "false()") is False
+
+    def test_exists_empty(self, goddag):
+        assert one(goddag, "exists(/descendant::w)") is True
+        assert one(goddag, "empty(/descendant::nothing)") is True
+
+
+class TestSequenceFunctions:
+    def test_count(self, goddag):
+        assert one(goddag, "count((1, 2, 3))") == 3
+
+    def test_distinct_values(self, goddag):
+        assert run(goddag, 'distinct-values((1, 2, 1, "a", "a"))') == \
+            [1, 2, "a"]
+
+    def test_reverse(self, goddag):
+        assert run(goddag, "reverse((1, 2, 3))") == [3, 2, 1]
+
+    def test_subsequence(self, goddag):
+        assert run(goddag, "subsequence((1,2,3,4), 2)") == [2, 3, 4]
+        assert run(goddag, "subsequence((1,2,3,4), 2, 2)") == [2, 3]
+
+    def test_index_of(self, goddag):
+        assert run(goddag, 'index-of(("a","b","a"), "a")') == [1, 3]
+
+    def test_insert_remove(self, goddag):
+        assert run(goddag, "insert-before((1,2), 2, (9))") == [1, 9, 2]
+        assert run(goddag, "remove((1,2,3), 2)") == [1, 3]
+
+    def test_head_tail(self, goddag):
+        assert run(goddag, "head((1,2,3))") == [1]
+        assert run(goddag, "tail((1,2,3))") == [2, 3]
+
+    def test_data_atomizes(self, goddag):
+        assert run(goddag, "data(/descendant::w[1])") == ["gesceaftum"]
+
+    def test_cardinality_checks(self, goddag):
+        assert run(goddag, "zero-or-one(())") == []
+        assert run(goddag, "exactly-one(1)") == [1]
+        with pytest.raises(FunctionError):
+            run(goddag, "one-or-more(())")
+        with pytest.raises(FunctionError):
+            run(goddag, "exactly-one((1, 2))")
+
+
+class TestNodeFunctions:
+    def test_name_and_local_name(self, goddag):
+        assert one(goddag, "name(/descendant::w[1])") == "w"
+        assert one(goddag, "local-name(/descendant::w[1])") == "w"
+        assert one(goddag, "name(/)") == "r"
+        assert one(goddag, "name(())") == ""
+
+    def test_root_function(self, goddag):
+        assert run(goddag, "root()") == [goddag.root]
+
+    def test_position_last_in_predicate(self, goddag):
+        result = run(goddag,
+                     "/descendant::w[position() = last()]")
+        assert [w.string_value() for w in result] == ["ϸa"]
+
+    def test_hierarchy_extension(self, goddag):
+        assert one(goddag, "hierarchy(/descendant::dmg[1])") == "damage"
+        assert one(goddag, "hierarchy(/)") == ""
+        assert one(goddag, "hierarchy(/descendant::leaf()[1])") == ""
+
+    def test_hierarchies_extension(self, goddag):
+        assert run(goddag, "hierarchies()") == [
+            "physical", "structural", "restoration", "damage"]
+
+    def test_leaves_extension(self, goddag):
+        result = run(goddag, 'leaves(/descendant::w[2])')
+        assert [l.text for l in result] == ["una", "w", "endendne"]
+
+    def test_span_extension(self, goddag):
+        assert run(goddag, "span(/descendant::dmg[1])") == [14, 15]
+
+    def test_leaves_requires_node(self, goddag):
+        with pytest.raises(FunctionError):
+            run(goddag, 'leaves("x")')
+
+    def test_unknown_function(self, goddag):
+        with pytest.raises(QueryEvaluationError, match="unknown function"):
+            run(goddag, "mystery(1)")
+
+    def test_arity_errors(self, goddag):
+        with pytest.raises(FunctionError, match="expects"):
+            run(goddag, "count()")
+        with pytest.raises(FunctionError, match="expects"):
+            run(goddag, 'concat("a")')
+
+
+class TestFunctionResultsSerialize:
+    def test_boolean_serialization(self, goddag):
+        assert serialize_items(run(goddag, "true()")) == "true"
+
+    def test_number_serialization(self, goddag):
+        assert serialize_items(run(goddag, "1 div 4")) == "0.25"

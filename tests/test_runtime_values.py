@@ -1,0 +1,132 @@
+"""Unit tests for the value model: atomization, EBV, comparisons."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+from repro.markup.dom import Element, Text
+from repro.core.runtime import values
+
+
+class TestStringValue:
+    def test_atomics(self):
+        assert values.string_value(True) == "true"
+        assert values.string_value(False) == "false"
+        assert values.string_value(3) == "3"
+        assert values.string_value(2.5) == "2.5"
+        assert values.string_value("x") == "x"
+
+    def test_gnode(self, goddag):
+        word = next(goddag.elements("w"))
+        assert values.string_value(word) == "gesceaftum"
+
+    def test_dom_node(self):
+        element = Element("b")
+        element.append(Text("bo"))
+        element.append(Text("ld"))
+        assert values.string_value(element) == "bold"
+
+    def test_is_node(self, goddag):
+        assert values.is_node(goddag.root)
+        assert values.is_node(Element("a"))
+        assert not values.is_node("string")
+        assert not values.is_node(1)
+
+
+class TestAtomization:
+    def test_atomize_node_to_string(self, goddag):
+        leaf = goddag.partition.leaf_at(0)
+        assert values.atomize(leaf) == "gesceaftum"
+
+    def test_atomize_sequence(self, goddag):
+        sequence = [goddag.partition.leaf_at(0), 5, "x"]
+        assert values.atomize_sequence(sequence) == ["gesceaftum", 5, "x"]
+
+
+class TestEffectiveBooleanValue:
+    def test_empty_false(self):
+        assert values.effective_boolean_value([]) is False
+
+    def test_node_true(self, goddag):
+        assert values.effective_boolean_value([goddag.root]) is True
+        assert values.effective_boolean_value(
+            [goddag.root, goddag.root]) is True
+
+    def test_singleton_atomics(self):
+        assert values.effective_boolean_value([True]) is True
+        assert values.effective_boolean_value([0]) is False
+        assert values.effective_boolean_value([0.0]) is False
+        assert values.effective_boolean_value([math.nan]) is False
+        assert values.effective_boolean_value([""]) is False
+        assert values.effective_boolean_value(["x"]) is True
+
+    def test_multi_atomic_rejected(self):
+        with pytest.raises(QueryEvaluationError):
+            values.effective_boolean_value([1, 2])
+
+
+class TestNumbers:
+    def test_to_number(self):
+        assert values.to_number("3.5") == 3.5
+        assert values.to_number(" 2 ") == 2.0
+        assert values.to_number(True) == 1.0
+        assert math.isnan(values.to_number("abc"))
+
+    def test_format_number(self):
+        assert values.format_number(1.0) == "1"
+        assert values.format_number(-2.0) == "-2"
+        assert values.format_number(0.5) == "0.5"
+        assert values.format_number(7) == "7"
+        assert values.format_number(math.nan) == "NaN"
+        assert values.format_number(math.inf) == "Infinity"
+        assert values.format_number(-math.inf) == "-Infinity"
+        assert values.format_number(True) == "true"
+
+
+class TestComparisons:
+    def test_numeric_promotion(self):
+        assert values.compare_atomic("eq", "2", 2)
+        assert values.compare_atomic("lt", 1, "10")
+
+    def test_string_comparison(self):
+        assert values.compare_atomic("lt", "a", "b")
+        assert not values.compare_atomic("gt", "a", "b")
+
+    def test_boolean_comparison(self):
+        assert values.compare_atomic("eq", True, True)
+        assert values.compare_atomic("ne", True, False)
+        # A boolean operand coerces the other side to boolean.
+        assert values.compare_atomic("eq", True, "anything")
+
+    def test_nan_semantics(self):
+        assert not values.compare_atomic("eq", math.nan, math.nan)
+        assert values.compare_atomic("ne", math.nan, 1)
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryEvaluationError):
+            values.compare_atomic("xx", 1, 2)
+
+    def test_general_compare_existential(self):
+        assert values.general_compare("=", [1, 2, 3], [3, 9])
+        assert not values.general_compare("=", [1, 2], [3])
+        assert values.general_compare("<", [5, 1], [2])
+        assert values.general_compare("!=", [1], [1, 2])
+
+    def test_general_compare_empty(self):
+        assert not values.general_compare("=", [], [1])
+
+    def test_value_compare(self):
+        assert values.value_compare("eq", [1], [1]) == [True]
+        assert values.value_compare("eq", [], [1]) == []
+        with pytest.raises(QueryEvaluationError):
+            values.value_compare("eq", [1, 2], [1])
+
+    def test_singleton_node(self, goddag):
+        assert values.singleton_node([goddag.root], "op") is goddag.root
+        with pytest.raises(QueryEvaluationError):
+            values.singleton_node(["x"], "op")
+        with pytest.raises(QueryEvaluationError):
+            values.singleton_node([goddag.root, goddag.root], "op")
