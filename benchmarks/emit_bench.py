@@ -1,0 +1,108 @@
+"""Emit the perf-trajectory file ``BENCH_axes.json``.
+
+Times the three headline series — S-AXES (axis evaluation), S-ANALYZE
+(the ``analyze-string`` temporary-hierarchy lifecycle), S-BUILD
+(KyGODDAG + SpanIndex construction) — and writes their median ns/op to
+a JSON file that future PRs compare against (DESIGN.md §7).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench.py [--quick] \
+        [--out BENCH_axes.json] [--size 6400]
+
+``--quick`` cuts the repeat counts for CI smoke runs; the checked-in
+file is produced by a full run on a quiet machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import SCALING_SIZES, corpus_at_size, goddag_at_size  # noqa: E402
+from repro.bench.workloads import BENCH_SEED  # noqa: E402
+from repro.core.goddag import KyGoddag, evaluate_axis  # noqa: E402
+from repro.core.runtime import evaluate_query  # noqa: E402
+
+
+def median_ns(function, repeats: int) -> int:
+    """Median wall time of ``function()`` in nanoseconds."""
+    samples = []
+    for _ in range(repeats):
+        begin = time.perf_counter_ns()
+        function()
+        samples.append(time.perf_counter_ns() - begin)
+    return int(statistics.median(samples))
+
+
+def bench_axes(size: int, repeats: int) -> dict[str, int]:
+    goddag = goddag_at_size(size)
+    goddag.span_index()
+    words = list(goddag.elements("w"))
+    mid = words[len(words) // 2]
+    out: dict[str, int] = {}
+    for axis in ("descendant", "following", "preceding",
+                 "xdescendant", "overlapping"):
+        out[axis] = median_ns(
+            lambda axis=axis: evaluate_axis(goddag, axis, mid), repeats)
+    out["descendant-from-root"] = median_ns(
+        lambda: evaluate_axis(goddag, "descendant", goddag.root),
+        max(repeats // 4, 3))
+    return out
+
+
+def bench_analyze(size: int, repeats: int) -> dict[str, int]:
+    goddag = goddag_at_size(size)
+    goddag.span_index()
+    return {
+        "analyze-string-query": median_ns(
+            lambda: evaluate_query(goddag, 'analyze-string(/, "si")'),
+            repeats),
+    }
+
+
+def bench_build(size: int, repeats: int) -> dict[str, int]:
+    corpus = corpus_at_size(size)
+
+    def build() -> None:
+        KyGoddag.build(corpus).span_index()
+
+    return {"goddag-and-index": median_ns(build, repeats)}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_axes.json"))
+    parser.add_argument("--size", type=int, default=SCALING_SIZES[-1])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats (CI smoke run)")
+    args = parser.parse_args(argv)
+    repeats = 5 if args.quick else 41
+    build_repeats = 3 if args.quick else 11
+    payload = {
+        "schema": "repro-bench/1",
+        "series": "standard-axes-rewrite",
+        "config": {"n_words": args.size, "seed": BENCH_SEED,
+                   "repeats": repeats, "python": sys.version.split()[0]},
+        "median_ns_per_op": {
+            "S-AXES": bench_axes(args.size, repeats),
+            "S-ANALYZE": bench_analyze(args.size,
+                                       max(repeats // 4, 3)),
+            "S-BUILD": bench_build(args.size, build_repeats),
+        },
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2,
+                                         sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""All navigation axes over a KyGODDAG.
+"""All navigation axes over a KyGODDAG, as contiguous-array operations.
 
 Standard XPath axes follow the paper's §3 rules: applied to a non-root
 node they stay within that node's DOM tree component; applied to the
@@ -6,12 +6,32 @@ root they cross into all components.  Leaves are shared between
 hierarchies, so axes from a leaf climb/scan *all* hierarchies (this is
 what makes query I.2's ``$leaf[ancestor::w and ancestor::dmg]`` work).
 
+Because a component stores its nodes in preorder with
+``nodes[i].preorder == i`` and records each subtree's last preorder,
+the standard axes are slices (DESIGN.md §5):
+
+* ``descendant``  — ``nodes[preorder+1 : subtree_end+1]`` plus the leaf
+  range covered by the node's span;
+* ``following``   — ``nodes[subtree_end+1 :]`` plus a bisect into the
+  partition's boundary array for the trailing leaves;
+* ``preceding``   — the ``nodes[: preorder]`` prefix minus the ancestor
+  chain (a vectorized ``subtree_end < preorder`` mask), plus the
+  leading leaves;
+* ``ancestor``    — the parent chain (each hierarchy node has exactly
+  one within-hierarchy parent).
+
+The seed's stack walkers survive in :mod:`repro.core.goddag.naive` as
+the property-test oracle.
+
 Extended axes implement Definition 1 via span arithmetic on the
 :class:`~repro.core.goddag.index.SpanIndex` (see DESIGN.md §3 for the
 leaf-set ⇒ interval reduction, verified by property tests).
 
 Every axis function takes ``(goddag, node)`` and returns a list of
-nodes in no particular order; callers sort by document order.
+nodes.  The emission order is unspecified in general — callers sort by
+document order — but :func:`emits_document_order` names the axis/context
+combinations whose results are *already* document-ordered, letting the
+evaluator skip the sort entirely.
 """
 
 from __future__ import annotations
@@ -49,7 +69,7 @@ def axis_child(goddag: KyGoddag, node: GNode) -> list[GNode]:
     if isinstance(node, GElement):
         return list(node.children)
     if isinstance(node, GText):
-        return list(goddag.partition.leaves_in(node.start, node.end))
+        return goddag.partition.leaves_in(node.start, node.end)
     return []
 
 
@@ -64,23 +84,25 @@ def axis_parent(goddag: KyGoddag, node: GNode) -> list[GNode]:
 
 
 def axis_descendant(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    """Descendants, in document order: a preorder slice plus a leaf range.
+
+    Within one hierarchy a node's subtree occupies the contiguous
+    preorder interval ``(preorder, subtree_end]``, and — because element
+    content is contiguous and markup never crosses leaf boundaries —
+    its leaves are exactly the partition cells inside ``[start, end)``.
+    """
     if isinstance(node, GRoot):
-        # Fast path: every non-root node descends from the shared root.
+        # Every non-root node descends from the shared root.
         out: list[GNode] = []
         for name in goddag.hierarchy_names:
             out.extend(goddag.nodes_of(name))
         out.extend(goddag.partition.leaves())
         return out
-    out = []
-    seen: set[int] = set()
-    stack = axis_child(goddag, node)
-    while stack:
-        current = stack.pop()
-        if id(current) in seen:
-            continue
-        seen.add(id(current))
-        out.append(current)
-        stack.extend(axis_child(goddag, current))
+    if not isinstance(node, _HierarchyNode):
+        return []  # leaves and attributes have no children
+    out: list[GNode] = goddag.nodes_of(node.hierarchy)[
+        node.preorder + 1:node.subtree_end + 1]
+    out.extend(goddag.partition.leaves_in(node.start, node.end))
     return out
 
 
@@ -89,17 +111,31 @@ def axis_descendant_or_self(goddag: KyGoddag, node: GNode) -> list[GNode]:
 
 
 def axis_ancestor(goddag: KyGoddag, node: GNode) -> list[GNode]:
-    """Ancestors.  For a leaf: the union over all hierarchies."""
-    out: list[GNode] = []
-    seen: set[int] = set()
-    stack = axis_parent(goddag, node)
-    while stack:
-        current = stack.pop()
-        if id(current) in seen:
-            continue
-        seen.add(id(current))
+    """Ancestors: the parent chain(s).
+
+    A hierarchy node has exactly one within-hierarchy parent, so its
+    ancestors are one O(depth) chain walk; a leaf takes the union of
+    one chain per hierarchy (sharing only the root).
+    """
+    if isinstance(node, GRoot):
+        return []
+    if isinstance(node, GAttr):
+        return [node.owner] + axis_ancestor(goddag, node.owner)
+    if isinstance(node, GLeaf):
+        out: list[GNode] = []
+        for text in goddag.text_parents_of_leaf(node):
+            current: GNode | None = text
+            while isinstance(current, _HierarchyNode):
+                out.append(current)
+                current = current.parent
+        if out:
+            out.append(goddag.root)
+        return out
+    out = []
+    current = node.parent
+    while current is not None:
         out.append(current)
-        stack.extend(axis_parent(goddag, current))
+        current = current.parent
     return out
 
 
@@ -113,44 +149,62 @@ def axis_attribute(goddag: KyGoddag, node: GNode) -> list[GNode]:
     return []
 
 
-def _siblings(goddag: KyGoddag, node: GNode) -> list[list[GNode]]:
-    """Sibling lists this node participates in (one per parent)."""
+def _sibling_groups(goddag: KyGoddag,
+                    node: GNode) -> list[tuple[list[GNode], int]]:
+    """``(siblings, position)`` per parent this node participates in.
+
+    Positions come from cached child→position identity maps
+    (:meth:`GElement.child_position`, :meth:`GRoot.child_position`) or,
+    for leaves, from boundary-array arithmetic — never a linear scan.
+    """
     if isinstance(node, GLeaf):
-        return [axis_child(goddag, parent)
-                for parent in goddag.text_parents_of_leaf(node)]
+        partition = goddag.partition
+        groups: list[tuple[list[GNode], int]] = []
+        for parent in goddag.text_parents_of_leaf(node):
+            siblings = partition.leaves_in(parent.start, parent.end)
+            position = (partition.leaf_index(node.start)
+                        - partition.leaf_index(parent.start))
+            groups.append((siblings, position))
+        return groups
     parent = node.parent
     if parent is None or isinstance(node, GAttr):
         return []
-    if isinstance(parent, GRoot):
-        # Siblings stay within the node's own component (paper §3).
-        hierarchy = node.hierarchy
-        assert hierarchy is not None
-        return [parent.children_in(hierarchy)]
-    return [axis_child(goddag, parent)]
+    try:
+        if isinstance(parent, GRoot):
+            # Siblings stay within the node's own component (paper §3).
+            hierarchy = node.hierarchy
+            assert hierarchy is not None
+            return [(parent.children_in(hierarchy),
+                     parent.child_position(hierarchy, node))]
+        assert isinstance(parent, GElement)
+        return [(parent.children, parent.child_position(node))]
+    except KeyError:
+        raise GoddagError(
+            "node is not among its parent's children") from None
 
 
 def axis_following_sibling(goddag: KyGoddag, node: GNode) -> list[GNode]:
     out: list[GNode] = []
-    for siblings in _siblings(goddag, node):
-        index = _identity_index(siblings, node)
-        out.extend(siblings[index + 1:])
+    for siblings, position in _sibling_groups(goddag, node):
+        out.extend(siblings[position + 1:])
     return out
 
 
 def axis_preceding_sibling(goddag: KyGoddag, node: GNode) -> list[GNode]:
     out: list[GNode] = []
-    for siblings in _siblings(goddag, node):
-        index = _identity_index(siblings, node)
-        out.extend(siblings[:index])
+    for siblings, position in _sibling_groups(goddag, node):
+        out.extend(siblings[:position])
     return out
 
 
 def axis_following(goddag: KyGoddag, node: GNode) -> list[GNode]:
     """Nodes after ``node`` in its component, plus leaves after its span.
 
-    For the shared root nothing follows; for a leaf this coincides with
-    ``xfollowing`` (leaves belong to every hierarchy).  Documented in
-    DESIGN.md.
+    ``other.preorder > node.subtree_end`` is exactly the preorder slice
+    past the node's subtree, and the trailing leaves are one bisect into
+    the partition (DESIGN.md §5).  For the shared root nothing follows;
+    for a leaf this coincides with ``xfollowing`` (leaves belong to
+    every hierarchy).
     """
     if isinstance(node, GRoot):
         return []
@@ -159,17 +213,19 @@ def axis_following(goddag: KyGoddag, node: GNode) -> list[GNode]:
     if isinstance(node, GAttr):
         return axis_following(goddag, node.owner)
     assert isinstance(node, _HierarchyNode)
-    out: list[GNode] = [
-        other for other in goddag.nodes_of(node.hierarchy)
-        if other.preorder > node.subtree_end
-    ]
-    if node.end <= len(goddag.text):
-        out.extend(leaf for leaf in goddag.partition.leaves()
-                   if leaf.start >= node.end)
+    out: list[GNode] = goddag.nodes_of(node.hierarchy)[
+        node.subtree_end + 1:]
+    out.extend(goddag.partition.leaves_from(node.end))
     return out
 
 
 def axis_preceding(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    """Nodes before ``node`` in its component, plus leaves before it.
+
+    The candidates are the preorder prefix ``nodes[:preorder]``; the
+    ancestors interleaved in it are masked out with one vectorized
+    ``subtree_end < preorder`` comparison.
+    """
     if isinstance(node, GRoot):
         return []
     if isinstance(node, GLeaf):
@@ -177,12 +233,12 @@ def axis_preceding(goddag: KyGoddag, node: GNode) -> list[GNode]:
     if isinstance(node, GAttr):
         return axis_preceding(goddag, node.owner)
     assert isinstance(node, _HierarchyNode)
-    out: list[GNode] = [
-        other for other in goddag.nodes_of(node.hierarchy)
-        if other.subtree_end < node.preorder
-    ]
-    out.extend(leaf for leaf in goddag.partition.leaves()
-               if leaf.end <= node.start)
+    component = goddag._components[node.hierarchy]
+    nodes_arr, subtree_ends = component.node_arrays()
+    prefix = nodes_arr[:node.preorder]
+    out: list[GNode] = prefix[
+        subtree_ends[:node.preorder] < node.preorder].tolist()
+    out.extend(goddag.partition.leaves_until(node.start))
     return out
 
 
@@ -245,7 +301,8 @@ def axis_xdescendant(goddag: KyGoddag, node: GNode,
         return []  # any span-equal node is on the leaf's parent chain
     index = goddag.span_index()
     left, right = index.start_slice(node.start, node.end)
-    mask = (index.ends[left:right] <= node.end) &         index.nonempty[left:right]
+    mask = (index.ends[left:right] <= node.end) & \
+        index.nonempty[left:right]
     if name is not None:
         mask &= index.name_mask(name)[left:right]
     mask &= ~index.ancestor_or_self_exclusion(node, left, right)
@@ -267,8 +324,7 @@ def axis_xfollowing(goddag: KyGoddag, node: GNode,
         mask = mask & index.name_mask(name)[left:right]
     out = index.select_slice(left, right, mask)
     if name is None:
-        out.extend(leaf for leaf in goddag.partition.leaves()
-                   if leaf.start >= node.end)
+        out.extend(goddag.partition.leaves_from(node.end))
     return out
 
 
@@ -279,14 +335,12 @@ def axis_xpreceding(goddag: KyGoddag, node: GNode,
         return []
     index = goddag.span_index()
     left, right = index.end_slice(1, node.start + 1)
-    positions = index.by_end[left:right]
-    mask = index.nonempty[positions]
+    mask = index.e_nonempty[left:right]
     if name is not None:
-        mask = mask & index.name_mask(name)[positions]
-    out = [index.nodes[i] for i in positions[mask]]
+        mask = mask & index.e_name_mask(name)[left:right]
+    out = index.select_end_slice(left, right, mask)
     if name is None:
-        out.extend(leaf for leaf in goddag.partition.leaves()
-                   if leaf.end <= node.start)
+        out.extend(goddag.partition.leaves_until(node.start))
     return out
 
 
@@ -303,11 +357,10 @@ def axis_preceding_overlapping(goddag: KyGoddag, node: GNode,
         return []
     index = goddag.span_index()
     left, right = index.end_slice(node.start + 1, node.end)
-    positions = index.by_end[left:right]
-    mask = index.starts[positions] < node.start
+    mask = index.e_starts[left:right] < node.start
     if name is not None:
-        mask &= index.name_mask(name)[positions]
-    return [index.nodes[i] for i in positions[mask]]
+        mask &= index.e_name_mask(name)[left:right]
+    return index.select_end_slice(left, right, mask)
 
 
 def axis_following_overlapping(goddag: KyGoddag, node: GNode,
@@ -362,6 +415,28 @@ EXTENDED_AXES = frozenset({
     "preceding-overlapping", "following-overlapping", "overlapping",
 })
 
+#: Forward axes whose slice-based implementations above emit results in
+#: global document order already (Definition 3): same-hierarchy nodes
+#: come out in preorder and all leaves trail all hierarchy nodes.  From
+#: a *leaf*, ``following``/``following-sibling`` mix hierarchies and are
+#: excluded (see :func:`emits_document_order`).
+ORDERED_AXES = frozenset({
+    "self", "child", "attribute", "descendant", "descendant-or-self",
+    "following", "following-sibling",
+})
+
+
+def emits_document_order(axis: str, node: GNode) -> bool:
+    """True when ``AXES[axis](goddag, node)`` is already in document
+    order (and duplicate-free), so callers may skip sorting."""
+    if axis not in ORDERED_AXES:
+        return False
+    if isinstance(node, GLeaf):
+        # following(leaf) delegates to xfollowing (start-sorted across
+        # hierarchies) and a leaf's sibling groups span hierarchies.
+        return axis not in ("following", "following-sibling")
+    return True
+
 
 def evaluate_axis(goddag: KyGoddag, axis: str, node: GNode,
                   name: str | None = None) -> list[GNode]:
@@ -378,10 +453,3 @@ def evaluate_axis(goddag: KyGoddag, axis: str, node: GNode,
     if name is not None and axis in EXTENDED_AXES:
         return function(goddag, node, name)
     return function(goddag, node)
-
-
-def _identity_index(nodes: list[GNode], node: GNode) -> int:
-    for position, candidate in enumerate(nodes):
-        if candidate is node:
-            return position
-    raise GoddagError("node is not among its parent's children")

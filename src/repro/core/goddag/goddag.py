@@ -12,12 +12,16 @@ Node order follows the paper's Definition 3: root first, nodes of one
 hierarchy in its DOM document order, hierarchies ordered by (stable)
 registration rank.  Leaves are shared; we place them after all
 hierarchy components, ordered by text position (documented choice, see
-DESIGN.md).
+DESIGN.md).  Order keys are packed int64 integers (DESIGN.md §1), so
+large node sets sort through ``np.argsort`` instead of Python tuple
+comparisons.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
+
+import numpy as np
 
 from repro.errors import GoddagError
 from repro.markup import dom
@@ -45,6 +49,8 @@ class _HierarchyComponent:
         self.rank = rank
         self.temporary = temporary
         # All nodes of the component in preorder (excluding the root).
+        # ``nodes[i].preorder == i``, so every standard axis over this
+        # hierarchy is a contiguous slice of this list (DESIGN.md §5).
         self.nodes: list[_HierarchyNode] = []
         # Text nodes in text order, with parallel start offsets for
         # binary search (leaf -> parent text node lookup).
@@ -52,6 +58,22 @@ class _HierarchyComponent:
         self.text_starts: list[int] = []
         # Boundary offsets this hierarchy contributed to the partition.
         self.boundaries: list[int] = []
+        # Lazy parallel arrays over ``nodes`` (immutable after build).
+        self._nodes_arr: np.ndarray | None = None
+        self._subtree_ends_arr: np.ndarray | None = None
+
+    def node_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(nodes, subtree_ends)`` as parallel arrays, preorder order."""
+        if self._nodes_arr is None:
+            count = len(self.nodes)
+            arr = np.empty(count, dtype=object)
+            for position, node in enumerate(self.nodes):
+                arr[position] = node
+            self._nodes_arr = arr
+            self._subtree_ends_arr = np.fromiter(
+                (node.subtree_end for node in self.nodes),
+                dtype=np.int64, count=count)
+        return self._nodes_arr, self._subtree_ends_arr
 
 
 class KyGoddag:
@@ -63,8 +85,10 @@ class KyGoddag:
         self.partition = Partition(self, len(text))
         self._components: dict[str, _HierarchyComponent] = {}
         self._next_rank = 0
-        self._index_version = -1
         self._index = None  # built lazily by repro.core.goddag.index
+        # Full SpanIndex constructions (benchmarks assert that the
+        # analyze-string lifecycle never triggers one after warm-up).
+        self.index_full_builds = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -111,7 +135,10 @@ class KyGoddag:
 
     def _finish_component(self, component: _HierarchyComponent) -> None:
         self.partition.add_boundaries(component.boundaries)
-        self._index = None
+        if self._index is not None:
+            # Merge the new hierarchy into the live index instead of
+            # discarding it (DESIGN.md §6) — the analyze-string hot path.
+            self._index.add_component(component)
 
     def remove_hierarchy(self, name: str) -> None:
         """Remove a hierarchy; leaves split only by it coalesce again."""
@@ -121,7 +148,19 @@ class KyGoddag:
         self.partition.remove_boundaries(component.boundaries)
         self.root.children_by_hierarchy.pop(name, None)
         self.root.attributes_by_hierarchy.pop(name, None)
-        self._index = None
+        self.root.invalidate_child_positions(name)
+        if self._index is not None:
+            self._index.remove_component(component)
+        # Recycle the topmost rank so LIFO add/remove cycles — the
+        # analyze-string temporary-hierarchy lifecycle — never exhaust
+        # the packed order key's 16-bit rank field.  Safe because no
+        # live hierarchy holds a rank >= the recycled one.
+        if component.rank == self._next_rank - 1:
+            self._next_rank = component.rank
+            while self._next_rank > 0 and not any(
+                    comp.rank == self._next_rank - 1
+                    for comp in self._components.values()):
+                self._next_rank -= 1
 
     # ------------------------------------------------------------------
     # access
@@ -206,32 +245,67 @@ class KyGoddag:
         return parents
 
     # -- ordering ---------------------------------------------------------
+    #
+    # Definition 3 keys are packed into one int64 (DESIGN.md §1):
+    #
+    #   bits 61-62  tier    0 root | 1 hierarchy nodes | 2 leaves
+    #   bits 45-60  rank    hierarchy registration rank   (< 2^16)
+    #   bits 13-44  major   preorder (tier 1)             (< 2^32)
+    #   bits  0-12  minor   0 node itself, 1+i its i-th attribute
+    #
+    # Leaves use the whole sub-tier payload for their start offset.
+    # Packed keys compare exactly like the former tuples but fit numpy
+    # int64, so ``sort_nodes`` can argsort large sets.
 
-    def order_key(self, node: GNode) -> tuple:
-        """Sort key implementing the paper's Definition 3 node order."""
-        if node._okey is None:
-            node._okey = self._compute_order_key(node)
-        return node._okey
+    _RANK_LIMIT = 1 << 16
+    _PREORDER_LIMIT = 1 << 32
+    _ATTR_LIMIT = (1 << 13) - 1
 
-    def _compute_order_key(self, node: GNode) -> tuple:
+    def order_key(self, node: GNode) -> int:
+        """Packed int64 key implementing the Definition 3 node order."""
+        key = node._okey
+        if key is None:
+            key = node._okey = self._compute_order_key(node)
+        return key
+
+    def _compute_order_key(self, node: GNode) -> int:
         if node is self.root:
-            return (0, 0, 0, 0)
+            return 0
         if isinstance(node, GAttr):
             owner = node.owner
-            rank = self._components[owner.hierarchy].rank
             attr_index = owner.attribute_nodes.index(node)
-            return (1, rank, owner.preorder, 1 + attr_index)
+            return self._pack_hierarchy_key(owner, 1 + attr_index)
         if isinstance(node, _HierarchyNode):
-            rank = self._components[node.hierarchy].rank
-            return (1, rank, node.preorder, 0)
+            return self._pack_hierarchy_key(node, 0)
         if isinstance(node, GLeaf):
-            return (2, node.start, 0, 0)
+            return (2 << 61) | node.start
         raise GoddagError(f"cannot order node of kind {node.kind!r}")
+
+    def _pack_hierarchy_key(self, node: _HierarchyNode, minor: int) -> int:
+        rank = self._components[node.hierarchy].rank
+        if (rank >= self._RANK_LIMIT or node.preorder >= self._PREORDER_LIMIT
+                or minor > self._ATTR_LIMIT):
+            raise GoddagError(
+                "document-order key overflow: rank/preorder/attribute "
+                f"position ({rank}, {node.preorder}, {minor}) exceeds the "
+                "packed int64 layout (see DESIGN.md §1)")
+        return (1 << 61) | (rank << 45) | (node.preorder << 13) | minor
+
+    #: Below this size Timsort with a key function beats the numpy
+    #: round-trip; above it vectorized argsort wins (see DESIGN.md §1).
+    _ARGSORT_THRESHOLD = 256
 
     def sort_nodes(self, nodes: list[GNode]) -> list[GNode]:
         """Sort a node list into global document order, dropping dups."""
         unique: dict[int, GNode] = {id(node): node for node in nodes}
-        return sorted(unique.values(), key=self.order_key)
+        items = list(unique.values())
+        if len(items) >= self._ARGSORT_THRESHOLD:
+            order_key = self.order_key
+            keys = np.fromiter((order_key(node) for node in items),
+                               dtype=np.int64, count=len(items))
+            return [items[i] for i in np.argsort(keys, kind="stable")]
+        items.sort(key=self.order_key)
+        return items
 
     # -- string values ---------------------------------------------------------
 
@@ -242,11 +316,16 @@ class KyGoddag:
     # -- span index (for extended axes) ------------------------------------
 
     def span_index(self):
-        """The lazily rebuilt index over span-bearing nodes."""
+        """The lazily built, incrementally maintained span index.
+
+        Built once on first use; hierarchy adds/removes afterwards are
+        merged in place (DESIGN.md §6) instead of discarding it.
+        """
         from repro.core.goddag.index import SpanIndex
 
         if self._index is None:
             self._index = SpanIndex(self)
+            self.index_full_builds += 1
         return self._index
 
 

@@ -1,4 +1,4 @@
-"""A sorted span index over KyGODDAG nodes.
+"""A sorted span index over KyGODDAG nodes, incrementally maintained.
 
 The extended axes of Definition 1 are pure interval predicates over
 node spans (DESIGN.md §3).  The index keeps all span-bearing nodes
@@ -12,10 +12,17 @@ ones) in two sorted orders:
   (``preceding-overlapping``, ``xpreceding``) are too.
 
 Each slice is then refined with vectorized numpy comparisons, making an
-axis evaluation O(log n + candidates) instead of O(n).  The index is
-rebuilt lazily whenever a hierarchy is added or removed, which makes
-``analyze-string``'s temporary hierarchies safe at the cost of an O(n)
-rebuild per change — a cost the S-ANALYZE benchmark measures.
+axis evaluation O(log n + candidates) instead of O(n).
+
+Membership changes are incremental (DESIGN.md §6): every hierarchy
+contributes a *sub-index* of per-hierarchy sorted arrays.  Adding a
+hierarchy merges its sub-arrays into the global arrays at positions
+found by ``np.searchsorted``; removing one compresses the global arrays
+through a rank mask and drops the sub-index.  ``analyze-string``'s
+temporary hierarchies (Definition 4) therefore cost O(n) vectorized
+array surgery per add/remove instead of a full Python-level rebuild —
+the S-ANALYZE hot path measured by
+``benchmarks/test_scaling_standard_axes.py``.
 """
 
 from __future__ import annotations
@@ -24,10 +31,87 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.errors import GoddagError
 from repro.core.goddag.nodes import GElement, GNode, GText, _HierarchyNode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.goddag.goddag import KyGoddag
+    from repro.core.goddag.goddag import KyGoddag, _HierarchyComponent
+
+#: Spans are packed into int64 merge keys as (start << 32) | ...;
+#: offsets must stay below 2^31 for the keys to remain positive
+#: (enforced at sub-index construction).
+_OFFSET_BITS = 32
+_OFFSET_MASK = (1 << _OFFSET_BITS) - 1
+_OFFSET_LIMIT = 1 << 31
+
+
+def _start_keys(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Merge keys realizing the (start asc, end desc) start order."""
+    return (starts << _OFFSET_BITS) | (_OFFSET_MASK - ends)
+
+
+def _end_keys(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Merge keys realizing the (end asc, start asc) end order."""
+    return (ends << _OFFSET_BITS) | starts
+
+
+class _SubIndex:
+    """One hierarchy's span nodes as sorted parallel sub-arrays."""
+
+    __slots__ = ("rank", "s_keys", "s_nodes", "s_starts", "s_ends",
+                 "s_preorders", "s_subtree_ends", "s_names",
+                 "e_keys", "e_nodes", "e_starts", "e_ends", "e_names")
+
+    def __init__(self, rank: int, nodes: list[GNode]) -> None:
+        self.rank = rank
+        count = len(nodes)
+        starts = np.fromiter((n.start for n in nodes), dtype=np.int64,
+                             count=count)
+        ends = np.fromiter((n.end for n in nodes), dtype=np.int64,
+                           count=count)
+        if count and int(ends.max()) >= _OFFSET_LIMIT:
+            raise GoddagError(
+                "span offsets exceed 2^31; the packed int64 merge keys "
+                "of the span index cannot represent this text")
+        # The root carries no preorder bookkeeping; -1 matches the
+        # rank guard in ancestor_or_self_exclusion.
+        preorders = np.fromiter(
+            (getattr(n, "preorder", -1) for n in nodes),
+            dtype=np.int64, count=count)
+        subtree_ends = np.fromiter(
+            (getattr(n, "subtree_end", -1) for n in nodes),
+            dtype=np.int64, count=count)
+        objects = np.empty(count, dtype=object)
+        for position, node in enumerate(nodes):
+            objects[position] = node
+        names = np.empty(count, dtype=object)
+        for position, node in enumerate(nodes):
+            names[position] = node.name
+        s_keys = _start_keys(starts, ends)
+        s_order = np.argsort(s_keys, kind="stable")
+        self.s_keys = s_keys[s_order]
+        self.s_nodes = objects[s_order]
+        self.s_starts = starts[s_order]
+        self.s_ends = ends[s_order]
+        self.s_preorders = preorders[s_order]
+        self.s_subtree_ends = subtree_ends[s_order]
+        self.s_names = names[s_order]
+        e_keys = _end_keys(starts, ends)
+        e_order = np.argsort(e_keys, kind="stable")
+        self.e_keys = e_keys[e_order]
+        self.e_nodes = objects[e_order]
+        self.e_starts = starts[e_order]
+        self.e_ends = ends[e_order]
+        self.e_names = names[e_order]
+
+    def __len__(self) -> int:
+        return len(self.s_nodes)
+
+
+def _span_nodes_of(component: "_HierarchyComponent") -> list[GNode]:
+    """The component's Definition 1 domain: its element/text nodes."""
+    return [node for node in component.nodes
+            if isinstance(node, (GElement, GText))]
 
 
 class SpanIndex:
@@ -35,42 +119,102 @@ class SpanIndex:
 
     def __init__(self, goddag: "KyGoddag") -> None:
         self.goddag = goddag
-        nodes: list[GNode] = [goddag.root]
-        for name in goddag.hierarchy_names:
-            for node in goddag.nodes_of(name):
-                if isinstance(node, (GElement, GText)):
-                    nodes.append(node)
-        # Start-sorted order (ties: wider span first, then stable).
-        nodes.sort(key=lambda n: (n.start, -n.end))
-        self.nodes = nodes
-        count = len(nodes)
-        self.starts = np.fromiter((n.start for n in nodes),
-                                  dtype=np.int64, count=count)
-        self.ends = np.fromiter((n.end for n in nodes),
-                                dtype=np.int64, count=count)
-        self.nonempty = self.starts < self.ends
-        ranks = np.empty(count, dtype=np.int64)
-        preorders = np.empty(count, dtype=np.int64)
-        subtree_ends = np.empty(count, dtype=np.int64)
-        for position, node in enumerate(nodes):
-            if isinstance(node, _HierarchyNode):
-                ranks[position] = goddag.hierarchy_rank(node.hierarchy)
-                preorders[position] = node.preorder
-                subtree_ends[position] = node.subtree_end
-            else:  # the root
-                ranks[position] = -1
-                preorders[position] = -1
-                subtree_ends[position] = -1
-        self.ranks = ranks
-        self.preorders = preorders
-        self.subtree_ends = subtree_ends
-        # End-sorted view: positions into the start-sorted arrays.
-        self.by_end = np.argsort(self.ends, kind="stable")
-        self.ends_sorted = self.ends[self.by_end]
+        self._subs: dict[str, _SubIndex] = {}
         self._name_masks: dict[str, np.ndarray] = {}
+        self._e_name_masks: dict[str, np.ndarray] = {}
+        self.incremental_adds = 0
+        self.incremental_removes = 0
+        # Seed the global arrays with the shared root (rank -1, never
+        # removed), then merge every registered hierarchy in.
+        root = _SubIndex(-1, [goddag.root])
+        self.nodes = root.s_nodes
+        self.starts = root.s_starts
+        self.ends = root.s_ends
+        self.ranks = np.full(1, -1, dtype=np.int64)
+        self.preorders = root.s_preorders
+        self.subtree_ends = root.s_subtree_ends
+        self._names = root.s_names
+        self._s_keys = root.s_keys
+        self.e_nodes = root.e_nodes
+        self.e_starts = root.e_starts
+        self.ends_sorted = root.e_ends
+        self.e_ranks = np.full(1, -1, dtype=np.int64)
+        self._e_names = root.e_names
+        self._e_keys = root.e_keys
+        self._refresh_nonempty()
+        for name in goddag.hierarchy_names:
+            self.add_component(goddag._components[name])
+        self.incremental_adds = 0
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    def _refresh_nonempty(self) -> None:
+        self.nonempty = self.starts < self.ends
+        self.e_nonempty = self.e_starts < self.ends_sorted
+
+    # -- incremental maintenance --------------------------------------------
+
+    def add_component(self, component: "_HierarchyComponent") -> None:
+        """Merge one hierarchy's sub-index into the global arrays."""
+        sub = _SubIndex(component.rank, _span_nodes_of(component))
+        self._subs[component.name] = sub
+        if len(sub):
+            positions = np.searchsorted(self._s_keys, sub.s_keys,
+                                        side="right")
+            self._s_keys = np.insert(self._s_keys, positions, sub.s_keys)
+            self.nodes = np.insert(self.nodes, positions, sub.s_nodes)
+            self.starts = np.insert(self.starts, positions, sub.s_starts)
+            self.ends = np.insert(self.ends, positions, sub.s_ends)
+            self.ranks = np.insert(self.ranks, positions,
+                                   np.int64(sub.rank))
+            self.preorders = np.insert(self.preorders, positions,
+                                       sub.s_preorders)
+            self.subtree_ends = np.insert(self.subtree_ends, positions,
+                                          sub.s_subtree_ends)
+            self._names = np.insert(self._names, positions, sub.s_names)
+            e_positions = np.searchsorted(self._e_keys, sub.e_keys,
+                                          side="right")
+            self._e_keys = np.insert(self._e_keys, e_positions, sub.e_keys)
+            self.e_nodes = np.insert(self.e_nodes, e_positions, sub.e_nodes)
+            self.e_starts = np.insert(self.e_starts, e_positions,
+                                      sub.e_starts)
+            self.ends_sorted = np.insert(self.ends_sorted, e_positions,
+                                         sub.e_ends)
+            self.e_ranks = np.insert(self.e_ranks, e_positions,
+                                     np.int64(sub.rank))
+            self._e_names = np.insert(self._e_names, e_positions,
+                                      sub.e_names)
+            self._refresh_nonempty()
+        self._name_masks.clear()
+        self._e_name_masks.clear()
+        self.incremental_adds += 1
+
+    def remove_component(self, component: "_HierarchyComponent") -> None:
+        """Drop one hierarchy's sub-index and compress the globals."""
+        sub = self._subs.pop(component.name, None)
+        if sub is None or not len(sub):
+            return
+        keep = self.ranks != sub.rank
+        self._s_keys = self._s_keys[keep]
+        self.nodes = self.nodes[keep]
+        self.starts = self.starts[keep]
+        self.ends = self.ends[keep]
+        self.ranks = self.ranks[keep]
+        self.preorders = self.preorders[keep]
+        self.subtree_ends = self.subtree_ends[keep]
+        self._names = self._names[keep]
+        e_keep = self.e_ranks != sub.rank
+        self._e_keys = self._e_keys[e_keep]
+        self.e_nodes = self.e_nodes[e_keep]
+        self.e_starts = self.e_starts[e_keep]
+        self.ends_sorted = self.ends_sorted[e_keep]
+        self.e_ranks = self.e_ranks[e_keep]
+        self._e_names = self._e_names[e_keep]
+        self._refresh_nonempty()
+        self._name_masks.clear()
+        self._e_name_masks.clear()
+        self.incremental_removes += 1
 
     # -- name pushdown -------------------------------------------------------
 
@@ -78,9 +222,16 @@ class SpanIndex:
         """Mask (start-sorted order) of nodes named ``name``."""
         mask = self._name_masks.get(name)
         if mask is None:
-            mask = np.fromiter((node.name == name for node in self.nodes),
-                               dtype=bool, count=len(self.nodes))
+            mask = self._names == name
             self._name_masks[name] = mask
+        return mask
+
+    def e_name_mask(self, name: str) -> np.ndarray:
+        """Mask (end-sorted order) of nodes named ``name``."""
+        mask = self._e_name_masks.get(name)
+        if mask is None:
+            mask = self._e_names == name
+            self._e_name_masks[name] = mask
         return mask
 
     # -- range slices -----------------------------------------------------------
@@ -102,13 +253,12 @@ class SpanIndex:
     def select_slice(self, left: int, right: int,
                      mask: np.ndarray) -> list[GNode]:
         """Nodes at true positions of ``mask`` over ``[left, right)``."""
-        return [self.nodes[left + i] for i in np.flatnonzero(mask)]
+        return self.nodes[left:right][mask].tolist()
 
     def select_end_slice(self, left: int, right: int,
                          mask: np.ndarray) -> list[GNode]:
-        """Like :meth:`select_slice`, over the end-sorted view."""
-        positions = self.by_end[left:right][mask]
-        return [self.nodes[i] for i in positions]
+        """Like :meth:`select_slice`, over the end-sorted arrays."""
+        return self.e_nodes[left:right][mask].tolist()
 
     # -- exclusion helpers --------------------------------------------------------
 

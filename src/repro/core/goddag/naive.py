@@ -1,26 +1,35 @@
-"""Reference implementation of the extended axes — literal Definition 1.
+"""Reference implementations: literal Definition 1 axes and the seed's
+standard-axis walkers.
 
-These functions transcribe the paper's Definition 1 *verbatim*:
-explicit leaf sets, ``min``/``max`` over the leaf order, within-
-hierarchy ancestor/descendant exclusions — with a full scan over all
-nodes and no index.  They exist for two purposes:
+The ``naive_x*`` functions transcribe the paper's Definition 1
+*verbatim*: explicit leaf sets, ``min``/``max`` over the leaf order,
+within-hierarchy ancestor/descendant exclusions — with a full scan over
+all nodes and no index.  The ``naive_*`` standard axes preserve the
+seed implementation — stack walks with seen-sets and full-corpus
+linear scans — that the slice-based rewrite in
+:mod:`repro.core.goddag.axes` replaced (DESIGN.md §5).  They exist for
+two purposes:
 
-* **correctness oracle** — the production axes
-  (:mod:`repro.core.goddag.axes`, interval arithmetic over the sorted
-  span index) are asserted equal to these on hand-written and
-  hypothesis-generated documents;
-* **ablation** — ``benchmarks/test_ablation_axes.py`` measures what the
-  sorted span index buys over this O(n·leaves) evaluation, one of the
-  design choices DESIGN.md calls out.
+* **correctness oracle** — the production axes (interval arithmetic
+  over the sorted span index; preorder slices for the standard axes)
+  are asserted equal to these on hand-written and
+  hypothesis-generated documents (``tests/test_prop_axes.py``);
+* **ablation/baseline** — ``benchmarks/test_ablation_axes.py`` measures
+  what the sorted span index buys over the O(n·leaves) evaluation, and
+  ``benchmarks/test_scaling_standard_axes.py`` measures the slice
+  rewrite against these walkers.
 """
 
 from __future__ import annotations
 
+from repro.errors import GoddagError
 from repro.core.goddag.goddag import KyGoddag
 from repro.core.goddag.nodes import (
+    GAttr,
     GElement,
     GLeaf,
     GNode,
+    GRoot,
     GText,
     _HierarchyNode,
 )
@@ -150,4 +159,175 @@ NAIVE_AXES = {
     "xfollowing": naive_xfollowing,
     "xpreceding": naive_xpreceding,
     "overlapping": naive_overlapping,
+}
+
+
+# ---------------------------------------------------------------------------
+# the seed's standard-axis walkers (kept verbatim as the oracle)
+# ---------------------------------------------------------------------------
+
+
+def _naive_leaves_in(goddag: KyGoddag, start: int, end: int) -> list[GNode]:
+    """The seed's ``leaves_in``: one bisect plus a bounded Python scan.
+
+    Kept independent of the partition's cached-array fast path so the
+    oracle cannot inherit a regression in it (leaf objects still come
+    from the canonical per-version cache, as in the seed).
+    """
+    from bisect import bisect_left
+
+    if start >= end:
+        return []
+    bounds = goddag.partition.boundaries
+    first = bisect_left(bounds, start)
+    out: list[GNode] = []
+    for index in range(first, len(bounds) - 1):
+        leaf_start, leaf_end = bounds[index], bounds[index + 1]
+        if leaf_end > end:
+            break
+        out.append(goddag.partition._leaf(leaf_start, leaf_end))
+    return out
+
+
+def _naive_all_leaves(goddag: KyGoddag) -> list[GNode]:
+    """The seed's ``leaves()``: rebuilt from the spans on every call,
+    bypassing the partition's cached leaf list."""
+    return [goddag.partition._leaf(start, end)
+            for start, end in goddag.partition.leaf_spans()]
+
+
+def naive_child(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    if isinstance(node, GRoot):
+        return list(node.all_children)
+    if isinstance(node, GElement):
+        return list(node.children)
+    if isinstance(node, GText):
+        return _naive_leaves_in(goddag, node.start, node.end)
+    return []
+
+
+def naive_parent(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    if isinstance(node, GLeaf):
+        return list(goddag.text_parents_of_leaf(node))
+    if isinstance(node, GAttr):
+        return [node.owner]
+    parent = node.parent
+    return [parent] if parent is not None else []
+
+
+def naive_descendant(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    """The seed's stack walk over child edges, with a seen-set."""
+    out: list[GNode] = []
+    seen: set[int] = set()
+    stack = naive_child(goddag, node)
+    while stack:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        out.append(current)
+        stack.extend(naive_child(goddag, current))
+    return out
+
+
+def naive_ancestor(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    """The seed's stack walk over parent edges, with a seen-set."""
+    out: list[GNode] = []
+    seen: set[int] = set()
+    stack = naive_parent(goddag, node)
+    while stack:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        out.append(current)
+        stack.extend(naive_parent(goddag, current))
+    return out
+
+
+def _naive_sibling_lists(goddag: KyGoddag,
+                         node: GNode) -> list[list[GNode]]:
+    if isinstance(node, GLeaf):
+        return [naive_child(goddag, parent)
+                for parent in goddag.text_parents_of_leaf(node)]
+    parent = node.parent
+    if parent is None or isinstance(node, GAttr):
+        return []
+    if isinstance(parent, GRoot):
+        hierarchy = node.hierarchy
+        assert hierarchy is not None
+        return [parent.children_in(hierarchy)]
+    return [naive_child(goddag, parent)]
+
+
+def _naive_identity_index(nodes: list[GNode], node: GNode) -> int:
+    """The seed's linear child scan."""
+    for position, candidate in enumerate(nodes):
+        if candidate is node:
+            return position
+    raise GoddagError("node is not among its parent's children")
+
+
+def naive_following_sibling(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    out: list[GNode] = []
+    for siblings in _naive_sibling_lists(goddag, node):
+        index = _naive_identity_index(siblings, node)
+        out.extend(siblings[index + 1:])
+    return out
+
+
+def naive_preceding_sibling(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    out: list[GNode] = []
+    for siblings in _naive_sibling_lists(goddag, node):
+        index = _naive_identity_index(siblings, node)
+        out.extend(siblings[:index])
+    return out
+
+
+def naive_following(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    """The seed's full-component and full-leaf-list scans (including
+    the redundant ``node.end <= len(goddag.text)`` guard)."""
+    if isinstance(node, GRoot):
+        return []
+    if isinstance(node, GLeaf):
+        return naive_xfollowing(goddag, node)
+    if isinstance(node, GAttr):
+        return naive_following(goddag, node.owner)
+    assert isinstance(node, _HierarchyNode)
+    out: list[GNode] = [
+        other for other in goddag.nodes_of(node.hierarchy)
+        if other.preorder > node.subtree_end
+    ]
+    if node.end <= len(goddag.text):
+        out.extend(leaf for leaf in _naive_all_leaves(goddag)
+                   if leaf.start >= node.end)
+    return out
+
+
+def naive_preceding(goddag: KyGoddag, node: GNode) -> list[GNode]:
+    if isinstance(node, GRoot):
+        return []
+    if isinstance(node, GLeaf):
+        return naive_xpreceding(goddag, node)
+    if isinstance(node, GAttr):
+        return naive_preceding(goddag, node.owner)
+    assert isinstance(node, _HierarchyNode)
+    out: list[GNode] = [
+        other for other in goddag.nodes_of(node.hierarchy)
+        if other.subtree_end < node.preorder
+    ]
+    out.extend(leaf for leaf in _naive_all_leaves(goddag)
+               if leaf.end <= node.start)
+    return out
+
+
+NAIVE_STANDARD_AXES = {
+    "child": naive_child,
+    "parent": naive_parent,
+    "descendant": naive_descendant,
+    "ancestor": naive_ancestor,
+    "following-sibling": naive_following_sibling,
+    "preceding-sibling": naive_preceding_sibling,
+    "following": naive_following,
+    "preceding": naive_preceding,
 }

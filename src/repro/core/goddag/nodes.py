@@ -50,9 +50,10 @@ class GNode:
         self.goddag = goddag
         self.start = start
         self.end = end
-        # Cached document-order key (a node's hierarchy rank and
-        # preorder position never change once registered).
-        self._okey: tuple | None = None
+        # Cached packed document-order key (a node's hierarchy rank and
+        # preorder position never change once registered); see
+        # DESIGN.md §1 for the int64 layout.
+        self._okey: int | None = None
 
     # -- geometry -----------------------------------------------------------
 
@@ -101,7 +102,7 @@ class GRoot(GNode):
     """
 
     __slots__ = ("root_name", "children_by_hierarchy",
-                 "attributes_by_hierarchy")
+                 "attributes_by_hierarchy", "_child_positions")
 
     kind = ROOT
 
@@ -111,6 +112,7 @@ class GRoot(GNode):
         self.root_name = root_name
         self.children_by_hierarchy: dict[str, list[GNode]] = {}
         self.attributes_by_hierarchy: dict[str, dict[str, str]] = {}
+        self._child_positions: dict[str, dict[int, int]] = {}
 
     @property
     def name(self) -> str:
@@ -128,6 +130,25 @@ class GRoot(GNode):
     def children_in(self, hierarchy: str) -> list[GNode]:
         """The root's children within one hierarchy component."""
         return self.children_by_hierarchy.get(hierarchy, [])
+
+    def child_position(self, hierarchy: str, child: GNode) -> int:
+        """The position of ``child`` among one hierarchy's top nodes.
+
+        O(1) via a per-hierarchy identity map (child lists never change
+        after the hierarchy is registered).
+        """
+        positions = self._child_positions.get(hierarchy)
+        if positions is None:
+            positions = {
+                id(node): index
+                for index, node in enumerate(self.children_in(hierarchy))
+            }
+            self._child_positions[hierarchy] = positions
+        return positions[id(child)]
+
+    def invalidate_child_positions(self, hierarchy: str) -> None:
+        """Drop the cached position map of one (removed) hierarchy."""
+        self._child_positions.pop(hierarchy, None)
 
     @property
     def all_children(self) -> list[GNode]:
@@ -173,7 +194,8 @@ class _HierarchyNode(GNode):
 class GElement(_HierarchyNode):
     """An element node within one hierarchy."""
 
-    __slots__ = ("_name", "attributes", "children", "_attr_nodes")
+    __slots__ = ("_name", "attributes", "children", "_attr_nodes",
+                 "_child_positions")
 
     kind = ELEMENT
 
@@ -185,6 +207,21 @@ class GElement(_HierarchyNode):
         self.attributes: dict[str, str] = dict(attributes or {})
         self.children: list[GNode] = []
         self._attr_nodes: list[GAttr] | None = None
+        self._child_positions: dict[int, int] | None = None
+
+    def child_position(self, child: GNode) -> int:
+        """The position of ``child`` in ``self.children``, O(1).
+
+        The identity map is built once; an element's child list never
+        changes after its hierarchy is built.
+        """
+        positions = self._child_positions
+        if positions is None:
+            positions = self._child_positions = {
+                id(node): index
+                for index, node in enumerate(self.children)
+            }
+        return positions[id(child)]
 
     @property
     def name(self) -> str:

@@ -11,14 +11,20 @@ reference-counted so that removing a (temporary) hierarchy restores
 exactly the partition that existed before it was added — leaves that
 were split coalesce again.  Each mutation bumps ``version``; leaf
 objects are canonical per version.
+
+Per version the partition also caches a numpy boundary array and the
+full leaf list (DESIGN.md §5), so every range query — ``leaves_in``,
+``leaves_from``, ``leaves_until`` — is two ``searchsorted`` calls plus
+a contiguous slice of the cached list instead of a scan.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
 from collections import Counter
 from collections.abc import Iterable
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.errors import GoddagError
 from repro.core.goddag.nodes import GLeaf
@@ -36,7 +42,9 @@ class Partition:
         # The document ends are permanent boundaries.
         self._refcounts: Counter[int] = Counter({0: 1, length: 1})
         self._sorted: list[int] | None = None
+        self._bounds_array: np.ndarray | None = None
         self._leaf_cache: dict[int, GLeaf] = {}
+        self._leaves_list: list[GLeaf] | None = None
         self.version = 0
 
     # -- mutation -----------------------------------------------------------
@@ -74,7 +82,9 @@ class Partition:
 
     def _invalidate(self) -> None:
         self._sorted = None
+        self._bounds_array = None
         self._leaf_cache.clear()
+        self._leaves_list = None
         self.version += 1
 
     # -- access ---------------------------------------------------------------
@@ -85,6 +95,15 @@ class Partition:
         if self._sorted is None:
             self._sorted = sorted(self._refcounts)
         return self._sorted
+
+    @property
+    def boundary_array(self) -> np.ndarray:
+        """The boundary offsets as a sorted int64 array (cached)."""
+        if self._bounds_array is None:
+            bounds = self.boundaries
+            self._bounds_array = np.fromiter(bounds, dtype=np.int64,
+                                             count=len(bounds))
+        return self._bounds_array
 
     def __len__(self) -> int:
         """The number of leaves."""
@@ -102,36 +121,67 @@ class Partition:
             self._leaf_cache[start] = leaf
         return leaf
 
+    def _all_leaves(self) -> list[GLeaf]:
+        """The cached leaf list for this version (do not mutate)."""
+        if self._leaves_list is None:
+            self._leaves_list = [self._leaf(start, end)
+                                 for start, end in self.leaf_spans()]
+        return self._leaves_list
+
     def leaves(self) -> list[GLeaf]:
         """All leaves in text order (canonical objects)."""
-        return [self._leaf(start, end) for start, end in self.leaf_spans()]
+        return list(self._all_leaves())
 
     def leaf_at(self, offset: int) -> GLeaf:
         """The leaf containing character ``offset``."""
         if offset < 0 or offset >= self.length:
             raise GoddagError(
                 f"offset {offset} outside the text (length {self.length})")
-        bounds = self.boundaries
-        index = bisect_right(bounds, offset) - 1
-        return self._leaf(bounds[index], bounds[index + 1])
+        index = int(np.searchsorted(self.boundary_array, offset,
+                                    side="right")) - 1
+        return self._all_leaves()[index]
+
+    def leaf_index(self, offset: int) -> int:
+        """The position of the leaf starting at ``offset``.
+
+        For a non-boundary offset this is the position the leaf covering
+        it *follows*, matching ``searchsorted`` semantics; sibling-axis
+        callers always pass canonical leaf starts.
+        """
+        return int(np.searchsorted(self.boundary_array, offset,
+                                   side="left"))
 
     def leaves_in(self, start: int, end: int) -> list[GLeaf]:
         """Leaves lying entirely within ``[start, end)``.
 
         For span-aligned callers (every markup node) this is exactly
-        ``leaves(n)`` from the paper.
+        ``leaves(n)`` from the paper.  Two bisects plus a slice of the
+        cached leaf list.
         """
         if start >= end:
             return []
-        bounds = self.boundaries
-        first = bisect_left(bounds, start)
-        out: list[GLeaf] = []
-        for index in range(first, len(bounds) - 1):
-            leaf_start, leaf_end = bounds[index], bounds[index + 1]
-            if leaf_end > end:
-                break
-            out.append(self._leaf(leaf_start, leaf_end))
-        return out
+        bounds = self.boundary_array
+        first = int(np.searchsorted(bounds, start, side="left"))
+        # Largest boundary index j with bounds[j] <= end; leaves
+        # [first, j) end at or before ``end``.
+        last = int(np.searchsorted(bounds, end, side="right")) - 1
+        if last <= first:
+            return []
+        return self._all_leaves()[first:last]
+
+    def leaves_from(self, offset: int) -> list[GLeaf]:
+        """Leaves whose span starts at or after ``offset``."""
+        first = int(np.searchsorted(self.boundary_array, offset,
+                                    side="left"))
+        return self._all_leaves()[first:]
+
+    def leaves_until(self, offset: int) -> list[GLeaf]:
+        """Leaves whose span ends at or before ``offset``."""
+        last = int(np.searchsorted(self.boundary_array, offset,
+                                   side="right")) - 1
+        if last <= 0:
+            return []
+        return self._all_leaves()[:last]
 
     def is_boundary(self, offset: int) -> bool:
         """True when ``offset`` is a current partition boundary."""

@@ -45,7 +45,7 @@ class EvalContext:
     """The dynamic context of one evaluation focus."""
 
     __slots__ = ("goddag", "item", "position", "size", "variables",
-                 "functions", "options", "temp_manager")
+                 "functions", "options", "temp_manager", "stats")
 
     def __init__(self, goddag: KyGoddag, functions: dict[str, Any],
                  options: QueryOptions,
@@ -59,6 +59,9 @@ class EvalContext:
         self.functions = functions
         self.options = options
         self.temp_manager = temp_manager
+        # Shared across all focus clones of one query: the evaluator's
+        # sort-avoidance instrumentation (DESIGN.md §5).
+        self.stats: dict[str, int] = {"axis_steps": 0, "ordered_steps": 0}
 
     def _clone(self) -> "EvalContext":
         clone = EvalContext.__new__(EvalContext)
@@ -70,6 +73,7 @@ class EvalContext:
         clone.functions = self.functions
         clone.options = self.options
         clone.temp_manager = self.temp_manager
+        clone.stats = self.stats
         return clone
 
     def with_focus(self, item: Any, position: int, size: int

@@ -18,7 +18,7 @@ from typing import Any
 
 from repro.errors import QueryEvaluationError
 from repro.markup import dom
-from repro.core.goddag.axes import evaluate_axis
+from repro.core.goddag.axes import emits_document_order, evaluate_axis
 from repro.core.goddag.goddag import KyGoddag
 from repro.core.goddag.nodes import (
     GAttr,
@@ -41,6 +41,11 @@ REVERSE_AXES = frozenset({
     "ancestor", "ancestor-or-self", "preceding", "preceding-sibling",
     "parent", "xancestor", "xpreceding",
 })
+
+#: Sort-avoidance counters of the most recent ``evaluate_query`` call:
+#: ``axis_steps`` path steps evaluated, ``ordered_steps`` of them served
+#: straight from an already-document-ordered axis slice (no sort).
+LAST_QUERY_STATS: dict[str, int] = {"axis_steps": 0, "ordered_steps": 0}
 
 
 def evaluate_query(goddag: KyGoddag, query: str | ast.Expr,
@@ -68,6 +73,8 @@ def evaluate_query(goddag: KyGoddag, query: str | ast.Expr,
             result = [_snapshot(item, goddag) for item in result]
         return result
     finally:
+        LAST_QUERY_STATS.clear()
+        LAST_QUERY_STATS.update(context.stats)
         if not keep_temporaries:
             manager.drop_all()
 
@@ -331,21 +338,36 @@ def _eval_path(expr: ast.PathExpr, ctx: EvalContext) -> list:
 def _apply_step(step, inputs: list, ctx: EvalContext) -> list:
     if isinstance(step, ast.ExprStep):
         return _apply_expr_step(step, inputs, ctx)
+    size = len(inputs)
+    if size == 1:
+        # Single-node context: the step result needs no cross-input
+        # merge, and for forward axes ``_step_from`` already returns it
+        # in document order (reverse axes return the exact reversal).
+        item = inputs[0]
+        _require_navigable(item)
+        nodes, direction = _step_from(step, item,
+                                      ctx.with_focus(item, 1, 1))
+        if direction == "reverse":
+            return nodes[::-1]
+        return nodes
     out: list = []
     seen: set[int] = set()
-    size = len(inputs)
     for position, item in enumerate(inputs, start=1):
-        if not isinstance(item, GNode):
-            raise QueryEvaluationError(
-                "path steps navigate KyGODDAG nodes; got "
-                f"{type(item).__name__} (constructed nodes are not "
-                f"navigable)")
+        _require_navigable(item)
         focus = ctx.with_focus(item, position, size)
-        for node in _step_from(step, item, focus):
+        for node in _step_from(step, item, focus)[0]:
             if id(node) not in seen:
                 seen.add(id(node))
                 out.append(node)
     return ctx.goddag.sort_nodes(out)
+
+
+def _require_navigable(item) -> None:
+    if not isinstance(item, GNode):
+        raise QueryEvaluationError(
+            "path steps navigate KyGODDAG nodes; got "
+            f"{type(item).__name__} (constructed nodes are not "
+            f"navigable)")
 
 
 def _apply_expr_step(step: ast.ExprStep, inputs: list,
@@ -373,18 +395,35 @@ def _apply_expr_step(step: ast.ExprStep, inputs: list,
     return out
 
 
-def _step_from(step: ast.Step, node: GNode, ctx: EvalContext) -> list:
+def _step_from(step: ast.Step, node: GNode,
+               ctx: EvalContext) -> tuple[list, str]:
+    """One axis step from one node: ``(nodes, direction)``.
+
+    ``direction`` is ``"forward"`` (nodes ascend in document order) or
+    ``"reverse"`` (exact reversal, as predicates count positions away
+    from the context node on reverse axes).  Slice-based forward axes
+    emit document order directly (:func:`emits_document_order`), so the
+    per-step sort is skipped for them — tracked in ``ctx.stats``.
+    """
     name_hint = (step.test.name
                  if isinstance(step.test, ast.NameTest) else None)
     candidates = evaluate_axis(ctx.goddag, step.axis, node, name_hint)
     candidates = [c for c in candidates
                   if _matches_test(step.test, step.axis, c, ctx)]
-    candidates = ctx.goddag.sort_nodes(candidates)
-    if step.axis in REVERSE_AXES:
-        candidates.reverse()
+    ctx.stats["axis_steps"] += 1
+    if emits_document_order(step.axis, node):
+        ctx.stats["ordered_steps"] += 1
+        direction = "forward"
+    else:
+        candidates = ctx.goddag.sort_nodes(candidates)
+        if step.axis in REVERSE_AXES:
+            candidates.reverse()
+            direction = "reverse"
+        else:
+            direction = "forward"
     for predicate in step.predicates:
         candidates = _filter_predicate(candidates, predicate, ctx)
-    return candidates
+    return candidates, direction
 
 
 def _filter_predicate(candidates: list, predicate: ast.Expr,

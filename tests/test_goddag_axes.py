@@ -136,6 +136,33 @@ class TestSiblingsFollowingPreceding:
     def test_following_from_root_empty(self, goddag):
         assert evaluate_axis(goddag, "following", goddag.root) == []
 
+    def test_following_from_last_element_returns_trailing_leaves(self):
+        """Regression: the seed guarded the trailing-leaf scan with the
+        always-true ``node.end <= len(text)``; the slice rewrite must
+        still return the leaves after the component's last element."""
+        from repro.cmh import MultihierarchicalDocument
+        from repro.core.goddag import KyGoddag
+
+        document = MultihierarchicalDocument.from_xml(
+            "xyz", {"h": "<r><a>xy</a>z</r>", "g": "<r>x<b>y</b>z</r>"})
+        goddag = KyGoddag.build(document)
+        last = next(goddag.elements("a"))  # [0,2) — last element of h
+        following = evaluate_axis(goddag, "following", last)
+        leaves = [n for n in following if isinstance(n, GLeaf)]
+        assert [leaf.text for leaf in leaves] == ["z"]
+        # Besides the trailing leaf, only h's own trailing text node
+        # follows — nothing from the other hierarchy.
+        rest = [n for n in following if not isinstance(n, GLeaf)]
+        assert [type(n) for n in rest] == [GText]
+        assert rest[0].hierarchy == "h"
+
+    def test_following_from_element_ending_at_text_end(self, goddag):
+        """An element whose span reaches the very end of the base text
+        has following nodes but no trailing leaves."""
+        dmg2 = element(goddag, "dmg", 1)  # [46,51) — ends at len(text)
+        following = evaluate_axis(goddag, "following", dmg2)
+        assert not any(isinstance(n, GLeaf) for n in following)
+
     def test_attribute_axis(self, goddag):
         # Figure 1 elements carry no attributes; add a synthetic check.
         line1 = element(goddag, "line", 0)

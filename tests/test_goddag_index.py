@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.core.goddag.index import SpanIndex
 from repro.core.goddag.nodes import GElement, GText
@@ -30,18 +31,53 @@ class TestConstruction:
         first = goddag.span_index()
         assert goddag.span_index() is first
 
-    def test_invalidated_by_hierarchy_change(self, goddag):
+    def test_maintained_in_place_on_hierarchy_change(self, goddag):
         from repro.cmh.spans import Span, SpanSet
 
         first = goddag.span_index()
+        size = len(first)
         spans = SpanSet(goddag.text, [Span(0, 5, "x")])
         goddag.add_hierarchy_from_spans("tmp", spans, temporary=True)
         second = goddag.span_index()
-        assert second is not first
+        # The index is updated incrementally, not rebuilt.
+        assert second is first
+        assert goddag.index_full_builds == 1
         # <x> element + its text + the trailing text node after it
-        assert len(second) == len(first) + 3
+        assert len(second) == size + 3
         goddag.remove_hierarchy("tmp")
-        assert len(goddag.span_index()) == len(first)
+        assert goddag.span_index() is first
+        assert len(goddag.span_index()) == size
+        assert first.incremental_adds == 1
+        assert first.incremental_removes == 1
+
+    def test_lifo_lifecycle_recycles_ranks(self, goddag):
+        """Repeated analyze-string-style add/remove cycles must not
+        exhaust the packed order key's 16-bit rank field."""
+        from repro.cmh.spans import Span, SpanSet
+
+        goddag.span_index()
+        spans = SpanSet(goddag.text, [Span(0, 5, "x")])
+        before = goddag._next_rank
+        for _ in range(3):
+            goddag.add_hierarchy_from_spans("tmp", spans, temporary=True)
+            node = goddag.nodes_of("tmp")[0]
+            assert goddag.order_key(node) > 0
+            goddag.remove_hierarchy("tmp")
+        assert goddag._next_rank == before
+
+
+class TestOffsetGuard:
+    def test_oversized_span_offsets_rejected(self):
+        from repro.errors import GoddagError
+        from repro.core.goddag.index import _SubIndex
+
+        class Huge:
+            start = 0
+            end = 1 << 31
+            name = "x"
+
+        with pytest.raises(GoddagError, match="2\\^31"):
+            _SubIndex(0, [Huge()])
 
 
 class TestSlices:

@@ -6,6 +6,10 @@ writes it — with explicit leaf sets, ``min``/``max`` over the leaf
 order, and within-hierarchy ancestor/descendant exclusions — and the
 tests assert the production (interval-based) axes return identical node
 sets on randomly generated multihierarchical documents.
+
+The slice-based *standard* axes (DESIGN.md §5) are additionally checked
+element-for-element against the seed's walkers, preserved in
+:mod:`repro.core.goddag.naive`.
 """
 
 from __future__ import annotations
@@ -13,6 +17,8 @@ from __future__ import annotations
 from hypothesis import given, settings
 
 from repro.core.goddag import KyGoddag, evaluate_axis
+from repro.core.goddag.axes import ORDERED_AXES, emits_document_order
+from repro.core.goddag.naive import NAIVE_STANDARD_AXES
 from repro.core.goddag.nodes import GElement, GText, _HierarchyNode
 
 from tests.strategies import multihierarchical_documents
@@ -202,3 +208,60 @@ def test_document_order_is_total(document):
     keys = [goddag.order_key(n) for n in goddag.iter_nodes()]
     assert len(set(keys)) == len(keys)
     assert keys == sorted(keys)
+
+
+# ---------------------------------------------------------------------------
+# standard axes: the slice rewrite equals the seed's walkers
+# ---------------------------------------------------------------------------
+
+
+def all_context_nodes(goddag):
+    """Root, every hierarchy node, and every leaf."""
+    nodes = [goddag.root]
+    for name in goddag.hierarchy_names:
+        nodes.extend(goddag.nodes_of(name))
+    nodes.extend(goddag.leaves())
+    return nodes
+
+
+@SETTINGS
+@given(document=multihierarchical_documents())
+def test_standard_axes_match_seed_walkers(document):
+    goddag = KyGoddag.build(document)
+    for node in all_context_nodes(goddag):
+        for axis, oracle in NAIVE_STANDARD_AXES.items():
+            measured = evaluate_axis(goddag, axis, node)
+            expected = oracle(goddag, node)
+            assert len(measured) == len(expected), (axis, node)
+            assert {id(m) for m in measured} == \
+                {id(m) for m in expected}, (axis, node)
+
+
+@SETTINGS
+@given(document=multihierarchical_documents())
+def test_or_self_axes_match_seed_walkers(document):
+    goddag = KyGoddag.build(document)
+    for node in all_context_nodes(goddag):
+        for axis, base in (("descendant-or-self", "descendant"),
+                           ("ancestor-or-self", "ancestor")):
+            measured = {id(m) for m in evaluate_axis(goddag, axis, node)}
+            expected = {id(m) for m in
+                        NAIVE_STANDARD_AXES[base](goddag, node)}
+            expected.add(id(node))
+            assert measured == expected, (axis, node)
+
+
+@SETTINGS
+@given(document=multihierarchical_documents())
+def test_ordered_axes_emit_document_order(document):
+    """The evaluator skips sorting exactly when this property holds:
+    ordered axes emit strictly increasing Definition 3 keys."""
+    goddag = KyGoddag.build(document)
+    for node in all_context_nodes(goddag):
+        for axis in ORDERED_AXES:
+            if not emits_document_order(axis, node):
+                continue
+            keys = [goddag.order_key(n)
+                    for n in evaluate_axis(goddag, axis, node)]
+            assert keys == sorted(keys), (axis, node)
+            assert len(set(keys)) == len(keys), (axis, node)

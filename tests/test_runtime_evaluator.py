@@ -90,6 +90,32 @@ class TestPathEvaluation:
                        "/descendant::w[1]/string(.)") == "gesceaftum"
 
 
+class TestOrderedStepFastPath:
+    """Single forward-axis steps over ordered contexts skip sorting."""
+
+    def test_descendant_steps_skip_sort(self, goddag):
+        from repro.core.runtime.evaluator import LAST_QUERY_STATS
+
+        result = run(goddag, "/descendant::w")
+        assert len(result) == 6
+        assert LAST_QUERY_STATS["ordered_steps"] > 0
+        assert LAST_QUERY_STATS["ordered_steps"] <= \
+            LAST_QUERY_STATS["axis_steps"]
+
+    def test_reverse_axis_still_counts_positions_backwards(self, goddag):
+        # preceding:: positions count away from the context node; the
+        # fast path must not disturb that (single-input reverse step).
+        assert run_str(
+            goddag,
+            "string(/descendant::w[last()]/preceding::w[1])") == "gecynde"
+
+    def test_single_input_reverse_result_is_document_ordered(self, goddag):
+        words = run(goddag, "/descendant::w[last()]/preceding::w")
+        texts = [w.string_value() for w in words]
+        assert texts == ["gesceaftum", "unawendendne", "singallice",
+                         "sibbe", "gecynde"]
+
+
 class TestOperators:
     def test_arithmetic(self, goddag):
         assert run_str(goddag, "1 + 2 * 3") == "7"
