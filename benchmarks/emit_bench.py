@@ -1,17 +1,20 @@
-"""Emit the perf-trajectory file ``BENCH_axes.json``.
+"""Emit the perf-trajectory files ``BENCH_axes.json`` + ``BENCH_queries.json``.
 
-Times the three headline series — S-AXES (axis evaluation), S-ANALYZE
+Times the headline series — S-AXES (axis evaluation), S-ANALYZE
 (the ``analyze-string`` temporary-hierarchy lifecycle), S-BUILD
-(KyGODDAG + SpanIndex construction) — and writes their median ns/op to
-a JSON file that future PRs compare against (DESIGN.md §7).
+(KyGODDAG + SpanIndex construction) — into ``BENCH_axes.json``, and the
+end-to-end §4 query workload (S-QUERIES: legacy evaluator vs the
+compiled pipeline, per query and total) into ``BENCH_queries.json``;
+future PRs compare against both (DESIGN.md §7).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py [--quick] \
-        [--out BENCH_axes.json] [--size 6400]
+        [--out BENCH_axes.json] [--queries-out BENCH_queries.json] \
+        [--size 6400]
 
 ``--quick`` cuts the repeat counts for CI smoke runs; the checked-in
-file is produced by a full run on a quiet machine.
+files are produced by a full run on a quiet machine.
 """
 
 from __future__ import annotations
@@ -76,16 +79,52 @@ def bench_build(size: int, repeats: int) -> dict[str, int]:
     return {"goddag-and-index": median_ns(build, repeats)}
 
 
+def bench_queries(size: int, repeats: int) -> dict:
+    """End-to-end §4 workload: legacy evaluator vs compiled pipeline."""
+    from repro.api import Engine
+    from repro.bench.workloads import paper_query_workload
+
+    document = corpus_at_size(size)
+    pipeline = Engine(document)
+    legacy = Engine(document, use_pipeline=False)
+    pipeline.goddag.span_index()
+    legacy.goddag.span_index()
+    workload = paper_query_workload()
+    for _query_id, query in workload:  # warm plan cache + lazy indexes
+        pipeline.query(query)
+        legacy.query(query)
+    per_query: dict[str, dict[str, int]] = {}
+    for query_id, query in workload:
+        per_query[query_id] = {
+            "legacy-evaluator": median_ns(
+                lambda query=query: legacy.query(query), repeats),
+            "pipeline-warm": median_ns(
+                lambda query=query: pipeline.query(query), repeats),
+        }
+    total = {
+        "legacy-evaluator": sum(row["legacy-evaluator"]
+                                for row in per_query.values()),
+        "pipeline-warm": sum(row["pipeline-warm"]
+                             for row in per_query.values()),
+    }
+    total["speedup"] = round(
+        total["legacy-evaluator"] / total["pipeline-warm"], 2)
+    return {"per_query": per_query, "workload_total": total}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_axes.json"))
+    parser.add_argument("--queries-out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_queries.json"))
     parser.add_argument("--size", type=int, default=SCALING_SIZES[-1])
     parser.add_argument("--quick", action="store_true",
                         help="fewer repeats (CI smoke run)")
     args = parser.parse_args(argv)
     repeats = 5 if args.quick else 41
     build_repeats = 3 if args.quick else 11
+    query_repeats = 3 if args.quick else 9
     payload = {
         "schema": "repro-bench/1",
         "series": "standard-axes-rewrite",
@@ -101,6 +140,17 @@ def main(argv: list[str] | None = None) -> int:
     Path(args.out).write_text(json.dumps(payload, indent=2,
                                          sort_keys=True) + "\n")
     print(json.dumps(payload, indent=2, sort_keys=True))
+    queries_payload = {
+        "schema": "repro-bench/1",
+        "series": "query-compilation-pipeline",
+        "config": {"n_words": args.size, "seed": BENCH_SEED,
+                   "repeats": query_repeats,
+                   "python": sys.version.split()[0]},
+        "median_ns_per_query": bench_queries(args.size, query_repeats),
+    }
+    Path(args.queries_out).write_text(
+        json.dumps(queries_payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(queries_payload, indent=2, sort_keys=True))
     return 0
 
 

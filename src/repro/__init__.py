@@ -21,6 +21,7 @@ Quickstart::
 """
 
 from repro.api import Engine, QueryResult, load_mhx, save_mhx
+from repro.core.plan import CompiledQuery, compile_query
 from repro.cmh import (
     ConcurrentMarkupHierarchy,
     Hierarchy,
@@ -28,7 +29,12 @@ from repro.cmh import (
 )
 from repro.core.goddag import KyGoddag
 from repro.core.lang import parse_query, parse_xpath
-from repro.core.runtime import QueryOptions, evaluate_query, serialize_items
+from repro.core.runtime import (
+    QueryOptions,
+    QueryStats,
+    evaluate_query,
+    serialize_items,
+)
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
@@ -36,6 +42,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Engine",
     "QueryResult",
+    "CompiledQuery",
+    "compile_query",
     "load_mhx",
     "save_mhx",
     "ConcurrentMarkupHierarchy",
@@ -45,6 +53,7 @@ __all__ = [
     "parse_query",
     "parse_xpath",
     "QueryOptions",
+    "QueryStats",
     "evaluate_query",
     "serialize_items",
     "ReproError",

@@ -16,6 +16,7 @@ interchange format for multihierarchical documents.
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
@@ -23,21 +24,29 @@ from repro.errors import ReproError
 from repro.cmh import ConcurrentMarkupHierarchy, MultihierarchicalDocument
 from repro.core.goddag import KyGoddag, collect, describe, to_dot
 from repro.core.goddag.stats import GoddagStats
-from repro.core.lang import parse_query, parse_xpath
+from repro.core.lang import parse_xpath
+from repro.core.plan import CompiledQuery, compile_query
 from repro.core.runtime import (
     QueryOptions,
+    QueryStats,
     evaluate_query,
     serialize_items,
 )
 
 MHX_FORMAT = "mhx-1"
 
+#: Compiled plans kept per engine (LRU over query text + options).
+PLAN_CACHE_SIZE = 256
+
 
 class QueryResult:
     """The result of one query: an item sequence plus serialization."""
 
-    def __init__(self, items: list) -> None:
+    def __init__(self, items: list,
+                 stats: QueryStats | None = None) -> None:
         self.items = items
+        #: per-call evaluation counters (None for legacy-path results)
+        self.stats = stats
 
     def __iter__(self):
         return iter(self.items)
@@ -60,13 +69,24 @@ class QueryResult:
 
 
 class Engine:
-    """A query engine bound to one multihierarchical document."""
+    """A query engine bound to one multihierarchical document.
+
+    Queries run through the compilation pipeline (parse → rewrite →
+    plan → set-at-a-time execution, DESIGN.md §8); compiled plans are
+    cached in an LRU keyed by query text + options, so repeated
+    ``query()`` calls skip everything up to execution.  Pass
+    ``use_pipeline=False`` to route through the legacy tree-walking
+    evaluator instead (the differential-testing oracle).
+    """
 
     def __init__(self, document: MultihierarchicalDocument,
-                 options: QueryOptions | None = None) -> None:
+                 options: QueryOptions | None = None,
+                 use_pipeline: bool = True) -> None:
         self.document = document
         self.options = options or QueryOptions()
         self.goddag = KyGoddag.build(document)
+        self.use_pipeline = use_pipeline
+        self._plans: OrderedDict[tuple, CompiledQuery] = OrderedDict()
 
     # -- constructors --------------------------------------------------------
 
@@ -89,28 +109,58 @@ class Engine:
     def query(self, text: str, variables: dict[str, list] | None = None
               ) -> QueryResult:
         """Evaluate an extended XQuery expression."""
-        items = evaluate_query(self.goddag, text, variables=variables,
-                               options=self.options)
-        return QueryResult(items)
+        return self._run(text, variables, xpath=False)
 
     def xpath(self, text: str, variables: dict[str, list] | None = None
               ) -> QueryResult:
         """Evaluate a pure (extended) XPath expression."""
-        expr = parse_xpath(text)
-        items = evaluate_query(self.goddag, expr, variables=variables,
-                               options=self.options)
-        return QueryResult(items)
+        return self._run(text, variables, xpath=True)
 
-    def compile(self, text: str):
-        """Parse a query once for repeated execution."""
-        return parse_query(text)
+    def compile(self, text: str, xpath: bool = False) -> CompiledQuery:
+        """Compile a query through the pipeline (LRU-cached)."""
+        key = (text, xpath, self.options)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self._plans.move_to_end(key)
+            return cached
+        compiled = compile_query(text, xpath=xpath)
+        self._plans[key] = compiled
+        if len(self._plans) > PLAN_CACHE_SIZE:
+            self._plans.popitem(last=False)
+        return compiled
+
+    def explain(self, text: str, xpath: bool = False) -> str:
+        """The compiled pipeline report for one query."""
+        return self.compile(text, xpath=xpath).explain()
 
     def execute(self, compiled, variables: dict[str, list] | None = None
                 ) -> QueryResult:
-        """Run a pre-compiled query AST."""
+        """Run a :class:`CompiledQuery` (or a pre-parsed legacy AST)."""
+        if isinstance(compiled, CompiledQuery):
+            cached = any(plan is compiled
+                         for plan in self._plans.values())
+            stats = QueryStats(plan_cache_hit=cached)
+            items = compiled.execute(self.goddag, variables=variables,
+                                     options=self.options, stats=stats)
+            return QueryResult(items, stats)
         items = evaluate_query(self.goddag, compiled, variables=variables,
                                options=self.options)
         return QueryResult(items)
+
+    def _run(self, text: str, variables: dict[str, list] | None,
+             xpath: bool) -> QueryResult:
+        if not self.use_pipeline:
+            expr = parse_xpath(text) if xpath else text
+            stats = QueryStats()
+            items = evaluate_query(self.goddag, expr, variables=variables,
+                                   options=self.options, stats=stats)
+            return QueryResult(items, stats)
+        key = (text, xpath, self.options)
+        stats = QueryStats(plan_cache_hit=key in self._plans)
+        compiled = self.compile(text, xpath=xpath)
+        items = compiled.execute(self.goddag, variables=variables,
+                                 options=self.options, stats=stats)
+        return QueryResult(items, stats)
 
     # -- inspection ----------------------------------------------------------
 
@@ -138,7 +188,13 @@ class Engine:
 
 def save_mhx(document: MultihierarchicalDocument,
              path: str | Path) -> None:
-    """Serialize a multihierarchical document to a ``.mhx`` JSON file."""
+    """Serialize a multihierarchical document to a ``.mhx`` JSON file.
+
+    When the document carries an attached CMH whose DTD sources are
+    known, they are bundled under the ``dtds`` key so ``load_mhx``
+    restores (and re-validates) the schema — the round-trip is
+    lossless.
+    """
     payload: dict[str, Any] = {
         "format": MHX_FORMAT,
         "text": document.text,
@@ -147,6 +203,10 @@ def save_mhx(document: MultihierarchicalDocument,
             for name, hierarchy in document.hierarchies.items()
         },
     }
+    if document.cmh is not None:
+        sources = document.cmh.sources()
+        if sources is not None:
+            payload["dtds"] = sources
     Path(path).write_text(
         json.dumps(payload, ensure_ascii=False, indent=2),
         encoding="utf-8")

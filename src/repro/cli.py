@@ -5,6 +5,8 @@ built-in Boethius document):
 
 * ``query`` — evaluate an extended XQuery expression;
 * ``xpath`` — evaluate a pure extended-XPath expression;
+* ``explain`` — show a query's compiled pipeline plan (rewrites +
+  logical operators) without running it;
 * ``stats`` — print the KyGODDAG node/edge inventory;
 * ``describe`` — print the KyGODDAG outline (hierarchies + leaves);
 * ``render`` — emit GraphViz DOT (Figure 2 style);
@@ -61,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_xpath.add_argument("expression", help="the path expression, or @file")
     p_xpath.add_argument("--mode", choices=("paper", "xquery"),
                          default="paper")
+
+    p_explain = sub.add_parser(
+        "explain", help="show the compiled pipeline plan for a query")
+    add_document_options(p_explain)
+    p_explain.add_argument("expression", help="the query text, or @file")
+    p_explain.add_argument("--xpath", action="store_true",
+                           help="parse as a pure extended-XPath expression")
 
     for name, help_text in (("stats", "print the KyGODDAG inventory"),
                             ("describe", "print the KyGODDAG outline"),
@@ -141,6 +150,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         result = (engine.query(expression) if command == "query"
                   else engine.xpath(expression))
         print(result.serialize(mode=args.mode))
+        return 0
+    if command == "explain":
+        engine = Engine(document)
+        expression = _read_expression(args.expression)
+        print(engine.explain(expression, xpath=args.xpath))
         return 0
     if command == "stats":
         engine = Engine(document)

@@ -42,6 +42,19 @@ class ConcurrentMarkupHierarchy:
         """Hierarchy names in registration order."""
         return list(self.dtds)
 
+    def sources(self) -> dict[str, str] | None:
+        """The DTD internal-subset sources, for ``.mhx`` round-trips.
+
+        ``None`` when any DTD was assembled programmatically (no source
+        text retained) — such a CMH cannot be bundled into a container.
+        """
+        out: dict[str, str] = {}
+        for name, dtd in self.dtds.items():
+            if dtd.source is None:
+                return None
+            out[name] = dtd.source
+        return out
+
     def elements_of(self, hierarchy: str) -> frozenset[str]:
         """All element names declared by ``hierarchy`` (including root)."""
         return self.dtds[hierarchy].element_names

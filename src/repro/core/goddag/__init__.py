@@ -23,7 +23,12 @@ from repro.core.goddag.nodes import (
     GRoot,
     GText,
 )
-from repro.core.goddag.axes import AXES, EXTENDED_AXES, evaluate_axis
+from repro.core.goddag.axes import (
+    AXES,
+    EXTENDED_AXES,
+    evaluate_axis,
+    evaluate_axis_batch,
+)
 from repro.core.goddag.render import describe, serialize_node, to_dot
 from repro.core.goddag.stats import GoddagStats, collect
 from repro.core.goddag.temp import TemporaryHierarchyManager
@@ -41,6 +46,7 @@ __all__ = [
     "AXES",
     "EXTENDED_AXES",
     "evaluate_axis",
+    "evaluate_axis_batch",
     "serialize_node",
     "to_dot",
     "describe",

@@ -38,6 +38,8 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+import numpy as np
+
 from repro.errors import GoddagError
 from repro.core.goddag.goddag import KyGoddag
 from repro.core.goddag.nodes import (
@@ -290,7 +292,8 @@ def axis_xancestor(goddag: KyGoddag, node: GNode,
 
 
 def axis_xdescendant(goddag: KyGoddag, node: GNode,
-                     name: str | None = None) -> list[GNode]:
+                     name: str | None = None,
+                     include_leaves: bool = True) -> list[GNode]:
     """``{m ∉ ancestor(n) ∪ {n} : leaves(m) ⊆ leaves(n)}``.
 
     Includes leaves inside the node's span: they are never ancestors.
@@ -301,19 +304,27 @@ def axis_xdescendant(goddag: KyGoddag, node: GNode,
         return []  # any span-equal node is on the leaf's parent chain
     index = goddag.span_index()
     left, right = index.start_slice(node.start, node.end)
-    mask = (index.ends[left:right] <= node.end) & \
-        index.nonempty[left:right]
     if name is not None:
-        mask &= index.name_mask(name)[left:right]
+        # Name-first: the per-name mask is precomputed and usually
+        # empties the slice, skipping the span/exclusion arithmetic.
+        mask = index.name_mask(name)[left:right] & \
+            index.nonempty[left:right]
+        if not mask.any():
+            return []
+        mask = mask & (index.ends[left:right] <= node.end)
+    else:
+        mask = (index.ends[left:right] <= node.end) & \
+            index.nonempty[left:right]
     mask &= ~index.ancestor_or_self_exclusion(node, left, right)
     out = index.select_slice(left, right, mask)
-    if name is None:  # leaves carry no name; skip them under a hint
+    if name is None and include_leaves:  # leaves carry no name
         out.extend(goddag.partition.leaves_in(node.start, node.end))
     return out
 
 
 def axis_xfollowing(goddag: KyGoddag, node: GNode,
-                    name: str | None = None) -> list[GNode]:
+                    name: str | None = None,
+                    include_leaves: bool = True) -> list[GNode]:
     """``{m : max(leaves(n)) < min(leaves(m))}`` — span entirely after."""
     if not node.has_leaves:
         return []
@@ -321,15 +332,18 @@ def axis_xfollowing(goddag: KyGoddag, node: GNode,
     left, right = index.start_slice(node.end, len(goddag.text) + 1)
     mask = index.nonempty[left:right]
     if name is not None:
-        mask = mask & index.name_mask(name)[left:right]
+        mask = index.name_mask(name)[left:right] & mask
+        if not mask.any():
+            return []
     out = index.select_slice(left, right, mask)
-    if name is None:
+    if name is None and include_leaves:
         out.extend(goddag.partition.leaves_from(node.end))
     return out
 
 
 def axis_xpreceding(goddag: KyGoddag, node: GNode,
-                    name: str | None = None) -> list[GNode]:
+                    name: str | None = None,
+                    include_leaves: bool = True) -> list[GNode]:
     """``{m : min(leaves(n)) > max(leaves(m))}`` — span entirely before."""
     if not node.has_leaves:
         return []
@@ -337,9 +351,11 @@ def axis_xpreceding(goddag: KyGoddag, node: GNode,
     left, right = index.end_slice(1, node.start + 1)
     mask = index.e_nonempty[left:right]
     if name is not None:
-        mask = mask & index.e_name_mask(name)[left:right]
+        mask = index.e_name_mask(name)[left:right] & mask
+        if not mask.any():
+            return []
     out = index.select_end_slice(left, right, mask)
-    if name is None:
+    if name is None and include_leaves:
         out.extend(goddag.partition.leaves_until(node.start))
     return out
 
@@ -357,9 +373,13 @@ def axis_preceding_overlapping(goddag: KyGoddag, node: GNode,
         return []
     index = goddag.span_index()
     left, right = index.end_slice(node.start + 1, node.end)
-    mask = index.e_starts[left:right] < node.start
     if name is not None:
-        mask &= index.e_name_mask(name)[left:right]
+        mask = index.e_name_mask(name)[left:right]
+        if not mask.any():
+            return []
+        mask = mask & (index.e_starts[left:right] < node.start)
+    else:
+        mask = index.e_starts[left:right] < node.start
     return index.select_end_slice(left, right, mask)
 
 
@@ -371,9 +391,13 @@ def axis_following_overlapping(goddag: KyGoddag, node: GNode,
         return []
     index = goddag.span_index()
     left, right = index.start_slice(node.start + 1, node.end)
-    mask = index.ends[left:right] > node.end
     if name is not None:
-        mask &= index.name_mask(name)[left:right]
+        mask = index.name_mask(name)[left:right]
+        if not mask.any():
+            return []
+        mask = mask & (index.ends[left:right] > node.end)
+    else:
+        mask = index.ends[left:right] > node.end
     return index.select_slice(left, right, mask)
 
 
@@ -453,3 +477,247 @@ def evaluate_axis(goddag: KyGoddag, axis: str, node: GNode,
     if name is not None and axis in EXTENDED_AXES:
         return function(goddag, node, name)
     return function(goddag, node)
+
+
+# ---------------------------------------------------------------------------
+# batched (set-at-a-time) entry point — DESIGN.md §8
+# ---------------------------------------------------------------------------
+#
+# The query pipeline evaluates each path step as ONE call over the whole
+# context sequence.  Two pushdown hints let it skip materializing whole
+# node classes the step's node test could never accept:
+#
+# * ``skip_leaves``  — the test only matches named/element-ish nodes, so
+#   the leaf ranges the slice axes normally append are never built;
+# * ``leaves_only``  — the test is ``leaf()``, so for the span-covering
+#   axes the result is a single partition slice and the (much larger)
+#   hierarchy-node slices are never touched.
+#
+# Both are pure optimizations: the caller's node test is still applied
+# (via ``test``), so a wrong hint could only cost time, never results.
+
+#: Axes whose leaf contribution is one contiguous partition range keyed
+#: by the context node's span.
+_LEAF_RANGE_AXES = frozenset({
+    "descendant", "descendant-or-self", "following", "preceding", "child",
+})
+
+
+def axis_candidates(goddag: KyGoddag, axis: str, node: GNode,
+                    name: str | None = None,
+                    skip_leaves: bool = False) -> list[GNode]:
+    """Candidates of one axis step from one node, honoring pushdowns.
+
+    With ``skip_leaves`` the slice axes return only their hierarchy-node
+    slices (no partition range is materialized), and a ``name`` hint
+    turns the span-covering axes into bisected slices of the per-name
+    element index; other axes fall back to :func:`evaluate_axis` plus a
+    leaf filter.
+    """
+    if not skip_leaves:
+        return evaluate_axis(goddag, axis, node, name)
+    if axis in ("descendant", "descendant-or-self"):
+        prefix: list[GNode] = []
+        if axis == "descendant-or-self" and not isinstance(node, GLeaf):
+            prefix = [node]
+        if isinstance(node, GRoot):
+            out = prefix
+            for hierarchy in goddag.hierarchy_names:
+                if name is not None:
+                    entry = goddag._components[hierarchy].name_entry(name)
+                    if entry is not None:
+                        out.extend(entry.nodes)
+                else:
+                    out.extend(goddag.nodes_of(hierarchy))
+            return out
+        if not isinstance(node, _HierarchyNode):
+            return prefix
+        if name is not None:
+            entry = goddag._components[node.hierarchy].name_entry(name)
+            if entry is None:
+                return prefix
+            left = int(np.searchsorted(entry.preorders, node.preorder,
+                                       side="right"))
+            right = int(np.searchsorted(entry.preorders,
+                                        node.subtree_end, side="right"))
+            return prefix + entry.nodes[left:right]
+        return prefix + goddag.nodes_of(node.hierarchy)[
+            node.preorder + 1:node.subtree_end + 1]
+    if axis == "following":
+        if isinstance(node, GRoot):
+            return []
+        if isinstance(node, GLeaf):
+            return axis_xfollowing(goddag, node, name, include_leaves=False)
+        if isinstance(node, GAttr):
+            return axis_candidates(goddag, axis, node.owner, name, True)
+        if name is not None:
+            entry = goddag._components[node.hierarchy].name_entry(name)
+            if entry is None:
+                return []
+            left = int(np.searchsorted(entry.preorders, node.subtree_end,
+                                       side="right"))
+            return entry.nodes[left:]
+        return goddag.nodes_of(node.hierarchy)[node.subtree_end + 1:]
+    if axis == "preceding":
+        if isinstance(node, GRoot):
+            return []
+        if isinstance(node, GLeaf):
+            return axis_xpreceding(goddag, node, name, include_leaves=False)
+        if isinstance(node, GAttr):
+            return axis_candidates(goddag, axis, node.owner, name, True)
+        if name is not None:
+            entry = goddag._components[node.hierarchy].name_entry(name)
+            if entry is None:
+                return []
+            position = int(np.searchsorted(entry.preorders, node.preorder,
+                                           side="left"))
+            prefix_arr = entry.nodes_arr[:position]
+            return prefix_arr[
+                entry.subtree_ends[:position] < node.preorder].tolist()
+        component = goddag._components[node.hierarchy]
+        nodes_arr, subtree_ends = component.node_arrays()
+        prefix_arr = nodes_arr[:node.preorder]
+        return prefix_arr[
+            subtree_ends[:node.preorder] < node.preorder].tolist()
+    if axis == "child" and isinstance(node, GText):
+        return []  # a text node's children are exactly its leaves
+    if axis in ("xdescendant", "xfollowing", "xpreceding"):
+        function = AXES[axis]
+        return function(goddag, node, name, include_leaves=False)
+    out = evaluate_axis(goddag, axis, node, name)
+    if any(isinstance(candidate, GLeaf) for candidate in out):
+        return [c for c in out if not isinstance(c, GLeaf)]
+    return out
+
+
+def leaf_candidates(goddag: KyGoddag, axis: str,
+                    node: GNode) -> list[GNode] | None:
+    """The leaf-only candidates of one axis step, as a partition slice.
+
+    Returns ``None`` when ``axis`` has no leaf-range shortcut from this
+    node (the caller falls back to the full candidate list).
+    """
+    if axis not in _LEAF_RANGE_AXES:
+        return None
+    partition = goddag.partition
+    if axis in ("descendant", "descendant-or-self"):
+        if isinstance(node, GLeaf):
+            return [node] if axis == "descendant-or-self" else []
+        if isinstance(node, GRoot):
+            return partition.leaves()
+        if not isinstance(node, _HierarchyNode):
+            return []
+        return partition.leaves_in(node.start, node.end)
+    if isinstance(node, (GRoot, GAttr)):
+        return None  # rare shapes: use the generic path
+    if axis == "following":
+        return partition.leaves_from(node.end)
+    if axis == "preceding":
+        return partition.leaves_until(node.start)
+    if axis == "child":
+        if isinstance(node, GText):
+            return partition.leaves_in(node.start, node.end)
+        return []  # only text nodes parent leaves
+    return None
+
+
+def axis_exists_named(goddag: KyGoddag, axis: str, node: GNode,
+                      name: str) -> bool | None:
+    """Existence probe: does ``axis::name`` yield anything from ``node``?
+
+    Returns ``None`` when the axis has no mask-only fast path (the
+    caller falls back to materializing candidates).  Valid only for a
+    plain name test on a non-attribute axis: the per-name masks match
+    elements exactly (text nodes carry no name), and the root never
+    falls inside these slices (its span is the whole text).
+    """
+    if axis == "xdescendant":
+        if not node.has_leaves or isinstance(node, GLeaf):
+            return False
+        index = goddag.span_index()
+        left, right = index.start_slice(node.start, node.end)
+        mask = index.name_mask(name)[left:right] & \
+            index.nonempty[left:right]
+        if not mask.any():
+            return False
+        mask = mask & (index.ends[left:right] <= node.end)
+        if not mask.any():
+            return False
+        mask &= ~index.ancestor_or_self_exclusion(node, left, right)
+        return bool(mask.any())
+    if axis == "xfollowing":
+        if not node.has_leaves:
+            return False
+        index = goddag.span_index()
+        left, right = index.start_slice(node.end, len(goddag.text) + 1)
+        mask = index.name_mask(name)[left:right] & \
+            index.nonempty[left:right]
+        return bool(mask.any())
+    if axis == "xpreceding":
+        if not node.has_leaves:
+            return False
+        index = goddag.span_index()
+        left, right = index.end_slice(1, node.start + 1)
+        mask = index.e_name_mask(name)[left:right] & \
+            index.e_nonempty[left:right]
+        return bool(mask.any())
+    if axis in ("overlapping", "preceding-overlapping",
+                "following-overlapping"):
+        if not node.has_leaves:
+            return False
+        index = goddag.span_index()
+        if axis != "following-overlapping":
+            left, right = index.end_slice(node.start + 1, node.end)
+            mask = index.e_name_mask(name)[left:right]
+            if mask.any() and bool(
+                    (mask & (index.e_starts[left:right]
+                             < node.start)).any()):
+                return True
+            if axis == "preceding-overlapping":
+                return False
+        left, right = index.start_slice(node.start + 1, node.end)
+        mask = index.name_mask(name)[left:right]
+        if not mask.any():
+            return False
+        return bool((mask & (index.ends[left:right] > node.end)).any())
+    return None
+
+
+def evaluate_axis_batch(goddag: KyGoddag, axis: str, nodes: list[GNode],
+                        name: str | None = None, *,
+                        skip_leaves: bool = False,
+                        leaves_only: bool = False,
+                        test=None) -> list[GNode]:
+    """One batched axis call over a whole context sequence.
+
+    Returns the union of per-node candidates (filtered by ``test`` when
+    given), deduplicated and merged into global document order by the
+    packed int64 order keys — one ``sort_nodes`` per *step* instead of
+    one per context item.  A single already-ordered emission skips even
+    that (:func:`emits_document_order`).
+    """
+    if not nodes:
+        return []
+
+    def candidates(node: GNode) -> list[GNode]:
+        if leaves_only:
+            leaf_range = leaf_candidates(goddag, axis, node)
+            if leaf_range is not None:
+                return leaf_range
+        return axis_candidates(goddag, axis, node, name, skip_leaves)
+
+    if len(nodes) == 1:
+        out = candidates(nodes[0])
+        if test is not None:
+            out = [c for c in out if test(c)]
+        if not emits_document_order(axis, nodes[0]):
+            out = goddag.sort_nodes(out)
+        return out
+    out = []
+    for node in nodes:
+        found = candidates(node)
+        if test is not None:
+            out.extend(c for c in found if test(c))
+        else:
+            out.extend(found)
+    return goddag.sort_nodes(out)

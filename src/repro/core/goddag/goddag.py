@@ -61,6 +61,7 @@ class _HierarchyComponent:
         # Lazy parallel arrays over ``nodes`` (immutable after build).
         self._nodes_arr: np.ndarray | None = None
         self._subtree_ends_arr: np.ndarray | None = None
+        self._name_index: dict[str, "_NameEntry"] | None = None
 
     def node_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """``(nodes, subtree_ends)`` as parallel arrays, preorder order."""
@@ -74,6 +75,47 @@ class _HierarchyComponent:
                 (node.subtree_end for node in self.nodes),
                 dtype=np.int64, count=count)
         return self._nodes_arr, self._subtree_ends_arr
+
+    def name_entry(self, name: str) -> "_NameEntry | None":
+        """The per-name element index entry (DESIGN.md §8).
+
+        Elements named ``name`` in preorder, with parallel preorder /
+        subtree-end arrays: a named ``descendant``/``following``/
+        ``preceding`` step over this hierarchy is then one bisect plus
+        a slice of the name's own (usually tiny) list instead of a scan
+        of the whole component.  Built lazily once — components are
+        immutable after registration.
+        """
+        if self._name_index is None:
+            grouped: dict[str, list] = {}
+            for node in self.nodes:
+                if isinstance(node, GElement):
+                    grouped.setdefault(node.name, []).append(node)
+            self._name_index = {
+                name_: _NameEntry(members) for name_, members in
+                grouped.items()
+            }
+        return self._name_index.get(name)
+
+
+class _NameEntry:
+    """All elements of one name in one hierarchy, preorder-ordered."""
+
+    __slots__ = ("nodes", "nodes_arr", "preorders", "subtree_ends")
+
+    def __init__(self, members: list) -> None:
+        count = len(members)
+        self.nodes = members
+        arr = np.empty(count, dtype=object)
+        for position, node in enumerate(members):
+            arr[position] = node
+        self.nodes_arr = arr
+        self.preorders = np.fromiter(
+            (node.preorder for node in members), dtype=np.int64,
+            count=count)
+        self.subtree_ends = np.fromiter(
+            (node.subtree_end for node in members), dtype=np.int64,
+            count=count)
 
 
 class KyGoddag:

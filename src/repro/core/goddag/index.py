@@ -122,6 +122,13 @@ class SpanIndex:
         self._subs: dict[str, _SubIndex] = {}
         self._name_masks: dict[str, np.ndarray] = {}
         self._e_name_masks: dict[str, np.ndarray] = {}
+        self._containment: dict[str, tuple] = {}
+        # Hierarchies registered but not yet merged into the arrays.
+        # Membership changes are applied *lazily* on the next read: an
+        # analyze-string temporary whose lifetime never touches an
+        # extended axis costs no array surgery at all (its removal just
+        # cancels the queued add).
+        self._pending: list = []
         self.incremental_adds = 0
         self.incremental_removes = 0
         # Seed the global arrays with the shared root (rank -1, never
@@ -144,9 +151,11 @@ class SpanIndex:
         self._refresh_nonempty()
         for name in goddag.hierarchy_names:
             self.add_component(goddag._components[name])
+        self._flush_pending()
         self.incremental_adds = 0
 
     def __len__(self) -> int:
+        self._flush_pending()
         return len(self.nodes)
 
     def _refresh_nonempty(self) -> None:
@@ -156,7 +165,23 @@ class SpanIndex:
     # -- incremental maintenance --------------------------------------------
 
     def add_component(self, component: "_HierarchyComponent") -> None:
-        """Merge one hierarchy's sub-index into the global arrays."""
+        """Queue one hierarchy for merging into the global arrays.
+
+        The merge itself is deferred to the next index read
+        (:meth:`_flush_pending`); the counter tracks membership changes
+        handled without a rebuild, flushed or not.
+        """
+        self._pending.append(component)
+        self.incremental_adds += 1
+
+    def _flush_pending(self) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        for component in pending:
+            self._merge_component(component)
+
+    def _merge_component(self, component: "_HierarchyComponent") -> None:
         sub = _SubIndex(component.rank, _span_nodes_of(component))
         self._subs[component.name] = sub
         if len(sub):
@@ -188,10 +213,16 @@ class SpanIndex:
             self._refresh_nonempty()
         self._name_masks.clear()
         self._e_name_masks.clear()
-        self.incremental_adds += 1
+        self._containment.clear()
 
     def remove_component(self, component: "_HierarchyComponent") -> None:
-        """Drop one hierarchy's sub-index and compress the globals."""
+        """Drop one hierarchy: cancel its queued add, or compress the
+        global arrays when it was already merged."""
+        for position, pending in enumerate(self._pending):
+            if pending is component:
+                del self._pending[position]
+                self.incremental_removes += 1
+                return
         sub = self._subs.pop(component.name, None)
         if sub is None or not len(sub):
             return
@@ -214,12 +245,14 @@ class SpanIndex:
         self._refresh_nonempty()
         self._name_masks.clear()
         self._e_name_masks.clear()
+        self._containment.clear()
         self.incremental_removes += 1
 
     # -- name pushdown -------------------------------------------------------
 
     def name_mask(self, name: str) -> np.ndarray:
         """Mask (start-sorted order) of nodes named ``name``."""
+        self._flush_pending()
         mask = self._name_masks.get(name)
         if mask is None:
             mask = self._names == name
@@ -228,25 +261,60 @@ class SpanIndex:
 
     def e_name_mask(self, name: str) -> np.ndarray:
         """Mask (end-sorted order) of nodes named ``name``."""
+        self._flush_pending()
         mask = self._e_name_masks.get(name)
         if mask is None:
             mask = self._e_names == name
             self._e_name_masks[name] = mask
         return mask
 
+    def name_containment(self, name: str) -> tuple:
+        """Per-name containment arrays (DESIGN.md §8).
+
+        ``(starts, ends, max_ends, ranks, preorders, subtree_ends)``
+        over the nonempty *elements* named ``name`` (the root excluded),
+        start-sorted, where ``max_ends`` is the running maximum of
+        ``ends``.  ``span ⊇ [s, e)`` existence is then one bisect plus
+        one prefix-max lookup: a container named ``name`` exists iff
+        some entry starts at or before ``s`` and the prefix max end
+        reaches ``e``.
+        """
+        self._flush_pending()
+        cached = self._containment.get(name)
+        if cached is None:
+            mask = self.name_mask(name) & self.nonempty & (self.ranks != -1)
+            starts = self.starts[mask]
+            ends = self.ends[mask]
+            max_ends = (np.maximum.accumulate(ends) if len(ends)
+                        else ends)
+            cached = (starts, ends, max_ends, self.ranks[mask],
+                      self.preorders[mask], self.subtree_ends[mask])
+            self._containment[name] = cached
+        return cached
+
+    def has_containing_named(self, name: str, start: int,
+                             end: int) -> bool:
+        """True iff a nonempty element named ``name`` spans ``[start,
+        end)`` or wider (root excluded)."""
+        starts, _ends, max_ends, _r, _p, _s = self.name_containment(name)
+        position = int(starts.searchsorted(start, side="right"))
+        return position > 0 and int(max_ends[position - 1]) >= end
+
     # -- range slices -----------------------------------------------------------
 
     def start_slice(self, lo: int, hi: int) -> tuple[int, int]:
         """Positions whose ``start`` lies in ``[lo, hi)``."""
-        left = int(np.searchsorted(self.starts, lo, side="left"))
-        right = int(np.searchsorted(self.starts, hi, side="left"))
-        return left, right
+        self._flush_pending()
+        starts = self.starts
+        return (int(starts.searchsorted(lo, side="left")),
+                int(starts.searchsorted(hi, side="left")))
 
     def end_slice(self, lo: int, hi: int) -> tuple[int, int]:
         """End-sorted positions whose ``end`` lies in ``[lo, hi)``."""
-        left = int(np.searchsorted(self.ends_sorted, lo, side="left"))
-        right = int(np.searchsorted(self.ends_sorted, hi, side="left"))
-        return left, right
+        self._flush_pending()
+        ends = self.ends_sorted
+        return (int(ends.searchsorted(lo, side="left")),
+                int(ends.searchsorted(hi, side="left")))
 
     # -- selection ---------------------------------------------------------------
 

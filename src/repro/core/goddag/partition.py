@@ -9,17 +9,23 @@ The partition is therefore determined by the multiset of markup
 boundary offsets contributed by all hierarchies.  Boundaries are
 reference-counted so that removing a (temporary) hierarchy restores
 exactly the partition that existed before it was added — leaves that
-were split coalesce again.  Each mutation bumps ``version``; leaf
-objects are canonical per version.
+were split coalesce again.  Each mutation bumps ``version``.
 
-Per version the partition also caches a numpy boundary array and the
-full leaf list (DESIGN.md §5), so every range query — ``leaves_in``,
-``leaves_from``, ``leaves_until`` — is two ``searchsorted`` calls plus
-a contiguous slice of the cached list instead of a scan.
+The partition caches a numpy boundary array and the full leaf list
+(DESIGN.md §5), so every range query — ``leaves_in``, ``leaves_from``,
+``leaves_until`` — is two ``searchsorted`` calls plus a contiguous
+slice of the cached list instead of a scan.  Both caches are maintained
+**incrementally**: adding or removing boundary offsets splices only the
+split/coalesced cells (one bisect + one ``np.insert``/``np.delete``
+per changed offset), so the ``analyze-string`` temporary-hierarchy
+lifecycle never rebuilds the whole leaf list.  Leaf objects are
+canonical per cell lifetime — untouched cells keep their objects across
+versions.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import Counter
 from collections.abc import Iterable
 from typing import TYPE_CHECKING
@@ -51,21 +57,21 @@ class Partition:
 
     def add_boundaries(self, offsets: Iterable[int]) -> None:
         """Reference the given boundary offsets (duplicates allowed)."""
-        changed = False
+        fresh: set[int] = set()
         for offset in offsets:
             if offset < 0 or offset > self.length:
                 raise GoddagError(
                     f"boundary offset {offset} outside the text "
                     f"(length {self.length})")
             if self._refcounts[offset] == 0:
-                changed = True
+                fresh.add(offset)
             self._refcounts[offset] += 1
-        if changed:
-            self._invalidate()
+        if fresh:
+            self._apply_delta(sorted(fresh), added=True)
 
     def remove_boundaries(self, offsets: Iterable[int]) -> None:
         """Drop one reference per given offset; coalesce freed leaves."""
-        changed = False
+        gone: set[int] = set()
         for offset in offsets:
             count = self._refcounts[offset]
             if count <= 0:
@@ -74,18 +80,60 @@ class Partition:
                     f"it was added")
             if count == 1:
                 del self._refcounts[offset]
-                changed = True
+                gone.add(offset)
             else:
                 self._refcounts[offset] = count - 1
-        if changed:
-            self._invalidate()
+        if gone:
+            self._apply_delta(sorted(gone), added=False)
 
-    def _invalidate(self) -> None:
-        self._sorted = None
-        self._bounds_array = None
-        self._leaf_cache.clear()
-        self._leaves_list = None
+    def _apply_delta(self, offsets: list[int], added: bool) -> None:
+        """Splice changed cells into the cached boundary/leaf structures.
+
+        Interior offsets only (0 and the text length are permanent), so
+        every changed offset splits — or re-merges — exactly one cell.
+        With nothing materialized yet — or when the delta is a large
+        fraction of the partition, where per-offset splices (each an
+        O(n) copy) would go quadratic — this is a plain invalidation
+        and the caches rebuild lazily in one O(n) pass.
+        """
         self.version += 1
+        if (self._sorted is None or self._leaves_list is None
+                or len(offsets) > max(64, len(self._sorted) // 8)):
+            self._sorted = None
+            self._bounds_array = None
+            self._leaf_cache.clear()
+            self._leaves_list = None
+            return
+        bounds = self._sorted
+        leaves = self._leaves_list
+        cache = self._leaf_cache
+        array = self._bounds_array
+        goddag = self._goddag
+        if added:
+            for offset in offsets:
+                position = bisect_left(bounds, offset)
+                bounds.insert(position, offset)
+                if array is not None:
+                    array = np.insert(array, position, offset)
+                old = leaves[position - 1]
+                left = GLeaf(goddag, old.start, offset)
+                right = GLeaf(goddag, offset, old.end)
+                leaves[position - 1:position] = [left, right]
+                cache[old.start] = left
+                cache[offset] = right
+        else:
+            for offset in offsets:
+                position = bisect_left(bounds, offset)
+                del bounds[position]
+                if array is not None:
+                    array = np.delete(array, position)
+                left = leaves[position - 1]
+                right = leaves[position]
+                merged = GLeaf(goddag, left.start, right.end)
+                leaves[position - 1:position + 1] = [merged]
+                cache.pop(offset, None)
+                cache[left.start] = merged
+        self._bounds_array = array
 
     # -- access ---------------------------------------------------------------
 
@@ -122,7 +170,7 @@ class Partition:
         return leaf
 
     def _all_leaves(self) -> list[GLeaf]:
-        """The cached leaf list for this version (do not mutate)."""
+        """The incrementally maintained leaf list (do not mutate)."""
         if self._leaves_list is None:
             self._leaves_list = [self._leaf(start, end)
                                  for start, end in self.leaf_spans()]

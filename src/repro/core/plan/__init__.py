@@ -1,0 +1,93 @@
+"""The query compilation pipeline: parse → rewrite → plan → execute.
+
+This package is the compile step between the language front end and
+the array-backed navigation engine (DESIGN.md §8):
+
+1. :mod:`~repro.core.plan.rewrite` — rule-based AST rewrites (constant
+   folding, anchor normalization, step fusion) plus the static
+   analyses behind the plan-level rules;
+2. :mod:`~repro.core.plan.planner` — AST → logical plan, annotating
+   order-insensitive steps (reverse-axis normalization) and
+   loop-invariant FLWOR clauses (hoisting);
+3. :mod:`~repro.core.plan.logical` — the typed operator IR and the
+   ``explain()`` rendering;
+4. :mod:`~repro.core.plan.physical` — closure compilation and
+   set-at-a-time step execution over the batched axis entry point.
+
+:func:`compile_query` produces a :class:`CompiledQuery`; the engine
+caches these in an LRU keyed by query text + options.  The legacy
+tree-walking evaluator (:func:`repro.core.runtime.evaluate_query`)
+stays as the differential-testing oracle.
+"""
+
+from __future__ import annotations
+
+from repro.core.lang import ast
+from repro.core.lang.parser import parse_query, parse_xpath
+from repro.core.plan.logical import Plan, render_plan
+from repro.core.plan.physical import compile_plan, execute_plan
+from repro.core.plan.planner import build_plan
+from repro.core.plan.rewrite import rewrite
+from repro.core.runtime.context import QueryOptions, QueryStats
+
+__all__ = [
+    "CompiledQuery",
+    "compile_query",
+    "build_plan",
+    "rewrite",
+    "render_plan",
+]
+
+
+class CompiledQuery:
+    """One query compiled through the full pipeline, ready to run."""
+
+    __slots__ = ("text", "source_ast", "rewritten_ast", "plan",
+                 "rewrites", "_runner")
+
+    def __init__(self, text: str, source_ast: ast.Expr,
+                 rewritten_ast: ast.Expr, plan: Plan,
+                 rewrites: list[str], runner) -> None:
+        self.text = text
+        self.source_ast = source_ast
+        self.rewritten_ast = rewritten_ast
+        self.plan = plan
+        #: every rewrite/annotation rule application, in order
+        self.rewrites = rewrites
+        self._runner = runner
+
+    def execute(self, goddag, variables=None, options=None,
+                functions=None, keep_temporaries: bool = False,
+                stats: QueryStats | None = None) -> list:
+        """Run against a KyGODDAG; same lifecycle as ``evaluate_query``."""
+        return execute_plan(self._runner, goddag, variables=variables,
+                            options=options, functions=functions,
+                            keep_temporaries=keep_temporaries,
+                            stats=stats)
+
+    def explain(self) -> str:
+        """The human-readable pipeline report: query, rewrites, plan."""
+        lines = [f"query: {' '.join(self.text.split())}"]
+        lines.append("rewrites:")
+        if self.rewrites:
+            lines.extend(f"  - {note}" for note in self.rewrites)
+        else:
+            lines.append("  (none)")
+        lines.append("plan:")
+        lines.append(render_plan(self.plan, indent=1))
+        return "\n".join(lines)
+
+
+def compile_query(query: str | ast.Expr, *,
+                  xpath: bool = False) -> CompiledQuery:
+    """Compile a query (or pre-parsed AST) through the pipeline."""
+    if isinstance(query, str):
+        text = query
+        source = parse_xpath(text) if xpath else parse_query(text)
+    else:
+        source = query
+        text = f"<precompiled {type(query).__name__}>"
+    rewritten, notes = rewrite(source)
+    plan = build_plan(rewritten, notes)
+    runner = compile_plan(plan)
+    return CompiledQuery(text, source, rewritten, plan, notes, runner)

@@ -1,0 +1,389 @@
+"""The logical plan — stage 3 of the query pipeline.
+
+A small IR of typed operators between the rewritten AST and the
+physical closures.  Every operator renders one line of the
+``explain()`` tree; annotations computed by the planner (order
+sensitivity, pushdown hints, invariance, streaming mode) appear in
+square brackets so golden snapshot tests pin them down.
+
+Operator glossary (DESIGN.md §8):
+
+``const``        a literal sequence, fully folded at compile time
+``var``/``.``    variable reference / context item
+``seq``          sequence concatenation (the comma operator)
+``path``         a location path: anchor or input plan, then steps
+``step``         one set-at-a-time axis step (axis, test, predicates)
+``expr-step``    a non-axis path step, evaluated once per input node
+``filter``       predicates over an arbitrary item sequence
+``flwor``        the FLWOR pipeline (streaming unless it orders)
+``quantified``   some/every
+``union``/``intersect``/``except``  node-set algebra by order key
+``construct``    a direct element constructor
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.core.lang import ast
+
+
+class Plan:
+    """Base class of all logical operators."""
+
+    __slots__ = ()
+
+
+@dataclass
+class ConstOp(Plan):
+    values: list
+
+    def _label(self) -> str:
+        rendered = ", ".join(repr(v) for v in self.values[:4])
+        if len(self.values) > 4:
+            rendered += f", … ({len(self.values)} items)"
+        return f"const ({rendered})"
+
+
+@dataclass
+class VarOp(Plan):
+    name: str
+
+    def _label(self) -> str:
+        return f"var ${self.name}"
+
+
+@dataclass
+class ContextOp(Plan):
+    def _label(self) -> str:
+        return "context-item"
+
+
+@dataclass
+class SeqOp(Plan):
+    parts: list[Plan]
+
+    def _label(self) -> str:
+        return "seq"
+
+
+@dataclass
+class RangeOp(Plan):
+    lower: Plan
+    upper: Plan
+
+    def _label(self) -> str:
+        return "range"
+
+
+@dataclass
+class BoolOp(Plan):
+    kind: str  # "and" | "or"
+    operands: list[Plan]
+
+    def _label(self) -> str:
+        return self.kind
+
+
+@dataclass
+class CompareOp(Plan):
+    op: str
+    style: str
+    left: Plan
+    right: Plan
+
+    def _label(self) -> str:
+        return f"compare {self.style} '{self.op}'"
+
+
+@dataclass
+class ArithOp(Plan):
+    op: str
+    left: Plan
+    right: Plan
+
+    def _label(self) -> str:
+        return f"arith '{self.op}'"
+
+
+@dataclass
+class NegOp(Plan):
+    op: str
+    operand: Plan
+
+    def _label(self) -> str:
+        return f"unary '{self.op}'"
+
+
+@dataclass
+class UnionOp(Plan):
+    operands: list[Plan]
+
+    def _label(self) -> str:
+        return "union"
+
+
+@dataclass
+class IntersectOp(Plan):
+    op: str  # "intersect" | "except"
+    left: Plan
+    right: Plan
+
+    def _label(self) -> str:
+        return self.op
+
+
+@dataclass
+class IfOp(Plan):
+    condition: Plan
+    then: Plan
+    otherwise: Plan
+
+    def _label(self) -> str:
+        return "if"
+
+
+@dataclass
+class QuantOp(Plan):
+    quantifier: str
+    bindings: list[tuple[str, Plan]]
+    condition: Plan
+
+    def _label(self) -> str:
+        names = ", ".join(f"${name}" for name, _ in self.bindings)
+        return f"quantified {self.quantifier} {names}"
+
+
+@dataclass
+class PredicateOp(Plan):
+    """One step/filter predicate with its static classification."""
+
+    plan: Plan
+    #: statically boolean-valued: filter by EBV, skip the numeric check
+    boolean_only: bool = False
+    #: a literal integer predicate ``[k]``: direct index pick
+    positional_literal: int | None = None
+    #: never reads ``position()``/``last()``: candidate order and focus
+    #: position are irrelevant to the verdict
+    position_free: bool = False
+
+    def _label(self) -> str:
+        if self.positional_literal is not None:
+            return f"predicate [position={self.positional_literal}]"
+        return "predicate [boolean]" if self.boolean_only else "predicate"
+
+
+@dataclass
+class StepOp(Plan):
+    """One location step, evaluated set-at-a-time over the context."""
+
+    axis: str
+    test: ast.NodeTest
+    predicates: list[PredicateOp] = field(default_factory=list)
+    #: "legacy" reproduces the evaluator's emission order exactly;
+    #: "any" means no later consumer can observe this step's order, so
+    #: sorts/reversals are skipped (reverse-axis normalization).
+    emit: str = "legacy"
+    #: the step's node test can never match a leaf: the batch axis call
+    #: skips materializing partition ranges entirely
+    skip_leaves: bool = False
+    #: the node test is ``leaf()``: the step is a partition slice
+    leaves_only: bool = False
+    #: name pushed into the extended axes' per-name index masks
+    name_hint: str | None = None
+
+    def _label(self) -> str:
+        flags = []
+        if self.skip_leaves:
+            flags.append("skip-leaves")
+        if self.leaves_only:
+            flags.append("leaves-only")
+        if self.emit == "any":
+            flags.append("unordered")
+        rendered = f" [{', '.join(flags)}]" if flags else ""
+        return f"step {self.axis}::{render_test(self.test)}{rendered}"
+
+
+@dataclass
+class ExprStepOp(Plan):
+    plan: Plan
+
+    def _label(self) -> str:
+        return "expr-step"
+
+
+@dataclass
+class PathOp(Plan):
+    """A location path: ``anchor`` or ``input``, then ``steps``."""
+
+    anchor: str  # "root" | "relative" | "primary"
+    input: Plan | None
+    steps: list[Union[StepOp, ExprStepOp]]
+    #: False when every consumer is order-insensitive (EBV, count):
+    #: the final merge may skip sorting
+    ordered_result: bool = True
+
+    def _label(self) -> str:
+        suffix = "" if self.ordered_result else " [unordered-result]"
+        return f"path anchor={self.anchor}{suffix}"
+
+
+@dataclass
+class FilterOp(Plan):
+    input: Plan
+    predicates: list[PredicateOp]
+
+    def _label(self) -> str:
+        return "filter"
+
+
+@dataclass
+class FuncOp(Plan):
+    name: str
+    args: list[Plan]
+
+    def _label(self) -> str:
+        return f"call {self.name}()"
+
+
+@dataclass
+class ForOp(Plan):
+    variable: str
+    position_variable: str | None
+    sequence: Plan
+
+    def _label(self) -> str:
+        at = f" at ${self.position_variable}" if self.position_variable \
+            else ""
+        return f"for ${self.variable}{at}"
+
+
+@dataclass
+class LetOp(Plan):
+    variable: str
+    plan: Plan
+    #: evaluated once per FLWOR execution instead of once per tuple
+    #: (loop-invariant hoisting, applied lazily so error timing and the
+    #: empty-stream case match the legacy evaluator exactly)
+    invariant: bool = False
+
+    def _label(self) -> str:
+        suffix = " [hoisted-invariant]" if self.invariant else ""
+        return f"let ${self.variable}{suffix}"
+
+
+@dataclass
+class WhereOp(Plan):
+    plan: Plan
+    invariant: bool = False
+
+    def _label(self) -> str:
+        suffix = " [hoisted-invariant]" if self.invariant else ""
+        return f"where{suffix}"
+
+
+@dataclass
+class OrderOp(Plan):
+    specs: list[tuple[Plan, bool, bool]]  # (key, descending, empty_least)
+
+    def _label(self) -> str:
+        return f"order-by ({len(self.specs)} keys)"
+
+
+@dataclass
+class FLWOROp(Plan):
+    clauses: list[Plan]
+    return_plan: Plan
+    #: tuple stream processed with a mutable frame; an order-by clause
+    #: forces materialized variable snapshots instead
+    streaming: bool = True
+
+    def _label(self) -> str:
+        return "flwor [{}]".format(
+            "streaming" if self.streaming else "materialized")
+
+
+@dataclass
+class ConstructOp(Plan):
+    name: str
+    attributes: list[tuple[str, list]]  # parts: str | Plan
+    content: list  # str | Plan
+
+    def _label(self) -> str:
+        return f"construct <{self.name}>"
+
+
+# ---------------------------------------------------------------------------
+# explain rendering
+# ---------------------------------------------------------------------------
+
+
+def render_test(test: ast.NodeTest) -> str:
+    if isinstance(test, ast.NameTest):
+        return test.name
+    if isinstance(test, ast.WildcardTest):
+        if test.hierarchies:
+            return "*('{}')".format(",".join(test.hierarchies))
+        return "*"
+    inner = ",".join(test.hierarchies)
+    if test.kind == "processing-instruction" and test.target:
+        inner = test.target
+    return f"{test.kind}({inner})"
+
+
+def _children(plan: Plan) -> list[Plan]:
+    if isinstance(plan, SeqOp):
+        return list(plan.parts)
+    if isinstance(plan, RangeOp):
+        return [plan.lower, plan.upper]
+    if isinstance(plan, BoolOp):
+        return list(plan.operands)
+    if isinstance(plan, (CompareOp, ArithOp)):
+        return [plan.left, plan.right]
+    if isinstance(plan, NegOp):
+        return [plan.operand]
+    if isinstance(plan, UnionOp):
+        return list(plan.operands)
+    if isinstance(plan, IntersectOp):
+        return [plan.left, plan.right]
+    if isinstance(plan, IfOp):
+        return [plan.condition, plan.then, plan.otherwise]
+    if isinstance(plan, QuantOp):
+        return [p for _name, p in plan.bindings] + [plan.condition]
+    if isinstance(plan, PredicateOp):
+        return [] if plan.positional_literal is not None else [plan.plan]
+    if isinstance(plan, StepOp):
+        return list(plan.predicates)
+    if isinstance(plan, ExprStepOp):
+        return [plan.plan]
+    if isinstance(plan, PathOp):
+        head = [plan.input] if plan.input is not None else []
+        return head + list(plan.steps)
+    if isinstance(plan, FilterOp):
+        return [plan.input] + list(plan.predicates)
+    if isinstance(plan, FuncOp):
+        return list(plan.args)
+    if isinstance(plan, ForOp):
+        return [plan.sequence]
+    if isinstance(plan, (LetOp, WhereOp)):
+        return [plan.plan]
+    if isinstance(plan, OrderOp):
+        return [key for key, _d, _e in plan.specs]
+    if isinstance(plan, FLWOROp):
+        return list(plan.clauses) + [plan.return_plan]
+    if isinstance(plan, ConstructOp):
+        out: list[Plan] = []
+        for _name, parts in plan.attributes:
+            out.extend(p for p in parts if isinstance(p, Plan))
+        out.extend(p for p in plan.content if isinstance(p, Plan))
+        return out
+    return []
+
+
+def render_plan(plan: Plan, indent: int = 0) -> str:
+    """The indented one-operator-per-line explain tree."""
+    lines = ["  " * indent + plan._label()]
+    for child in _children(plan):
+        lines.append(render_plan(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,1271 @@
+"""Physical operators — stage 4 of the query pipeline.
+
+``compile_plan`` turns the logical plan into a tree of Python closures
+(``fn(frame) -> list``): dispatch happens once at compile time instead
+of per AST node per evaluation, and path steps run **set-at-a-time** —
+one batched axis call per step over the whole context sequence, merged
+and deduplicated by the packed int64 order keys (DESIGN.md §8).
+
+The :class:`Frame` is the pipeline's mutable evaluation state.  It
+duck-types the attribute surface the builtin function registry reads
+from :class:`~repro.core.runtime.context.EvalContext` (``goddag``,
+``position``, ``size``, ``options``, ``temp_manager``,
+``context_item()``), so the whole function library runs unchanged.
+Focus and variable bindings are mutated in place with save/restore
+instead of context cloning — the single biggest constant-factor win
+over the tree-walking evaluator.
+
+Semantics contract: every runner reproduces the legacy evaluator's
+observable behavior item-for-item, including its ordering rules (a
+step's *output* is always document-ordered; only predicate-visible
+candidate order is reversed on reverse axes) — enforced by the
+differential tests in ``tests/test_plan_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import QueryEvaluationError
+from repro.markup import dom
+from repro.core.goddag.axes import (
+    axis_candidates,
+    axis_exists_named,
+    emits_document_order,
+    evaluate_axis_batch,
+    leaf_candidates,
+)
+from repro.core.goddag.nodes import (
+    GAttr,
+    GComment,
+    GElement,
+    GLeaf,
+    GNode,
+    GPi,
+    GRoot,
+    GText,
+    _HierarchyNode,
+)
+from repro.core.lang import ast
+from repro.core.plan import logical as L
+from repro.core.runtime import values
+from repro.core.runtime.context import QueryOptions, QueryStats
+from repro.core.runtime.evaluator import (
+    LAST_QUERY_STATS,
+    REVERSE_AXES,
+    _append_content,
+    _predicate_holds,
+    _singleton_number,
+    _snapshot,
+    node_in_hierarchies,
+    order_key_value,
+)
+from repro.core.goddag.temp import TemporaryHierarchyManager
+
+Runner = Callable[["Frame"], list]
+
+_MISSING = object()
+
+
+class Frame:
+    """Mutable pipeline evaluation state (EvalContext duck type)."""
+
+    __slots__ = ("goddag", "functions", "options", "temp_manager",
+                 "variables", "item", "position", "size", "stats")
+
+    def __init__(self, goddag, functions, options, temp_manager,
+                 variables, stats) -> None:
+        self.goddag = goddag
+        self.functions = functions
+        self.options = options
+        self.temp_manager = temp_manager
+        self.variables = variables
+        self.item = None
+        self.position = 0
+        self.size = 0
+        self.stats = stats
+
+    def context_item(self):
+        if self.item is None:
+            raise QueryEvaluationError("the context item is undefined here")
+        return self.item
+
+    def variable(self, name: str) -> list:
+        if name not in self.variables:
+            raise QueryEvaluationError(f"undefined variable ${name}")
+        return self.variables[name]
+
+
+def execute_plan(fn: Runner, goddag, variables=None, options=None,
+                 functions=None, keep_temporaries: bool = False,
+                 stats: QueryStats | None = None) -> list:
+    """Run a compiled plan with the same lifecycle as ``evaluate_query``:
+    root focus, temporary-hierarchy teardown, snapshot of temp items."""
+    from repro.core.runtime.functions import default_registry
+
+    registry = dict(default_registry())
+    if functions:
+        registry.update(functions)
+    manager = TemporaryHierarchyManager(goddag)
+    frame = Frame(goddag, registry, options or QueryOptions(), manager,
+                  dict(variables or {}),
+                  stats if stats is not None else QueryStats())
+    frame.item = goddag.root
+    frame.position = 1
+    frame.size = 1
+    try:
+        result = fn(frame)
+        if not keep_temporaries:
+            result = [_snapshot(item, goddag) for item in result]
+        return result
+    finally:
+        # Keep the deprecated module-global alias mirroring the most
+        # recent call regardless of which execution path served it.
+        LAST_QUERY_STATS.clear()
+        LAST_QUERY_STATS.update(frame.stats.as_dict())
+        if not keep_temporaries:
+            manager.drop_all()
+
+
+# ---------------------------------------------------------------------------
+# compilation dispatch
+# ---------------------------------------------------------------------------
+
+
+def compile_plan(plan: L.Plan) -> Runner:
+    compiler = _COMPILERS.get(type(plan))
+    if compiler is None:
+        raise TypeError(f"no physical compiler for {type(plan).__name__}")
+    return compiler(plan)
+
+
+def _compile_const(op: L.ConstOp) -> Runner:
+    constant = list(op.values)
+    return lambda frame: list(constant)
+
+
+def _compile_var(op: L.VarOp) -> Runner:
+    name = op.name
+    return lambda frame: list(frame.variable(name))
+
+
+def _compile_context(op: L.ContextOp) -> Runner:
+    return lambda frame: [frame.context_item()]
+
+
+def _compile_seq(op: L.SeqOp) -> Runner:
+    parts = [compile_plan(p) for p in op.parts]
+
+    def run(frame: Frame) -> list:
+        out: list = []
+        for part in parts:
+            out.extend(part(frame))
+        return out
+
+    return run
+
+
+def _compile_range(op: L.RangeOp) -> Runner:
+    lower_fn = compile_plan(op.lower)
+    upper_fn = compile_plan(op.upper)
+
+    def run(frame: Frame) -> list:
+        lower = _singleton_number(lower_fn(frame))
+        upper = _singleton_number(upper_fn(frame))
+        if lower is None or upper is None:
+            return []
+        return list(range(int(lower), int(upper) + 1))
+
+    return run
+
+
+def _compile_bool(op: L.BoolOp) -> Runner:
+    operands = [_compile_ebv(o) for o in op.operands]
+    if op.kind == "or":
+        def run(frame: Frame) -> list:
+            for operand in operands:
+                if operand(frame):
+                    return [True]
+            return [False]
+    else:
+        def run(frame: Frame) -> list:
+            for operand in operands:
+                if not operand(frame):
+                    return [False]
+            return [True]
+    return run
+
+
+def _is_string_of_context(plan: L.Plan) -> bool:
+    """``string(.)`` / ``string()`` — the context item's string value."""
+    return (isinstance(plan, L.FuncOp) and plan.name == "string"
+            and (not plan.args
+                 or (len(plan.args) == 1
+                     and isinstance(plan.args[0], L.ContextOp))))
+
+
+def _const_string(plan: L.Plan) -> str | None:
+    if (isinstance(plan, L.ConstOp) and len(plan.values) == 1
+            and isinstance(plan.values[0], str)):
+        return plan.values[0]
+    return None
+
+
+def _builtin(name: str):
+    from repro.core.runtime.functions import default_registry
+    return default_registry()[name]
+
+
+def _compile_compare(op: L.CompareOp) -> Runner:
+    specialized = None
+    if op.style == "general" and op.op in ("=", "!="):
+        # ``string(.) = 'literal'`` — the workload's hottest predicate
+        # shape: compare the context string value directly, skipping the
+        # function registry and the general-comparison product loop
+        # (string/string comparison coerces neither side).
+        sides = (op.left, op.right)
+        for this, other in (sides, sides[::-1]):
+            constant = _const_string(other)
+            if constant is not None and _is_string_of_context(this):
+                specialized = (constant, op.op == "=", _builtin("string"))
+                break
+    left_fn = compile_plan(op.left)
+    right_fn = compile_plan(op.right)
+    operator, style = op.op, op.style
+    if specialized is not None:
+        constant, equal, builtin_string = specialized
+        string_value = values.string_value
+        atomize = values.atomize
+        general_compare = values.general_compare
+
+        def run_specialized(frame: Frame) -> list:
+            if frame.functions.get("string") is builtin_string:
+                value = string_value(atomize(frame.context_item()))
+                return [(value == constant) is equal]
+            return [general_compare(operator, left_fn(frame),
+                                    right_fn(frame))]
+
+        return run_specialized
+    if style == "general":
+        def run(frame: Frame) -> list:
+            return [values.general_compare(operator, left_fn(frame),
+                                           right_fn(frame))]
+    elif style == "value":
+        def run(frame: Frame) -> list:
+            return values.value_compare(operator, left_fn(frame),
+                                        right_fn(frame))
+    else:
+        def run(frame: Frame) -> list:
+            left = left_fn(frame)
+            right = right_fn(frame)
+            if not left or not right:
+                return []
+            left_node = values.singleton_node(left, f"'{operator}'")
+            right_node = values.singleton_node(right, f"'{operator}'")
+            if operator == "is":
+                return [left_node is right_node]
+            if not isinstance(left_node, GNode) or not isinstance(
+                    right_node, GNode):
+                raise QueryEvaluationError(
+                    "document-order comparison requires KyGODDAG nodes")
+            left_key = frame.goddag.order_key(left_node)
+            right_key = frame.goddag.order_key(right_node)
+            return [left_key < right_key if operator == "<<" else
+                    left_key > right_key]
+    return run
+
+
+def _compile_arith(op: L.ArithOp) -> Runner:
+    left_fn = compile_plan(op.left)
+    right_fn = compile_plan(op.right)
+    operator = op.op
+
+    def run(frame: Frame) -> list:
+        left = _singleton_number(left_fn(frame))
+        right = _singleton_number(right_fn(frame))
+        if left is None or right is None:
+            return []
+        try:
+            if operator == "+":
+                return [left + right]
+            if operator == "-":
+                return [left - right]
+            if operator == "*":
+                return [left * right]
+            if operator == "div":
+                return [left / right]
+            if operator == "idiv":
+                return [int(left / right)]
+            if operator == "mod":
+                result = math.fmod(left, right)
+                if isinstance(left, int) and isinstance(right, int):
+                    return [int(result)]
+                return [result]
+        except ZeroDivisionError:
+            raise QueryEvaluationError("division by zero") from None
+        raise QueryEvaluationError(
+            f"unknown arithmetic operator {operator!r}")
+
+    return run
+
+
+def _compile_neg(op: L.NegOp) -> Runner:
+    operand_fn = compile_plan(op.operand)
+    negate = op.op == "-"
+
+    def run(frame: Frame) -> list:
+        value = _singleton_number(operand_fn(frame))
+        if value is None:
+            return []
+        return [-value if negate else value]
+
+    return run
+
+
+def _require_gnodes(sequence: list, op: str) -> list:
+    for item in sequence:
+        if not isinstance(item, GNode):
+            raise QueryEvaluationError(
+                f"'{op}' operates on KyGODDAG node sequences")
+    return sequence
+
+
+def _compile_union(op: L.UnionOp) -> Runner:
+    operands = [compile_plan(o) for o in op.operands]
+
+    def run(frame: Frame) -> list:
+        nodes: list = []
+        for operand in operands:
+            nodes.extend(_require_gnodes(operand(frame), "union"))
+        return frame.goddag.sort_nodes(nodes)
+
+    return run
+
+
+def _compile_intersect(op: L.IntersectOp) -> Runner:
+    left_fn = compile_plan(op.left)
+    right_fn = compile_plan(op.right)
+    keep_common = op.op == "intersect"
+    operator = op.op
+
+    def run(frame: Frame) -> list:
+        left = _require_gnodes(left_fn(frame), operator)
+        right_ids = {id(node)
+                     for node in _require_gnodes(right_fn(frame), operator)}
+        if keep_common:
+            kept = [node for node in left if id(node) in right_ids]
+        else:
+            kept = [node for node in left if id(node) not in right_ids]
+        return frame.goddag.sort_nodes(kept)
+
+    return run
+
+
+def _compile_if(op: L.IfOp) -> Runner:
+    condition_fn = _compile_ebv(op.condition)
+    then_fn = compile_plan(op.then)
+    else_fn = compile_plan(op.otherwise)
+
+    def run(frame: Frame) -> list:
+        return then_fn(frame) if condition_fn(frame) else else_fn(frame)
+
+    return run
+
+
+def _compile_quant(op: L.QuantOp) -> Runner:
+    bindings = [(name, compile_plan(p)) for name, p in op.bindings]
+    condition_fn = _compile_ebv(op.condition)
+    is_some = op.quantifier == "some"
+    count = len(bindings)
+
+    def run(frame: Frame) -> list:
+        variables = frame.variables
+
+        def recurse(index: int) -> bool:
+            if index == count:
+                return condition_fn(frame)
+            name, sequence_fn = bindings[index]
+            old = variables.get(name, _MISSING)
+            try:
+                for item in sequence_fn(frame):
+                    variables[name] = [item]
+                    satisfied = recurse(index + 1)
+                    if satisfied and is_some:
+                        return True
+                    if not satisfied and not is_some:
+                        return False
+            finally:
+                if old is _MISSING:
+                    variables.pop(name, None)
+                else:
+                    variables[name] = old
+            return not is_some
+
+        return [recurse(0)]
+
+    return run
+
+
+def _compile_func(op: L.FuncOp) -> Runner:
+    arg_fns = [compile_plan(a) for a in op.args]
+    name = op.name
+
+    def run(frame: Frame) -> list:
+        function = frame.functions.get(name)
+        if function is None:
+            raise QueryEvaluationError(f"unknown function {name}()")
+        return function(frame, [fn(frame) for fn in arg_fns])
+
+    if (name == "matches" and len(op.args) == 2
+            and _is_string_of_context(op.args[0])):
+        pattern = _const_string(op.args[1])
+        if pattern is not None:
+            # ``matches(string(.), 'pattern')`` — compile the regex once
+            # (lazily, keeping the legacy call's error timing) and probe
+            # the context string value directly.
+            cell: list = [None]
+            builtin_matches = _builtin("matches")
+            builtin_string = _builtin("string")
+            string_value = values.string_value
+            atomize = values.atomize
+
+            def run_matches(frame: Frame) -> list:
+                functions = frame.functions
+                if (functions.get("matches") is not builtin_matches
+                        or functions.get("string") is not builtin_string):
+                    return run(frame)
+                regex = cell[0]
+                if regex is None:
+                    from repro.core.runtime.functions import _compile
+                    regex = cell[0] = _compile(pattern, "")
+                value = string_value(atomize(frame.context_item()))
+                return [regex.search(value) is not None]
+
+            return run_matches
+    return run
+
+
+def _compile_construct(op: L.ConstructOp) -> Runner:
+    attributes = [
+        (attr_name, [part if isinstance(part, str) else compile_plan(part)
+                     for part in parts])
+        for attr_name, parts in op.attributes]
+    content = [piece if isinstance(piece, str) else compile_plan(piece)
+               for piece in op.content]
+    name = op.name
+
+    def run(frame: Frame) -> list:
+        element = dom.Element(name)
+        for attr_name, parts in attributes:
+            rendered: list[str] = []
+            for part in parts:
+                if isinstance(part, str):
+                    rendered.append(part)
+                else:
+                    items = part(frame)
+                    rendered.append(" ".join(
+                        values.string_value(values.atomize(item))
+                        for item in items))
+            element.set(attr_name, "".join(rendered))
+        for piece in content:
+            if isinstance(piece, str):
+                element.append(dom.Text(piece))
+            else:
+                _append_content(element, piece(frame))
+        return [element]
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# predicates, filters
+# ---------------------------------------------------------------------------
+
+
+def _compile_predicate(op: L.PredicateOp):
+    """A candidate-list filter ``fn(frame, candidates) -> candidates``."""
+    if op.positional_literal is not None:
+        position = op.positional_literal
+
+        def run_pick(frame: Frame, candidates: list) -> list:
+            if 1 <= position <= len(candidates):
+                return [candidates[position - 1]]
+            return []
+
+        return run_pick
+    if op.boolean_only:
+        bool_fn = _compile_ebv(op.plan)
+
+        def run_boolean(frame: Frame, candidates: list) -> list:
+            if not candidates:
+                return candidates
+            old_item = frame.item
+            old_position = frame.position
+            old_size = frame.size
+            size = len(candidates)
+            kept: list = []
+            try:
+                position = 0
+                for item in candidates:
+                    position += 1
+                    frame.item = item
+                    frame.position = position
+                    frame.size = size
+                    if bool_fn(frame):
+                        kept.append(item)
+            finally:
+                frame.item = old_item
+                frame.position = old_position
+                frame.size = old_size
+            return kept
+
+        return run_boolean
+    plan_fn = compile_plan(op.plan)
+
+    def run(frame: Frame, candidates: list) -> list:
+        if not candidates:
+            return candidates
+        old_item = frame.item
+        old_position = frame.position
+        old_size = frame.size
+        size = len(candidates)
+        kept: list = []
+        try:
+            position = 0
+            for item in candidates:
+                position += 1
+                frame.item = item
+                frame.position = position
+                frame.size = size
+                if _predicate_holds(plan_fn(frame), position):
+                    kept.append(item)
+        finally:
+            frame.item = old_item
+            frame.position = old_position
+            frame.size = old_size
+        return kept
+
+    return run
+
+
+def _compile_filter(op: L.FilterOp) -> Runner:
+    input_fn = compile_plan(op.input)
+    predicate_fns = [_compile_predicate(p) for p in op.predicates]
+
+    def run(frame: Frame) -> list:
+        current = input_fn(frame)
+        for predicate in predicate_fns:
+            current = predicate(frame, current)
+        return current
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# paths
+# ---------------------------------------------------------------------------
+
+
+def _make_test_factory(test: ast.NodeTest, axis: str):
+    """``factory(goddag) -> (fn(node) -> bool) | None`` (None = match all)."""
+    principal_attribute = axis == "attribute"
+    if isinstance(test, ast.NameTest):
+        name = test.name
+        if principal_attribute:
+            def match(node):
+                return isinstance(node, GAttr) and node.name == name
+        else:
+            def match(node):
+                return (isinstance(node, (GElement, GRoot))
+                        and node.name == name)
+        return lambda goddag: match
+    if isinstance(test, ast.WildcardTest):
+        hierarchies = test.hierarchies
+        if principal_attribute:
+            return lambda goddag: lambda node: isinstance(node, GAttr)
+        if not hierarchies:
+            return lambda goddag: (
+                lambda node: isinstance(node, (GElement, GRoot)))
+
+        def factory(goddag):
+            def match(node):
+                return (isinstance(node, (GElement, GRoot))
+                        and node_in_hierarchies(node, hierarchies, goddag))
+            return match
+        return factory
+    kind = test.kind
+    hierarchies = test.hierarchies
+    if kind == "node":
+        if not hierarchies:
+            return lambda goddag: None
+
+        def factory(goddag):
+            return lambda node: node_in_hierarchies(node, hierarchies, goddag)
+        return factory
+    if kind == "text":
+        if not hierarchies:
+            return lambda goddag: lambda node: isinstance(node, GText)
+
+        def factory(goddag):
+            def match(node):
+                return (isinstance(node, GText)
+                        and node_in_hierarchies(node, hierarchies, goddag))
+            return match
+        return factory
+    if kind == "leaf":
+        return lambda goddag: lambda node: isinstance(node, GLeaf)
+    if kind == "comment":
+        return lambda goddag: lambda node: isinstance(node, GComment)
+    if kind == "processing-instruction":
+        target = test.target
+
+        def match(node):
+            if not isinstance(node, GPi):
+                return False
+            return target is None or node.target == target
+        return lambda goddag: match
+    raise QueryEvaluationError(f"unknown node test kind {kind!r}")
+
+
+def _require_navigable(item) -> None:
+    if not isinstance(item, GNode):
+        raise QueryEvaluationError(
+            "path steps navigate KyGODDAG nodes; got "
+            f"{type(item).__name__} (constructed nodes are not "
+            f"navigable)")
+
+
+def _compile_step(op: L.StepOp):
+    """``fn(frame, inputs) -> outputs`` for one set-at-a-time axis step.
+
+    Output is always document-ordered and duplicate-free (matching the
+    legacy evaluator) unless ``emit == "any"``, where no consumer can
+    observe the order and sorts are skipped.  Predicates see candidates
+    in the legacy per-input order: document order, reversed on reverse
+    axes.
+    """
+    axis = op.axis
+    reverse = axis in REVERSE_AXES
+    predicate_fns = [_compile_predicate(p) for p in op.predicates]
+    test_factory = _make_test_factory(op.test, axis)
+    skip_leaves = op.skip_leaves
+    leaves_only = op.leaves_only
+    hint = op.name_hint
+    emit_any = op.emit == "any"
+    test_cache: list = [None, None]
+
+    def get_test(goddag):
+        if test_cache[0] is not goddag:
+            test_cache[0] = goddag
+            test_cache[1] = test_factory(goddag)
+        return test_cache[1]
+
+    def candidates(goddag, node):
+        if leaves_only:
+            found = leaf_candidates(goddag, axis, node)
+            if found is not None:
+                return found
+        return axis_candidates(goddag, axis, node, hint, skip_leaves)
+
+    def run(frame: Frame, inputs: list) -> list:
+        if not inputs:
+            return []
+        for item in inputs:
+            if not isinstance(item, GNode):
+                _require_navigable(item)
+        goddag = frame.goddag
+        stats = frame.stats
+        stats.axis_steps += 1
+        stats.batched_steps += 1
+        test = get_test(goddag)
+        if not predicate_fns:
+            if emit_any:
+                if len(inputs) == 1:
+                    node = inputs[0]
+                    found = candidates(goddag, node)
+                    stats.ordered_steps += 1
+                    if test is not None:
+                        found = [c for c in found if test(c)]
+                    if emits_document_order(axis, node):
+                        return found  # ordered emissions are dup-free
+                    # e.g. a leaf's sibling groups repeat the same
+                    # leaves once per hierarchy: dedup is mandatory
+                    # even though the order is free.
+                    seen: set[int] = set()
+                    out: list = []
+                    for candidate in found:
+                        key = id(candidate)
+                        if key not in seen:
+                            seen.add(key)
+                            out.append(candidate)
+                    return out
+                seen: set[int] = set()
+                out: list = []
+                for node in inputs:
+                    for candidate in candidates(goddag, node):
+                        if test is not None and not test(candidate):
+                            continue
+                        key = id(candidate)
+                        if key not in seen:
+                            seen.add(key)
+                            out.append(candidate)
+                stats.ordered_steps += 1
+                return out
+            if len(inputs) == 1 and emits_document_order(axis, inputs[0]):
+                stats.ordered_steps += 1
+            return evaluate_axis_batch(
+                goddag, axis, inputs, hint, skip_leaves=skip_leaves,
+                leaves_only=leaves_only, test=test)
+        # Predicated: candidates per input in legacy predicate order
+        # (reverse axes count positions away from the context node),
+        # then one merge across inputs.
+        if len(inputs) == 1:
+            node = inputs[0]
+            found = candidates(goddag, node)
+            if test is not None:
+                found = [c for c in found if test(c)]
+            if emits_document_order(axis, node):
+                stats.ordered_steps += 1
+                for predicate in predicate_fns:
+                    found = predicate(frame, found)
+                return found
+            found = goddag.sort_nodes(found)
+            if reverse:
+                found.reverse()
+            for predicate in predicate_fns:
+                found = predicate(frame, found)
+            if reverse:
+                found.reverse()  # outputs are always document-ordered
+            return found
+        out = []
+        seen = set()
+        for node in inputs:
+            found = candidates(goddag, node)
+            if test is not None:
+                found = [c for c in found if test(c)]
+            if emits_document_order(axis, node):
+                stats.ordered_steps += 1
+            else:
+                found = goddag.sort_nodes(found)
+                if reverse:
+                    found.reverse()
+            for predicate in predicate_fns:
+                found = predicate(frame, found)
+            for candidate in found:
+                key = id(candidate)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(candidate)
+        if emit_any:
+            return out
+        return goddag.sort_nodes(out)
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# effective-boolean-value compilation (existence mode)
+# ---------------------------------------------------------------------------
+#
+# Predicates, conditions and and/or operands only consume a plan's
+# effective boolean value.  ``_compile_ebv`` produces ``fn(frame) ->
+# bool`` closures that skip sequence materialization where possible:
+# a single-axis-step relative path becomes an *existence probe* — for
+# named ancestor/xancestor tests one bisect into the span index's
+# per-name containment arrays instead of a chain walk per call.
+
+
+def _compile_ebv(plan: L.Plan):
+    if isinstance(plan, L.BoolOp):
+        operands = [_compile_ebv(o) for o in plan.operands]
+        if plan.kind == "or":
+            def run_or(frame: Frame) -> bool:
+                for operand in operands:
+                    if operand(frame):
+                        return True
+                return False
+            return run_or
+
+        def run_and(frame: Frame) -> bool:
+            for operand in operands:
+                if not operand(frame):
+                    return False
+            return True
+        return run_and
+    if (isinstance(plan, L.PathOp) and plan.input is None
+            and plan.anchor == "relative" and len(plan.steps) == 1
+            and isinstance(plan.steps[0], L.StepOp)):
+        step = plan.steps[0]
+        if not step.predicates:
+            return _compile_step_exists(step)
+        if all(p.boolean_only and p.position_free
+               for p in step.predicates):
+            return _compile_step_exists_predicated(step)
+    fn = compile_plan(plan)
+    ebv = values.effective_boolean_value
+    return lambda frame: ebv(fn(frame))
+
+
+def _compile_step_exists(op: L.StepOp):
+    """``fn(frame) -> bool``: does one axis step from the context item
+    yield any test-passing candidate?"""
+    axis = op.axis
+    named = (isinstance(op.test, ast.NameTest) and axis != "attribute")
+    name = op.test.name if named else None
+    if named and axis == "ancestor":
+        def exists_ancestor(frame: Frame) -> bool:
+            node = frame.context_item()
+            if not isinstance(node, GNode):
+                _require_navigable(node)
+            frame.stats.axis_steps += 1
+            frame.stats.ordered_steps += 1
+            goddag = frame.goddag
+            if isinstance(node, GLeaf):
+                # Containment == ancestry for a leaf: each hierarchy's
+                # covering chain is exactly its span containers.
+                if goddag.span_index().has_containing_named(
+                        name, node.start, node.end):
+                    return True
+                root = goddag.root
+                return bool(root.name == name and goddag.hierarchy_names)
+            found = axis_candidates(goddag, axis, node, name, True)
+            return any(isinstance(c, (GElement, GRoot)) and c.name == name
+                       for c in found)
+        return exists_ancestor
+    if named and axis == "xancestor":
+        def exists_xancestor(frame: Frame) -> bool:
+            node = frame.context_item()
+            if not isinstance(node, GNode):
+                _require_navigable(node)
+            frame.stats.axis_steps += 1
+            frame.stats.ordered_steps += 1
+            goddag = frame.goddag
+            if not node.has_leaves:
+                return False
+            index = goddag.span_index()
+            root = goddag.root
+            if (root.name == name and root is not node
+                    and not index.is_descendant_or_self(node, root)):
+                return True
+            starts, ends, max_ends, ranks, preorders, _subs = \
+                index.name_containment(name)
+            position = int(np.searchsorted(starts, node.start,
+                                           side="right"))
+            if position == 0 or int(max_ends[position - 1]) < node.end:
+                return False
+            mask = ends[:position] >= node.end
+            if isinstance(node, GRoot):
+                return False  # every element descends from the root
+            if isinstance(node, _HierarchyNode):
+                rank = goddag.hierarchy_rank(node.hierarchy)
+                mask &= ~((ranks[:position] == rank)
+                          & (preorders[:position] >= node.preorder)
+                          & (preorders[:position] <= node.subtree_end))
+            return bool(mask.any())
+        return exists_xancestor
+    if named and axis in ("xdescendant", "xfollowing", "xpreceding",
+                          "overlapping", "preceding-overlapping",
+                          "following-overlapping"):
+        def exists_masked(frame: Frame) -> bool:
+            node = frame.context_item()
+            if not isinstance(node, GNode):
+                _require_navigable(node)
+            frame.stats.axis_steps += 1
+            frame.stats.ordered_steps += 1
+            found = axis_exists_named(frame.goddag, axis, node, name)
+            if found is None:  # pragma: no cover - all axes covered
+                found = any(
+                    isinstance(c, (GElement, GRoot)) and c.name == name
+                    for c in axis_candidates(frame.goddag, axis, node,
+                                             name, True))
+            return found
+        return exists_masked
+    # Generic probe: materialize the (pushdown-trimmed) candidates and
+    # stop at the first test hit — no sort, no dedup, no predicate pass.
+    test_factory = _make_test_factory(op.test, axis)
+    skip_leaves = op.skip_leaves
+    leaves_only = op.leaves_only
+    hint = op.name_hint
+    test_cache: list = [None, None]
+
+    def exists_generic(frame: Frame) -> bool:
+        node = frame.context_item()
+        if not isinstance(node, GNode):
+            _require_navigable(node)
+        frame.stats.axis_steps += 1
+        frame.stats.ordered_steps += 1
+        goddag = frame.goddag
+        if leaves_only:
+            found = leaf_candidates(goddag, axis, node)
+            if found is None:
+                found = axis_candidates(goddag, axis, node, hint,
+                                        skip_leaves)
+        else:
+            found = axis_candidates(goddag, axis, node, hint, skip_leaves)
+        if test_cache[0] is not goddag:
+            test_cache[0] = goddag
+            test_cache[1] = test_factory(goddag)
+        test = test_cache[1]
+        if test is None:
+            return bool(found)
+        return any(test(c) for c in found)
+
+    return exists_generic
+
+
+def _compile_step_exists_predicated(op: L.StepOp):
+    """Existence probe for one step whose predicates are all boolean and
+    position-free: probe candidates in emission order, stop at the
+    first one that passes the test and every predicate (their verdicts
+    cannot depend on candidate order or focus position)."""
+    axis = op.axis
+    predicate_fns = [_compile_ebv(p.plan) for p in op.predicates]
+    test_factory = _make_test_factory(op.test, axis)
+    skip_leaves = op.skip_leaves
+    leaves_only = op.leaves_only
+    hint = op.name_hint
+    test_cache: list = [None, None]
+
+    def exists_predicated(frame: Frame) -> bool:
+        node = frame.context_item()
+        if not isinstance(node, GNode):
+            _require_navigable(node)
+        frame.stats.axis_steps += 1
+        frame.stats.ordered_steps += 1
+        goddag = frame.goddag
+        if leaves_only:
+            found = leaf_candidates(goddag, axis, node)
+            if found is None:
+                found = axis_candidates(goddag, axis, node, hint,
+                                        skip_leaves)
+        else:
+            found = axis_candidates(goddag, axis, node, hint, skip_leaves)
+        if test_cache[0] is not goddag:
+            test_cache[0] = goddag
+            test_cache[1] = test_factory(goddag)
+        test = test_cache[1]
+        old_item = frame.item
+        old_position = frame.position
+        old_size = frame.size
+        size = len(found)
+        try:
+            position = 0
+            for candidate in found:
+                position += 1
+                if test is not None and not test(candidate):
+                    continue
+                frame.item = candidate
+                frame.position = position
+                frame.size = size
+                if all(predicate(frame) for predicate in predicate_fns):
+                    return True
+        finally:
+            frame.item = old_item
+            frame.position = old_position
+            frame.size = old_size
+        return False
+
+    return exists_predicated
+
+
+def _compile_expr_step(op: L.ExprStepOp):
+    plan_fn = compile_plan(op.plan)
+
+    def run(frame: Frame, inputs: list) -> list:
+        out: list = []
+        size = len(inputs)
+        old_item = frame.item
+        old_position = frame.position
+        old_size = frame.size
+        try:
+            position = 0
+            for item in inputs:
+                position += 1
+                if not isinstance(item, GNode):
+                    raise QueryEvaluationError(
+                        "path steps navigate KyGODDAG nodes; got "
+                        f"{type(item).__name__}")
+                frame.item = item
+                frame.position = position
+                frame.size = size
+                out.extend(plan_fn(frame))
+        finally:
+            frame.item = old_item
+            frame.position = old_position
+            frame.size = old_size
+        node_flags = [isinstance(value, GNode) for value in out]
+        if all(node_flags):
+            return frame.goddag.sort_nodes(out)
+        if any(node_flags):
+            raise QueryEvaluationError(
+                "a path step may not mix nodes and atomic values")
+        return out
+
+    return run
+
+
+def _compile_path(op: L.PathOp) -> Runner:
+    step_fns = []
+    for step in op.steps:
+        if isinstance(step, L.StepOp):
+            step_fns.append(_compile_step(step))
+        else:
+            step_fns.append(_compile_expr_step(step))
+    anchor = op.anchor
+    input_fn = compile_plan(op.input) if op.input is not None else None
+
+    def run(frame: Frame) -> list:
+        if anchor == "root":
+            current: list = [frame.goddag.root]
+        elif input_fn is not None:
+            current = input_fn(frame)
+        else:
+            current = [frame.context_item()]
+        for step_fn in step_fns:
+            current = step_fn(frame, current)
+        return current
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# FLWOR
+# ---------------------------------------------------------------------------
+
+
+def _compile_flwor(op: L.FLWOROp) -> Runner:
+    if not op.streaming:
+        return _compile_flwor_materialized(op)
+    return _compile_flwor_streaming(op)
+
+
+def _compile_flwor_streaming(op: L.FLWOROp) -> Runner:
+    """Continuation-compiled tuple stream over the mutable frame.
+
+    Invariant ``let``/``where`` clauses evaluate on the first tuple of
+    each FLWOR execution and reuse the value — lazy loop-invariant
+    hoisting that keeps error timing and the empty-stream case exactly
+    as the legacy per-tuple evaluation.
+    """
+    return_fn = compile_plan(op.return_plan)
+    cells: list[list] = []
+
+    def tail(frame: Frame, out: list) -> None:
+        out.extend(return_fn(frame))
+
+    step = tail
+    for clause in reversed(op.clauses):
+        step = _make_streaming_clause(clause, step, cells)
+
+    def run(frame: Frame) -> list:
+        out: list = []
+        for cell in cells:
+            cell[0] = _MISSING
+        step(frame, out)
+        return out
+
+    return run
+
+
+def _make_streaming_clause(clause: L.Plan, nxt, cells: list):
+    if isinstance(clause, L.ForOp):
+        sequence_fn = compile_plan(clause.sequence)
+        variable = clause.variable
+        position_variable = clause.position_variable
+
+        def run_for(frame: Frame, out: list) -> None:
+            variables = frame.variables
+            sequence = sequence_fn(frame)
+            old = variables.get(variable, _MISSING)
+            old_position = (variables.get(position_variable, _MISSING)
+                            if position_variable else None)
+            try:
+                if position_variable:
+                    position = 0
+                    for item in sequence:
+                        position += 1
+                        variables[variable] = [item]
+                        variables[position_variable] = [position]
+                        nxt(frame, out)
+                else:
+                    for item in sequence:
+                        variables[variable] = [item]
+                        nxt(frame, out)
+            finally:
+                if old is _MISSING:
+                    variables.pop(variable, None)
+                else:
+                    variables[variable] = old
+                if position_variable:
+                    if old_position is _MISSING:
+                        variables.pop(position_variable, None)
+                    else:
+                        variables[position_variable] = old_position
+
+        return run_for
+    if isinstance(clause, L.LetOp):
+        value_fn = compile_plan(clause.plan)
+        variable = clause.variable
+        if clause.invariant:
+            cell: list = [_MISSING]
+            cells.append(cell)
+
+            def run_let(frame: Frame, out: list) -> None:
+                value = cell[0]
+                if value is _MISSING:
+                    value = cell[0] = value_fn(frame)
+                variables = frame.variables
+                old = variables.get(variable, _MISSING)
+                variables[variable] = value
+                try:
+                    nxt(frame, out)
+                finally:
+                    if old is _MISSING:
+                        variables.pop(variable, None)
+                    else:
+                        variables[variable] = old
+
+            return run_let
+
+        def run_let(frame: Frame, out: list) -> None:
+            value = value_fn(frame)
+            variables = frame.variables
+            old = variables.get(variable, _MISSING)
+            variables[variable] = value
+            try:
+                nxt(frame, out)
+            finally:
+                if old is _MISSING:
+                    variables.pop(variable, None)
+                else:
+                    variables[variable] = old
+
+        return run_let
+    if isinstance(clause, L.WhereOp):
+        condition_fn = _compile_ebv(clause.plan)
+        if clause.invariant:
+            cell = [_MISSING]
+            cells.append(cell)
+
+            def run_where(frame: Frame, out: list) -> None:
+                verdict = cell[0]
+                if verdict is _MISSING:
+                    verdict = cell[0] = condition_fn(frame)
+                if verdict:
+                    nxt(frame, out)
+
+            return run_where
+
+        def run_where(frame: Frame, out: list) -> None:
+            if condition_fn(frame):
+                nxt(frame, out)
+
+        return run_where
+    raise TypeError(  # pragma: no cover - planner guarantees clause types
+        f"unknown streaming clause {type(clause).__name__}")
+
+
+def _compile_flwor_materialized(op: L.FLWOROp) -> Runner:
+    """Tuple-list FLWOR (order-by present), mirroring the legacy
+    evaluator's materialized tuple stream via variable snapshots."""
+    compiled: list[tuple] = []
+    for clause in op.clauses:
+        if isinstance(clause, L.ForOp):
+            compiled.append(("for", clause.variable,
+                             clause.position_variable,
+                             compile_plan(clause.sequence)))
+        elif isinstance(clause, L.LetOp):
+            compiled.append(("let", clause.variable,
+                             compile_plan(clause.plan)))
+        elif isinstance(clause, L.WhereOp):
+            compiled.append(("where", _compile_ebv(clause.plan)))
+        elif isinstance(clause, L.OrderOp):
+            compiled.append(("order", [
+                (compile_plan(key), descending, empty_least)
+                for key, descending, empty_least in clause.specs]))
+    return_fn = compile_plan(op.return_plan)
+
+    def run(frame: Frame) -> list:
+        saved = frame.variables
+        tuples: list[dict] = [dict(saved)]
+        try:
+            for entry in compiled:
+                kind = entry[0]
+                if kind == "for":
+                    _kind, variable, position_variable, sequence_fn = entry
+                    expanded: list[dict] = []
+                    for bindings in tuples:
+                        frame.variables = bindings
+                        sequence = sequence_fn(frame)
+                        for position, item in enumerate(sequence, start=1):
+                            bound = dict(bindings)
+                            bound[variable] = [item]
+                            if position_variable:
+                                bound[position_variable] = [position]
+                            expanded.append(bound)
+                    tuples = expanded
+                elif kind == "let":
+                    _kind, variable, value_fn = entry
+                    rebound: list[dict] = []
+                    for bindings in tuples:
+                        frame.variables = bindings
+                        value = value_fn(frame)
+                        bound = dict(bindings)
+                        bound[variable] = value
+                        rebound.append(bound)
+                    tuples = rebound
+                elif kind == "where":
+                    _kind, condition_fn = entry
+                    kept: list[dict] = []
+                    for bindings in tuples:
+                        frame.variables = bindings
+                        if condition_fn(frame):
+                            kept.append(bindings)
+                    tuples = kept
+                else:  # order
+                    _kind, specs = entry
+                    decorated = list(tuples)
+                    for key_fn, descending, empty_least in reversed(specs):
+                        keyed = []
+                        for bindings in decorated:
+                            frame.variables = bindings
+                            keyed.append((order_key_value(
+                                key_fn(frame), empty_least), bindings))
+                        keyed.sort(key=lambda pair: pair[0],
+                                   reverse=descending)
+                        decorated = [b for _key, b in keyed]
+                    tuples = decorated
+            out: list = []
+            for bindings in tuples:
+                frame.variables = bindings
+                out.extend(return_fn(frame))
+            return out
+        finally:
+            frame.variables = saved
+
+    return run
+
+
+_COMPILERS = {
+    L.ConstOp: _compile_const,
+    L.VarOp: _compile_var,
+    L.ContextOp: _compile_context,
+    L.SeqOp: _compile_seq,
+    L.RangeOp: _compile_range,
+    L.BoolOp: _compile_bool,
+    L.CompareOp: _compile_compare,
+    L.ArithOp: _compile_arith,
+    L.NegOp: _compile_neg,
+    L.UnionOp: _compile_union,
+    L.IntersectOp: _compile_intersect,
+    L.IfOp: _compile_if,
+    L.QuantOp: _compile_quant,
+    L.FuncOp: _compile_func,
+    L.ConstructOp: _compile_construct,
+    L.FilterOp: _compile_filter,
+    L.PathOp: _compile_path,
+    L.FLWOROp: _compile_flwor,
+}

@@ -1,6 +1,6 @@
 """The query runtime: evaluator, function library, serialization."""
 
-from repro.core.runtime.context import EvalContext, QueryOptions
+from repro.core.runtime.context import EvalContext, QueryOptions, QueryStats
 from repro.core.runtime.evaluator import evaluate, evaluate_query
 from repro.core.runtime.functions import default_registry
 from repro.core.runtime.serializer import serialize_item, serialize_items
@@ -8,6 +8,7 @@ from repro.core.runtime.serializer import serialize_item, serialize_items
 __all__ = [
     "EvalContext",
     "QueryOptions",
+    "QueryStats",
     "evaluate",
     "evaluate_query",
     "default_registry",

@@ -18,6 +18,52 @@ from repro.core.goddag.goddag import KyGoddag
 from repro.core.goddag.temp import TemporaryHierarchyManager
 
 
+@dataclass
+class QueryStats:
+    """Per-call evaluation counters (DESIGN.md §5, §8).
+
+    One instance lives for exactly one query evaluation; the engine
+    attaches it to the :class:`~repro.api.QueryResult`.  The mutable
+    module global ``evaluator.LAST_QUERY_STATS`` survives only as a
+    deprecated alias mirroring the most recent call.
+
+    Attributes
+    ----------
+    axis_steps:
+        Axis location steps evaluated (one per context item in the
+        tree-walking evaluator, one per *batch* in the pipeline).
+    ordered_steps:
+        Of those, steps served straight from an already-document-ordered
+        axis slice — no sort needed.
+    batched_steps:
+        Pipeline only: steps evaluated set-at-a-time over a whole
+        context sequence in one batched axis call.
+    plan_cache_hit:
+        Pipeline only: the compiled plan came from the engine's LRU
+        cache instead of a fresh parse/rewrite/plan run.
+    """
+
+    axis_steps: int = 0
+    ordered_steps: int = 0
+    batched_steps: int = 0
+    plan_cache_hit: bool = False
+
+    # -- dict-style compatibility (the legacy stats were a plain dict) --
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "axis_steps": self.axis_steps,
+            "ordered_steps": self.ordered_steps,
+            "batched_steps": self.batched_steps,
+        }
+
+    def __getitem__(self, key: str) -> int:
+        return self.as_dict()[key]
+
+    def keys(self):
+        return self.as_dict().keys()
+
+
 @dataclass(frozen=True)
 class QueryOptions:
     """Documented behavior knobs (DESIGN.md §3).
@@ -50,7 +96,8 @@ class EvalContext:
     def __init__(self, goddag: KyGoddag, functions: dict[str, Any],
                  options: QueryOptions,
                  temp_manager: TemporaryHierarchyManager,
-                 variables: dict[str, list] | None = None) -> None:
+                 variables: dict[str, list] | None = None,
+                 stats: QueryStats | None = None) -> None:
         self.goddag = goddag
         self.item = None
         self.position = 0
@@ -61,7 +108,7 @@ class EvalContext:
         self.temp_manager = temp_manager
         # Shared across all focus clones of one query: the evaluator's
         # sort-avoidance instrumentation (DESIGN.md §5).
-        self.stats: dict[str, int] = {"axis_steps": 0, "ordered_steps": 0}
+        self.stats: QueryStats = stats if stats is not None else QueryStats()
 
     def _clone(self) -> "EvalContext":
         clone = EvalContext.__new__(EvalContext)

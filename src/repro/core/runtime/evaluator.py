@@ -34,7 +34,7 @@ from repro.core.goddag.temp import TemporaryHierarchyManager
 from repro.core.lang import ast
 from repro.core.lang.parser import parse_query
 from repro.core.runtime import values
-from repro.core.runtime.context import EvalContext, QueryOptions
+from repro.core.runtime.context import EvalContext, QueryOptions, QueryStats
 
 #: Axes whose predicate positions count *away* from the context node.
 REVERSE_AXES = frozenset({
@@ -42,18 +42,26 @@ REVERSE_AXES = frozenset({
     "parent", "xancestor", "xpreceding",
 })
 
-#: Sort-avoidance counters of the most recent ``evaluate_query`` call:
-#: ``axis_steps`` path steps evaluated, ``ordered_steps`` of them served
-#: straight from an already-document-ordered axis slice (no sort).
-LAST_QUERY_STATS: dict[str, int] = {"axis_steps": 0, "ordered_steps": 0}
+#: Deprecated alias: sort-avoidance counters of the most recent
+#: ``evaluate_query`` call, mirrored from its per-call
+#: :class:`~repro.core.runtime.context.QueryStats` object.  New code
+#: should read ``QueryResult.stats`` (or pass ``stats=`` explicitly).
+LAST_QUERY_STATS: dict[str, int] = {"axis_steps": 0, "ordered_steps": 0,
+                                    "batched_steps": 0}
 
 
 def evaluate_query(goddag: KyGoddag, query: str | ast.Expr,
                    variables: dict[str, list] | None = None,
                    options: QueryOptions | None = None,
                    functions: dict[str, Any] | None = None,
-                   keep_temporaries: bool = False) -> list:
-    """Evaluate ``query`` against ``goddag`` and return the item list."""
+                   keep_temporaries: bool = False,
+                   stats: "QueryStats | None" = None) -> list:
+    """Evaluate ``query`` against ``goddag`` and return the item list.
+
+    ``stats`` may be a caller-owned :class:`QueryStats` that the call
+    fills in; otherwise a fresh one is created (and mirrored into the
+    deprecated ``LAST_QUERY_STATS`` either way).
+    """
     from repro.core.runtime.functions import default_registry
 
     expr = parse_query(query) if isinstance(query, str) else query
@@ -63,7 +71,7 @@ def evaluate_query(goddag: KyGoddag, query: str | ast.Expr,
         registry.update(functions)
     manager = TemporaryHierarchyManager(goddag)
     context = EvalContext(goddag, registry, options, manager,
-                          variables=variables)
+                          variables=variables, stats=stats)
     context.item = goddag.root
     context.position = 1
     context.size = 1
@@ -74,7 +82,7 @@ def evaluate_query(goddag: KyGoddag, query: str | ast.Expr,
         return result
     finally:
         LAST_QUERY_STATS.clear()
-        LAST_QUERY_STATS.update(context.stats)
+        LAST_QUERY_STATS.update(context.stats.as_dict())
         if not keep_temporaries:
             manager.drop_all()
 
@@ -297,14 +305,20 @@ def _order_tuples(tuples: list[EvalContext],
 
 
 def _order_key(sequence: list, spec: ast.OrderSpec) -> tuple:
+    return order_key_value(sequence, spec.empty_least)
+
+
+def order_key_value(sequence: list, empty_least: bool) -> tuple:
     """A totally ordered key: (empty-rank, type-rank, value).
 
     ``empty least`` makes the empty sequence the smallest key — first
     ascending, last descending; ``empty greatest`` the largest.  The
-    direction flip itself is handled by the reverse sort.
+    direction flip itself is handled by the reverse sort.  Shared by
+    the tree-walking evaluator and the pipeline's materialized FLWOR
+    so the two order-by semantics can never drift apart.
     """
     if not sequence:
-        return (0 if spec.empty_least else 2, 0, 0)
+        return (0 if empty_least else 2, 0, 0)
     value = values.atomize(sequence[0])
     if isinstance(value, bool):
         return (1, 0, int(value))
@@ -410,9 +424,9 @@ def _step_from(step: ast.Step, node: GNode,
     candidates = evaluate_axis(ctx.goddag, step.axis, node, name_hint)
     candidates = [c for c in candidates
                   if _matches_test(step.test, step.axis, c, ctx)]
-    ctx.stats["axis_steps"] += 1
+    ctx.stats.axis_steps += 1
     if emits_document_order(step.axis, node):
-        ctx.stats["ordered_steps"] += 1
+        ctx.stats.ordered_steps += 1
         direction = "forward"
     else:
         candidates = ctx.goddag.sort_nodes(candidates)
@@ -478,15 +492,21 @@ def _matches_test(test: ast.NodeTest, axis: str, node: GNode,
 
 def _in_hierarchies(node: GNode, hierarchies: tuple[str, ...],
                     ctx: EvalContext) -> bool:
+    if not hierarchies:
+        return True
+    return node_in_hierarchies(node, hierarchies, ctx.goddag)
+
+
+def node_in_hierarchies(node: GNode, hierarchies: tuple[str, ...],
+                        goddag: KyGoddag) -> bool:
     """Definition 2 hierarchy restriction.
 
     The shared root and the shared leaves belong to *every* hierarchy;
-    unknown hierarchy names are reported (typo safety).
+    unknown hierarchy names are reported (typo safety).  Shared by the
+    tree-walking evaluator and the pipeline's node-test closures.
     """
-    if not hierarchies:
-        return True
     for name in hierarchies:
-        if not ctx.goddag.has_hierarchy(name):
+        if not goddag.has_hierarchy(name):
             raise QueryEvaluationError(
                 f"unknown hierarchy '{name}' in node test")
     if node.hierarchy is None:  # root or leaf: present in all hierarchies

@@ -237,6 +237,10 @@ class DTD:
     def __init__(self) -> None:
         self.elements: dict[str, ElementDecl] = {}
         self.general_entities: dict[str, str] = {}
+        # The internal-subset text this DTD was parsed from, kept so a
+        # bundled CMH can round-trip through ``.mhx`` containers; None
+        # for DTDs assembled programmatically.
+        self.source: str | None = None
 
     @property
     def element_names(self) -> frozenset[str]:
@@ -354,6 +358,7 @@ class _DTDScanner:
 def parse_dtd(subset: str) -> DTD:
     """Parse a DTD internal subset into a :class:`DTD`."""
     dtd = DTD()
+    dtd.source = subset
     scanner = _DTDScanner(subset)
     while not scanner.at_end():
         if scanner.text.startswith("<!ELEMENT", scanner.pos):

@@ -109,3 +109,46 @@ class TestMhxContainer:
         path = tmp_path / "direct.mhx"
         save_mhx(engine.document, path)
         assert load_mhx(path).text == BASE_TEXT
+
+    def test_dtds_round_trip(self, tmp_path):
+        """An attached CMH survives save → load (ISSUE 2 satellite).
+
+        ``save_mhx`` used to drop the ``dtds`` key silently, so a
+        schema-carrying document lost its CMH on the way through the
+        container.
+        """
+        from repro.cmh import ConcurrentMarkupHierarchy
+
+        engine = Engine.from_xml(BASE_TEXT, ENCODINGS)
+        cmh = ConcurrentMarkupHierarchy.from_sources("r", DTD_SOURCES)
+        engine.document.attach_cmh(cmh)
+        path = tmp_path / "schema.mhx"
+        engine.save_mhx(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert set(payload["dtds"]) == set(DTD_SOURCES)
+        loaded = load_mhx(path)
+        assert loaded.cmh is not None
+        assert set(loaded.cmh.hierarchy_names) == set(DTD_SOURCES)
+        # and a second round trip is stable
+        second = tmp_path / "schema2.mhx"
+        save_mhx(loaded, second)
+        assert json.loads(second.read_text(encoding="utf-8"))["dtds"] \
+            == payload["dtds"]
+
+    def test_sourceless_cmh_skips_dtds_key(self, tmp_path):
+        """A programmatic CMH (no DTD sources) cannot be bundled; the
+        container simply omits the key instead of failing."""
+        from repro.cmh import ConcurrentMarkupHierarchy
+        from repro.markup.dtd import parse_dtd
+
+        engine = Engine.from_xml(BASE_TEXT, ENCODINGS)
+        dtds = {name: parse_dtd(text)
+                for name, text in DTD_SOURCES.items()}
+        for dtd in dtds.values():
+            dtd.source = None  # simulate programmatic construction
+        engine.document.attach_cmh(
+            ConcurrentMarkupHierarchy("r", dtds))
+        path = tmp_path / "nosrc.mhx"
+        engine.save_mhx(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert "dtds" not in payload
