@@ -1,17 +1,20 @@
-"""Emit the perf-trajectory files ``BENCH_axes.json`` + ``BENCH_queries.json``.
+"""Emit the perf-trajectory files ``BENCH_axes.json`` +
+``BENCH_queries.json`` + ``BENCH_updates.json``.
 
 Times the headline series — S-AXES (axis evaluation), S-ANALYZE
 (the ``analyze-string`` temporary-hierarchy lifecycle), S-BUILD
-(KyGODDAG + SpanIndex construction) — into ``BENCH_axes.json``, and the
+(KyGODDAG + SpanIndex construction) — into ``BENCH_axes.json``, the
 end-to-end §4 query workload (S-QUERIES: legacy evaluator vs the
-compiled pipeline, per query and total) into ``BENCH_queries.json``;
-future PRs compare against both (DESIGN.md §7).
+compiled pipeline, per query and total) into ``BENCH_queries.json``,
+and the transactional update workload (S-UPDATE: incremental apply vs
+rebuild-per-update, DESIGN.md §9) into ``BENCH_updates.json``; future
+PRs compare against all three (DESIGN.md §7).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py [--quick] \
         [--out BENCH_axes.json] [--queries-out BENCH_queries.json] \
-        [--size 6400]
+        [--updates-out BENCH_updates.json] [--size 6400]
 
 ``--quick`` cuts the repeat counts for CI smoke runs; the checked-in
 files are produced by a full run on a quiet machine.
@@ -112,12 +115,63 @@ def bench_queries(size: int, repeats: int) -> dict:
     return {"per_query": per_query, "workload_total": total}
 
 
+def bench_updates(size: int, repeats: int) -> dict:
+    """S-UPDATE: incremental engine apply vs rebuild-per-update.
+
+    Both workloads are involutions (they return the document to its
+    starting state), so repeated timing runs stay comparable.  Uses the
+    same statement lists as ``benchmarks/test_update_throughput.py``.
+    """
+    from repro.api import Engine
+    from repro.cmh import MultihierarchicalDocument
+    from repro.core.update import RebuildOracle
+    from test_update_throughput import MARKUP_STATEMENTS, TEXT_STATEMENTS
+
+    def private_corpus() -> MultihierarchicalDocument:
+        # Never mutate the memoized corpus_at_size instance in place.
+        shared = corpus_at_size(size)
+        return MultihierarchicalDocument.from_xml(
+            shared.text, {name: hierarchy.to_xml() for name, hierarchy
+                          in shared.hierarchies.items()})
+
+    engine = Engine(private_corpus())
+    engine.goddag.span_index()
+    oracle = RebuildOracle(private_corpus())
+
+    def run(statements, incremental: bool) -> None:
+        if incremental:
+            for statement in statements:
+                engine.update(statement, check=False)
+        else:
+            for statement in statements:
+                oracle.apply(statement)
+
+    out: dict = {}
+    for label, statements in (("markup-ops", MARKUP_STATEMENTS),
+                              ("text-ops", TEXT_STATEMENTS)):
+        run(statements, True)   # warm lazy state on both sides
+        run(statements, False)
+        incremental = median_ns(lambda s=statements: run(s, True),
+                                repeats)
+        rebuild = median_ns(lambda s=statements: run(s, False),
+                            max(repeats // 2, 3))
+        out[label] = {
+            "statements": len(statements),
+            "incremental-engine": incremental,
+            "rebuild-per-update": rebuild,
+            "speedup": round(rebuild / incremental, 2),
+        }
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_axes.json"))
     parser.add_argument("--queries-out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_queries.json"))
+    parser.add_argument("--updates-out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_updates.json"))
     parser.add_argument("--size", type=int, default=SCALING_SIZES[-1])
     parser.add_argument("--quick", action="store_true",
                         help="fewer repeats (CI smoke run)")
@@ -151,6 +205,17 @@ def main(argv: list[str] | None = None) -> int:
     Path(args.queries_out).write_text(
         json.dumps(queries_payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(queries_payload, indent=2, sort_keys=True))
+    updates_payload = {
+        "schema": "repro-bench/1",
+        "series": "transactional-updates",
+        "config": {"n_words": args.size, "seed": BENCH_SEED,
+                   "repeats": query_repeats,
+                   "python": sys.version.split()[0]},
+        "median_ns_per_workload": bench_updates(args.size, query_repeats),
+    }
+    Path(args.updates_out).write_text(
+        json.dumps(updates_payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(updates_payload, indent=2, sort_keys=True))
     return 0
 
 

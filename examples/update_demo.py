@@ -1,0 +1,73 @@
+"""Transactional updates on the Boethius sample (DESIGN.md §9).
+
+Walks the whole update language over the paper's Figure 1 document:
+the multihierarchy-specific ``add markup`` / ``remove markup`` pair
+(promoting a text span into a concurrent hierarchy and demoting it
+back), an in-place ``rename``, a content ``insert``, and a ``replace
+value of`` — each applied atomically through the pending-update-list
+engine with the structural invariants checked after every statement.
+
+Run:  python examples/update_demo.py
+"""
+
+from repro import Engine
+from repro.corpus import BASE_TEXT, ENCODINGS
+
+
+def show(engine: Engine, label: str) -> None:
+    print(f"{label}")
+    print(f"  text: {engine.document.text}")
+    for name in engine.document.hierarchy_names:
+        print(f"  {name:12} "
+              f"{engine.document.hierarchies[name].to_xml()}")
+    print()
+
+
+def main() -> None:
+    engine = Engine.from_xml(BASE_TEXT, ENCODINGS)
+    show(engine, "Figure 1, before any update:")
+
+    # Promote the split word 'singallice' to a <gloss> span in the
+    # damage hierarchy — markup it never carried.  Only that one
+    # hierarchy re-registers; everything else is untouched.
+    result = engine.update("""
+        add markup gloss to "damage"
+        covering /descendant::w[string(.) = "singallice"]
+    """)
+    print(f"add markup: re-registered {result.replaced_hierarchies}, "
+          f"text delta {result.text_delta:+d}")
+    print("glossed:", engine.query("string((//gloss)[1])").items, "\n")
+
+    # Rename is fully in place: no hierarchy re-registers at all.
+    result = engine.update("rename node (//gloss)[1] as 'keyword'")
+    print(f"rename: {result.renamed_in_place} in-place rename(s), "
+          f"re-registered {result.replaced_hierarchies}")
+
+    # Bulk rename through FLWOR: every <w> of the structural
+    # hierarchy becomes a <token>.
+    engine.update("for $w in //w return rename node $w as 'token'")
+    print("tokens:", engine.query("count(//token)").items[0], "\n")
+
+    # Insert new content: the base text grows, and every concurrent
+    # hierarchy's aligned text nodes absorb the new characters.
+    engine.update(
+        "insert node <token>eac</token> after (//token)[2]")
+    show(engine, "after inserting <token>eac</token>:")
+
+    # Replace a word's value; the overlapping damage markup clamps.
+    engine.update(
+        "replace value of node (//token)[1] with 'gesceafta'")
+    print("replaced first token:",
+          engine.query("string((//token)[1])").items)
+
+    # Demote the keyword again — content stays, markup disappears.
+    engine.update("remove markup (//keyword)[1]")
+    print("keywords left:",
+          engine.query("count(//keyword)").items[0])
+
+    engine.goddag.check_invariants()
+    show(engine, "\nfinal state (invariants verified):")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,8 +20,9 @@ Quickstart::
     print(result.serialize())
 """
 
-from repro.api import Engine, QueryResult, load_mhx, save_mhx
+from repro.api import Engine, QueryResult, UpdateResult, load_mhx, save_mhx
 from repro.core.plan import CompiledQuery, compile_query
+from repro.core.update import CompiledUpdate, compile_update
 from repro.cmh import (
     ConcurrentMarkupHierarchy,
     Hierarchy,
@@ -42,8 +43,11 @@ __version__ = "1.0.0"
 __all__ = [
     "Engine",
     "QueryResult",
+    "UpdateResult",
     "CompiledQuery",
     "compile_query",
+    "CompiledUpdate",
+    "compile_update",
     "load_mhx",
     "save_mhx",
     "ConcurrentMarkupHierarchy",

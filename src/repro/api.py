@@ -32,6 +32,15 @@ from repro.core.runtime import (
     evaluate_query,
     serialize_items,
 )
+from repro.core.update import (
+    CompiledUpdate,
+    UpdateApplyStats,
+    apply_pending,
+    compile_update,
+)
+
+#: Public alias: what :meth:`Engine.update` returns.
+UpdateResult = UpdateApplyStats
 
 MHX_FORMAT = "mhx-1"
 
@@ -87,6 +96,7 @@ class Engine:
         self.goddag = KyGoddag.build(document)
         self.use_pipeline = use_pipeline
         self._plans: OrderedDict[tuple, CompiledQuery] = OrderedDict()
+        self._plans_version = self.goddag.version
 
     # -- constructors --------------------------------------------------------
 
@@ -116,22 +126,82 @@ class Engine:
         """Evaluate a pure (extended) XPath expression."""
         return self._run(text, variables, xpath=True)
 
-    def compile(self, text: str, xpath: bool = False) -> CompiledQuery:
-        """Compile a query through the pipeline (LRU-cached)."""
-        key = (text, xpath, self.options)
+    @property
+    def version(self) -> int:
+        """The document version: bumped by every applied mutation."""
+        return self.goddag.version
+
+    def _sync_plan_cache(self) -> None:
+        """Drop every cached plan when the document version moved.
+
+        The stale-plan guard of the update engine (DESIGN.md §9): a
+        plan compiled before a mutation is never served afterwards, and
+        — unlike keying the LRU by version — dead pre-mutation entries
+        don't linger in the cache.  The deliberate cost: each mutation
+        forces one recompile per query text used afterwards (sub-ms;
+        mutations are rare next to queries, and correctness under a
+        future document-dependent compile step is worth more than a
+        warm cache across versions).
+        """
+        if self._plans_version != self.goddag.version:
+            self._plans.clear()
+            self._plans_version = self.goddag.version
+
+    def _cached_plan(self, mode: str, text: str, factory):
+        """LRU lookup keyed by (mode, text, options), version-synced."""
+        self._sync_plan_cache()
+        key = (mode, text, self.options)
         cached = self._plans.get(key)
         if cached is not None:
             self._plans.move_to_end(key)
             return cached
-        compiled = compile_query(text, xpath=xpath)
+        compiled = factory()
         self._plans[key] = compiled
         if len(self._plans) > PLAN_CACHE_SIZE:
             self._plans.popitem(last=False)
         return compiled
 
+    def compile(self, text: str, xpath: bool = False) -> CompiledQuery:
+        """Compile a query through the pipeline (LRU-cached)."""
+        return self._cached_plan(
+            "xpath" if xpath else "query", text,
+            lambda: compile_query(text, xpath=xpath))
+
+    def compile_update(self, text: str) -> CompiledUpdate:
+        """Compile an update statement (LRU-cached like queries)."""
+        return self._cached_plan("update", text,
+                                 lambda: compile_update(text))
+
     def explain(self, text: str, xpath: bool = False) -> str:
         """The compiled pipeline report for one query."""
         return self.compile(text, xpath=xpath).explain()
+
+    def explain_update(self, text: str) -> str:
+        """The compiled pipeline report for one update statement."""
+        return self.compile_update(text).explain()
+
+    # -- updates --------------------------------------------------------------
+
+    def update(self, statement: str | CompiledUpdate,
+               variables: dict[str, list] | None = None,
+               check: bool = True) -> UpdateResult:
+        """Apply an update statement transactionally (DESIGN.md §9).
+
+        Targets evaluate against the pre-state snapshot into a pending
+        update list (conflicts raise before anything mutates); the list
+        applies atomically through the incremental KyGODDAG paths.
+        With ``check`` (the default) the full structural invariant set
+        is verified after the apply — pass ``check=False`` on trusted
+        hot paths.
+        """
+        if isinstance(statement, CompiledUpdate):
+            compiled = statement
+        else:
+            compiled = self.compile_update(statement)
+        pending = compiled.pending(self.goddag, variables=variables,
+                                   options=self.options)
+        return apply_pending(self.document, self.goddag, pending,
+                             check=check)
 
     def execute(self, compiled, variables: dict[str, list] | None = None
                 ) -> QueryResult:
@@ -155,7 +225,8 @@ class Engine:
             items = evaluate_query(self.goddag, expr, variables=variables,
                                    options=self.options, stats=stats)
             return QueryResult(items, stats)
-        key = (text, xpath, self.options)
+        self._sync_plan_cache()
+        key = ("xpath" if xpath else "query", text, self.options)
         stats = QueryStats(plan_cache_hit=key in self._plans)
         compiled = self.compile(text, xpath=xpath)
         items = compiled.execute(self.goddag, variables=variables,

@@ -7,6 +7,9 @@ built-in Boethius document):
 * ``xpath`` — evaluate a pure extended-XPath expression;
 * ``explain`` — show a query's compiled pipeline plan (rewrites +
   logical operators) without running it;
+* ``update`` — apply a transactional update statement (``insert
+  node``, ``delete node``, ``replace value of``, ``rename``, ``add
+  markup``, ``remove markup``), optionally re-saving with ``--out``;
 * ``stats`` — print the KyGODDAG node/edge inventory;
 * ``describe`` — print the KyGODDAG outline (hierarchies + leaves);
 * ``render`` — emit GraphViz DOT (Figure 2 style);
@@ -70,6 +73,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("expression", help="the query text, or @file")
     p_explain.add_argument("--xpath", action="store_true",
                            help="parse as a pure extended-XPath expression")
+
+    p_update = sub.add_parser(
+        "update", help="apply a transactional update statement")
+    add_document_options(p_update)
+    p_update.add_argument("statement", help="the update statement, or @file")
+    p_update.add_argument("--out", metavar="FILE",
+                          help="write the mutated document to a .mhx "
+                               "container")
+    p_update.add_argument("--no-check", action="store_true",
+                          help="skip the post-apply invariant check")
+    p_update.add_argument("--explain", action="store_true",
+                          help="show the compiled update plan instead of "
+                               "applying it")
 
     for name, help_text in (("stats", "print the KyGODDAG inventory"),
                             ("describe", "print the KyGODDAG outline"),
@@ -155,6 +171,25 @@ def _dispatch(args: argparse.Namespace) -> int:
         engine = Engine(document)
         expression = _read_expression(args.expression)
         print(engine.explain(expression, xpath=args.xpath))
+        return 0
+    if command == "update":
+        engine = Engine(document)
+        statement = _read_expression(args.statement)
+        if args.explain:
+            print(engine.explain_update(statement))
+            return 0
+        result = engine.update(statement, check=not args.no_check)
+        summary = ", ".join(f"{kind}: {count}" for kind, count
+                            in sorted(result.counts.items()))
+        print(f"applied {result.applied} primitives "
+              f"({summary or 'none'}); text delta "
+              f"{result.text_delta:+d}; re-registered "
+              f"{len(result.replaced_hierarchies)} hierarchies, "
+              f"{result.renamed_in_place} in-place renames")
+        if args.out:
+            engine.save_mhx(args.out)
+            print(f"wrote {args.out} ({len(engine.document)} hierarchies, "
+                  f"{len(engine.document.text)} characters)")
         return 0
     if command == "stats":
         engine = Engine(document)

@@ -131,6 +131,10 @@ class KyGoddag:
         # Full SpanIndex constructions (benchmarks assert that the
         # analyze-string lifecycle never triggers one after warm-up).
         self.index_full_builds = 0
+        # Bumped by every mutation (hierarchy add/remove/replace,
+        # rename, base-text change).  Compiled-plan caches key on it so
+        # a stale plan can never serve a mutated document (DESIGN.md §9).
+        self.version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -181,6 +185,11 @@ class KyGoddag:
             # Merge the new hierarchy into the live index instead of
             # discarding it (DESIGN.md §6) — the analyze-string hot path.
             self._index.add_component(component)
+        if not component.temporary:
+            # Temporary (query-scoped) hierarchies never invalidate
+            # compiled plans: their add/remove cycle is part of one
+            # evaluation, not a document mutation.
+            self.version += 1
 
     def remove_hierarchy(self, name: str) -> None:
         """Remove a hierarchy; leaves split only by it coalesce again."""
@@ -203,6 +212,108 @@ class KyGoddag:
                     comp.rank == self._next_rank - 1
                     for comp in self._components.values()):
                 self._next_rank -= 1
+        if not component.temporary:
+            self.version += 1
+
+    # ------------------------------------------------------------------
+    # mutation (the transactional update engine, DESIGN.md §9)
+    # ------------------------------------------------------------------
+
+    def rename_element(self, node: GElement, name: str) -> None:
+        """Rename one element in place.
+
+        Structure, spans, preorder numbers and order keys are all
+        untouched, so only the name-derived caches need patching: the
+        component's per-name element index and the span index's name
+        arrays.
+        """
+        component = self._components.get(node.hierarchy)
+        if component is None or node.preorder < 0 \
+                or node.preorder >= len(component.nodes) \
+                or component.nodes[node.preorder] is not node:
+            raise GoddagError(
+                "rename target is not a registered node of this KyGODDAG")
+        node._name = name
+        component._name_index = None
+        if self._index is not None:
+            self._index.rename_node(node)
+        self.version += 1
+
+    def replace_hierarchy(self, name: str, document: dom.Document) -> None:
+        """Re-register one hierarchy from a mutated DOM, keeping its rank.
+
+        The incremental mutation path: the old component's boundaries
+        are spliced out of the partition and its sub-arrays compressed
+        out of the span index, then the fresh component merges back in —
+        every *other* hierarchy's nodes, leaves, caches and order keys
+        survive untouched.  The base text must be unchanged; use
+        :meth:`rebuild_hierarchies` when it is not.
+        """
+        component = self._components.get(name)
+        if component is None:
+            raise GoddagError(f"no hierarchy named '{name}'")
+        self.partition.remove_boundaries(component.boundaries)
+        if self._index is not None:
+            self._index.remove_component(component)
+        self._detach_component_root(name)
+        fresh = _HierarchyComponent(name, component.rank,
+                                    component.temporary)
+        # Assigning to the existing key keeps the dict position, so the
+        # Definition 3 iteration order (registration order) is stable.
+        self._components[name] = fresh
+        builder = _ComponentBuilder(self, fresh)
+        builder.build_from_dom(document.root)
+        self._finish_component(fresh)
+
+    def rebuild_hierarchies(self, text: str,
+                            documents: dict[str, dom.Document]) -> None:
+        """Swap the base text and re-register every hierarchy, in order.
+
+        Used when an update changes the text itself (insert/delete/
+        replace value): all spans shift, so every component and the leaf
+        partition are rebuilt — but ranks are kept, the span index is
+        patched by per-component surgery plus a root re-seed, and no XML
+        is ever re-parsed.
+        """
+        if set(documents) != set(self._components):
+            raise GoddagError(
+                "rebuild_hierarchies needs exactly the registered "
+                "hierarchies")
+        index = self._index
+        if index is not None:
+            for component in self._components.values():
+                index.remove_component(component)
+        self.text = text
+        self.root.end = len(text)
+        if index is not None:
+            index.reset_root()
+        self.partition = Partition(self, len(text))
+        for name, old in list(self._components.items()):
+            self._detach_component_root(name)
+            fresh = _HierarchyComponent(name, old.rank, old.temporary)
+            self._components[name] = fresh
+            builder = _ComponentBuilder(self, fresh)
+            builder.build_from_dom(documents[name].root)
+            self._finish_component(fresh)
+        self.version += 1
+
+    def _detach_component_root(self, name: str) -> None:
+        self.root.children_by_hierarchy.pop(name, None)
+        self.root.attributes_by_hierarchy.pop(name, None)
+        self.root.invalidate_child_positions(name)
+
+    def check_invariants(self) -> None:
+        """Verify the full structural contract (DESIGN.md §9).
+
+        Order-key monotonicity over Definition 3, per-hierarchy span
+        containment and preorder consistency, text tiling, partition
+        boundary bookkeeping, and span-index array coherence.  Raises
+        :class:`~repro.errors.GoddagError` on the first violation — the
+        post-apply safety net of the update engine.
+        """
+        from repro.core.goddag.invariants import check_invariants
+
+        check_invariants(self)
 
     # ------------------------------------------------------------------
     # access

@@ -248,6 +248,66 @@ class SpanIndex:
         self._containment.clear()
         self.incremental_removes += 1
 
+    def rename_node(self, node: GNode) -> None:
+        """Patch the name arrays after an in-place element rename.
+
+        The node's spans (and therefore its packed merge keys and array
+        positions) are unchanged, so the patch is two bisects into the
+        sorted key arrays plus an identity scan of the (tiny) equal-key
+        runs.
+        """
+        self._flush_pending()
+        start, end = int(node.start), int(node.end)
+        s_key = (start << _OFFSET_BITS) | (_OFFSET_MASK - end)
+        left = int(np.searchsorted(self._s_keys, s_key, side="left"))
+        right = int(np.searchsorted(self._s_keys, s_key, side="right"))
+        for position in range(left, right):
+            if self.nodes[position] is node:
+                self._names[position] = node.name
+                break
+        e_key = (end << _OFFSET_BITS) | start
+        left = int(np.searchsorted(self._e_keys, e_key, side="left"))
+        right = int(np.searchsorted(self._e_keys, e_key, side="right"))
+        for position in range(left, right):
+            if self.e_nodes[position] is node:
+                self._e_names[position] = node.name
+                break
+        self._name_masks.clear()
+        self._e_name_masks.clear()
+        self._containment.clear()
+
+    def reset_root(self) -> None:
+        """Re-seed the root entry after a base-text length change.
+
+        Callable only while no hierarchy is merged or pending (the
+        update applier removes every component first): the global
+        arrays then hold exactly the root, whose span must track the
+        new text length.
+        """
+        if self._subs or self._pending:
+            raise GoddagError(
+                "reset_root requires all hierarchy components to be "
+                "removed first")
+        root = _SubIndex(-1, [self.goddag.root])
+        self.nodes = root.s_nodes
+        self.starts = root.s_starts
+        self.ends = root.s_ends
+        self.ranks = np.full(1, -1, dtype=np.int64)
+        self.preorders = root.s_preorders
+        self.subtree_ends = root.s_subtree_ends
+        self._names = root.s_names
+        self._s_keys = root.s_keys
+        self.e_nodes = root.e_nodes
+        self.e_starts = root.e_starts
+        self.ends_sorted = root.e_ends
+        self.e_ranks = np.full(1, -1, dtype=np.int64)
+        self._e_names = root.e_names
+        self._e_keys = root.e_keys
+        self._refresh_nonempty()
+        self._name_masks.clear()
+        self._e_name_masks.clear()
+        self._containment.clear()
+
     # -- name pushdown -------------------------------------------------------
 
     def name_mask(self, name: str) -> np.ndarray:

@@ -1,0 +1,267 @@
+"""Structural invariant checking for the KyGODDAG (DESIGN.md §9).
+
+``check_invariants`` walks the whole structure and raises
+:class:`~repro.errors.GoddagError` on the first violation.  It is the
+post-apply safety net of the transactional update engine: every code
+path that mutates a KyGODDAG in place (hierarchy replacement, in-place
+renames, base-text rebuilds) must leave a structure indistinguishable
+from a from-scratch build, and this module is the executable statement
+of what that means:
+
+* hierarchy ranks are unique and registration order follows rank, so
+  the Definition 3 node order is well defined;
+* per component: ``nodes[i].preorder == i``, subtree intervals nest,
+  child spans tile their parent's span in order, text nodes tile the
+  base text exactly, and the recorded boundary multiset matches the
+  node spans;
+* cached packed order keys agree with recomputation, and the global
+  ``iter_nodes`` order is strictly increasing;
+* the partition's boundary refcounts equal the contribution of every
+  registered component (plus the permanent text ends), and its leaf
+  list tiles the text;
+* the span index (when built) holds exactly the span-bearing nodes
+  with array entries matching the live node attributes, in key order.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import GoddagError
+from repro.core.goddag.nodes import (
+    GComment,
+    GElement,
+    GPi,
+    GText,
+    _HierarchyNode,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.goddag.goddag import KyGoddag
+
+
+def _fail(message: str) -> None:
+    raise GoddagError(f"invariant violation: {message}")
+
+
+def check_invariants(goddag: "KyGoddag") -> None:
+    """Verify the full structural contract; raise on the first breach."""
+    _check_ranks(goddag)
+    for name in goddag.hierarchy_names:
+        _check_component(goddag, name)
+    _check_order_keys(goddag)
+    _check_partition(goddag)
+    _check_span_index(goddag)
+
+
+# ---------------------------------------------------------------------------
+# hierarchies
+# ---------------------------------------------------------------------------
+
+
+def _check_ranks(goddag: "KyGoddag") -> None:
+    ranks = [goddag.hierarchy_rank(name) for name in goddag.hierarchy_names]
+    if len(set(ranks)) != len(ranks):
+        _fail(f"duplicate hierarchy ranks {ranks}")
+    if ranks != sorted(ranks):
+        _fail(f"hierarchy registration order {goddag.hierarchy_names} "
+              f"does not follow rank order {ranks}")
+
+
+def _check_component(goddag: "KyGoddag", name: str) -> None:
+    component = goddag._components[name]
+    nodes = component.nodes
+    length = len(goddag.text)
+    for position, node in enumerate(nodes):
+        if node.preorder != position:
+            _fail(f"hierarchy '{name}' node {position} carries preorder "
+                  f"{node.preorder}")
+        if not (position <= node.subtree_end < len(nodes)):
+            _fail(f"hierarchy '{name}' node {position} has subtree_end "
+                  f"{node.subtree_end} outside [{position}, {len(nodes)})")
+        if not (0 <= node.start <= node.end <= length):
+            _fail(f"hierarchy '{name}' node {position} span "
+                  f"[{node.start},{node.end}) escapes the text "
+                  f"(length {length})")
+        if node.hierarchy != name:
+            _fail(f"hierarchy '{name}' node {position} claims hierarchy "
+                  f"'{node.hierarchy}'")
+        if isinstance(node, (GComment, GPi)) and node.start != node.end:
+            _fail(f"hierarchy '{name}' {node.kind} node {position} has a "
+                  f"non-empty span")
+    top_nodes = goddag.root.children_in(name)
+    _check_children(name, goddag.root, top_nodes, 0,
+                    len(nodes) - 1 if nodes else -1, 0, length)
+    for node in nodes:
+        if isinstance(node, GElement):
+            first = node.preorder + 1
+            _check_children(name, node, node.children, first,
+                            node.subtree_end, node.start, node.end)
+        elif node.subtree_end != node.preorder:
+            _fail(f"hierarchy '{name}' non-element node {node.preorder} "
+                  f"has a subtree")
+    _check_text_tiling(goddag, component)
+    _check_boundaries_record(component)
+
+
+def _check_children(name: str, parent, children, first_preorder: int,
+                    last_subtree_end: int, span_start: int,
+                    span_end: int) -> None:
+    expected = first_preorder
+    cursor = span_start
+    for child in children:
+        if not isinstance(child, _HierarchyNode):
+            _fail(f"hierarchy '{name}' has a foreign child node "
+                  f"{child!r}")
+        if child.parent is not parent:
+            _fail(f"hierarchy '{name}' node {child.preorder} has a stale "
+                  f"parent link")
+        if child.preorder != expected:
+            _fail(f"hierarchy '{name}' child preorders are not "
+                  f"contiguous: expected {expected}, found "
+                  f"{child.preorder}")
+        if child.start != cursor:
+            _fail(f"hierarchy '{name}' node {child.preorder} starts at "
+                  f"{child.start}, expected {cursor} (children must tile "
+                  f"their parent's span)")
+        cursor = child.end
+        expected = child.subtree_end + 1
+    if children and cursor != span_end:
+        _fail(f"hierarchy '{name}' children of the node spanning "
+              f"[{span_start},{span_end}) stop at {cursor}")
+    if children and expected != last_subtree_end + 1:
+        _fail(f"hierarchy '{name}' subtree interval mismatch: children "
+              f"end at preorder {expected - 1}, parent subtree_end is "
+              f"{last_subtree_end}")
+
+
+def _check_text_tiling(goddag: "KyGoddag", component) -> None:
+    cursor = 0
+    texts = [node for node in component.nodes if isinstance(node, GText)]
+    if texts != component.text_nodes:
+        _fail(f"hierarchy '{component.name}' text_nodes list diverges "
+              f"from the component nodes")
+    if component.text_starts != [node.start for node in texts]:
+        _fail(f"hierarchy '{component.name}' text_starts is stale")
+    for node in texts:
+        if node.start != cursor:
+            _fail(f"hierarchy '{component.name}' text nodes do not tile "
+                  f"the base text at offset {cursor}")
+        cursor = node.end
+    if cursor != len(goddag.text):
+        _fail(f"hierarchy '{component.name}' text nodes cover {cursor} "
+              f"of {len(goddag.text)} characters")
+
+
+def _check_boundaries_record(component) -> None:
+    expected: list[int] = []
+    for node in component.nodes:
+        expected.append(node.start)
+        expected.append(node.end)
+    if Counter(component.boundaries) != Counter(expected):
+        _fail(f"hierarchy '{component.name}' recorded boundary multiset "
+              f"diverges from its node spans")
+
+
+# ---------------------------------------------------------------------------
+# global order
+# ---------------------------------------------------------------------------
+
+
+def _check_order_keys(goddag: "KyGoddag") -> None:
+    previous = -1
+    for node in goddag.iter_nodes():
+        fresh = goddag._compute_order_key(node)
+        if node._okey is not None and node._okey != fresh:
+            _fail(f"stale cached order key on {node!r}: cached "
+                  f"{node._okey}, recomputed {fresh}")
+        if fresh <= previous:
+            _fail(f"document order regressed at {node!r} "
+                  f"(key {fresh} after {previous})")
+        previous = fresh
+
+
+# ---------------------------------------------------------------------------
+# partition
+# ---------------------------------------------------------------------------
+
+
+def _check_partition(goddag: "KyGoddag") -> None:
+    partition = goddag.partition
+    length = len(goddag.text)
+    if partition.length != length:
+        _fail(f"partition length {partition.length} diverges from the "
+              f"text length {length}")
+    expected = Counter({0: 1, length: 1})
+    for name in goddag.hierarchy_names:
+        expected.update(goddag._components[name].boundaries)
+    if +partition._refcounts != +expected:
+        _fail("partition boundary refcounts diverge from the registered "
+              "hierarchy boundaries")
+    bounds = partition.boundaries
+    if bounds != sorted(set(bounds)) or bounds != sorted(expected):
+        _fail("partition boundary list is not the sorted distinct "
+              "offset set")
+    array = partition.boundary_array
+    if len(array) != len(bounds) or not bool((array == np.fromiter(
+            bounds, dtype=np.int64, count=len(bounds))).all()):
+        _fail("partition boundary array diverges from the boundary list")
+    leaves = partition.leaves()
+    spans = partition.leaf_spans()
+    if [(leaf.start, leaf.end) for leaf in leaves] != spans:
+        _fail("partition leaf list diverges from the boundary spans")
+    cursor = 0
+    for start, end in spans:
+        if start != cursor or end <= start:
+            _fail(f"partition leaves do not tile the text at {cursor}")
+        cursor = end
+    if spans and cursor != length:
+        _fail(f"partition leaves stop at {cursor} of {length}")
+
+
+# ---------------------------------------------------------------------------
+# span index
+# ---------------------------------------------------------------------------
+
+
+def _check_span_index(goddag: "KyGoddag") -> None:
+    index = goddag._index
+    if index is None:
+        return
+    expected_count = 1 + sum(
+        1 for name in goddag.hierarchy_names
+        for node in goddag._components[name].nodes
+        if isinstance(node, (GElement, GText)))
+    if len(index) != expected_count:
+        _fail(f"span index holds {len(index)} entries, expected "
+              f"{expected_count}")
+    for side, keys in (("start", index._s_keys), ("end", index._e_keys)):
+        if len(keys) and bool((np.diff(keys) < 0).any()):
+            _fail(f"span index {side}-sorted keys are out of order")
+    for position in range(len(index.nodes)):
+        node = index.nodes[position]
+        rank = (-1 if node is goddag.root
+                else goddag.hierarchy_rank(node.hierarchy))
+        if (index.starts[position] != node.start
+                or index.ends[position] != node.end
+                or index.ranks[position] != rank
+                or index._names[position] != node.name
+                or index.preorders[position] != getattr(
+                    node, "preorder", -1)
+                or index.subtree_ends[position] != getattr(
+                    node, "subtree_end", -1)):
+            _fail(f"span index start-side entry {position} is stale "
+                  f"for {node!r}")
+    for position in range(len(index.e_nodes)):
+        node = index.e_nodes[position]
+        rank = (-1 if node is goddag.root
+                else goddag.hierarchy_rank(node.hierarchy))
+        if (index.e_starts[position] != node.start
+                or index.ends_sorted[position] != node.end
+                or index.e_ranks[position] != rank
+                or index._e_names[position] != node.name):
+            _fail(f"span index end-side entry {position} is stale "
+                  f"for {node!r}")

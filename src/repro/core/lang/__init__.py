@@ -16,7 +16,13 @@ path expressions (rejecting FLWOR and constructors) for callers that
 want a pure path language.
 """
 
-from repro.core.lang.parser import parse_query, parse_xpath
+from repro.core.lang.parser import (
+    parse_query,
+    parse_statement,
+    parse_update,
+    parse_xpath,
+)
 from repro.core.lang import ast
 
-__all__ = ["parse_query", "parse_xpath", "ast"]
+__all__ = ["parse_query", "parse_statement", "parse_update",
+           "parse_xpath", "ast"]

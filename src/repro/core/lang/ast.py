@@ -16,6 +16,8 @@ Expr = Union[
     "UnionExpr", "IntersectExceptExpr", "PathExpr", "FilterExpr",
     "FunctionCall", "IfExpr", "FLWORExpr", "QuantifiedExpr",
     "ElementConstructor", "AttributeValue",
+    "InsertExpr", "DeleteExpr", "ReplaceValueExpr", "RenameExpr",
+    "AddMarkupExpr", "RemoveMarkupExpr",
 ]
 
 
@@ -267,6 +269,107 @@ class QuantifiedExpr:
 
 
 # ---------------------------------------------------------------------------
+# updating expressions (DESIGN.md §9)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InsertExpr:
+    """``insert node Source (as first|as last)? into|before|after Target``.
+
+    ``location`` is one of ``"into"`` (an alias of ``"into-last"``),
+    ``"into-first"``, ``"into-last"``, ``"before"``, ``"after"``.
+    """
+
+    source: Expr
+    location: str
+    target: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class DeleteExpr:
+    """``delete node Target`` — remove element(s) *and* their content."""
+
+    target: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class ReplaceValueExpr:
+    """``replace value of node Target with Expr``."""
+
+    target: Expr
+    value: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class RenameExpr:
+    """``rename node Target as Expr``."""
+
+    target: Expr
+    name: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class AddMarkupExpr:
+    """``add markup NAME to "hierarchy" covering Target``.
+
+    The multihierarchy-specific promotion: wrap the text span covered
+    by the target node set in a new element of the named concurrent
+    hierarchy.
+    """
+
+    name: str
+    hierarchy: str
+    target: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class RemoveMarkupExpr:
+    """``remove markup Target`` — unwrap element(s), keeping content.
+
+    The demotion dual of :class:`AddMarkupExpr`: the element disappears
+    from its hierarchy, its children are spliced into its parent, and
+    the base text is untouched.
+    """
+
+    target: Expr
+    offset: int = 0
+
+
+#: Every updating AST node type (used by static updating-ness checks).
+UPDATE_NODES = (InsertExpr, DeleteExpr, ReplaceValueExpr, RenameExpr,
+                AddMarkupExpr, RemoveMarkupExpr)
+
+
+def update_children(expr: "Expr") -> list:
+    """The child expressions of one updating AST node.
+
+    The single source of truth shared by :func:`walk` and the parser's
+    nesting checks (``rewrite._map_children`` must stay separate — it
+    reconstructs nodes field by field).
+    """
+    if isinstance(expr, InsertExpr):
+        return [expr.source, expr.target]
+    if isinstance(expr, ReplaceValueExpr):
+        return [expr.target, expr.value]
+    if isinstance(expr, RenameExpr):
+        return [expr.target, expr.name]
+    if isinstance(expr, (DeleteExpr, RemoveMarkupExpr, AddMarkupExpr)):
+        return [expr.target]
+    raise TypeError(f"{type(expr).__name__} is not an updating expression")
+
+
+def contains_update(expr: "Expr") -> bool:
+    """True when any sub-expression is an updating expression."""
+    return any(isinstance(node, UPDATE_NODES) for node in walk(expr))
+
+
+# ---------------------------------------------------------------------------
 # direct constructors
 # ---------------------------------------------------------------------------
 
@@ -339,5 +442,7 @@ def walk(expr: Expr):
         for _name, value in expr.attributes:
             children.extend(p for p in value.parts if not isinstance(p, str))
         children.extend(c for c in expr.content if not isinstance(c, str))
+    elif isinstance(expr, UPDATE_NODES):
+        children = update_children(expr)
     for child in children:
         yield from walk(child)

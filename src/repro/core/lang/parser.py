@@ -34,12 +34,102 @@ _GENERAL_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
 _VALUE_COMPARISONS = {"eq", "ne", "lt", "le", "gt", "ge"}
 
 
-def parse_query(text: str) -> ast.Expr:
-    """Parse the full extended XQuery language."""
+def parse_statement(text: str) -> ast.Expr:
+    """Parse the full extended language, updating expressions included."""
     parser = _Parser(text)
     expr = parser.parse_expr()
     parser.expect_eof()
     return expr
+
+
+def parse_query(text: str) -> ast.Expr:
+    """Parse the full extended XQuery language (queries only).
+
+    Updating expressions (``insert node`` …, DESIGN.md §9) are rejected:
+    a query must be side-effect free.  Use :func:`parse_update` for
+    update statements.
+    """
+    expr = parse_statement(text)
+    for node in ast.walk(expr):
+        if isinstance(node, ast.UPDATE_NODES):
+            raise QuerySyntaxError(
+                f"{type(node).__name__} is an updating expression and is "
+                "not allowed in a query (use the update API)")
+    return expr
+
+
+def parse_update(text: str) -> ast.Expr:
+    """Parse an update statement and check its updating-expression shape.
+
+    The result must *be* updating — an update primitive, or a comma
+    sequence / FLWOR / conditional whose tail positions are updating —
+    and update primitives may appear only in those statement positions
+    (never inside a predicate, function argument, or clause).
+    """
+    expr = parse_statement(text)
+    if not ast.contains_update(expr):
+        raise QuerySyntaxError(
+            "not an update statement: no updating expression found "
+            "(expected insert/delete/replace/rename/add markup/"
+            "remove markup)")
+    _check_update_positions(expr)
+    return expr
+
+
+def _check_update_positions(expr: ast.Expr) -> None:
+    """Enforce the statement-position rule for update primitives.
+
+    Updating expressions may appear only at the top level, as operands
+    of a top-level comma sequence, in the branches of a conditional, or
+    in the ``return`` of a FLWOR — mirroring the XQuery Update Facility
+    split between updating and simple expressions.  Called only on
+    subtrees in statement position; everything else goes through
+    :func:`_require_simple`.
+    """
+    if isinstance(expr, ast.UPDATE_NODES):
+        for child in ast.update_children(expr):
+            _require_simple(child)
+        return
+    if not ast.contains_update(expr):
+        return
+    if isinstance(expr, ast.SequenceExpr):
+        for item in expr.items:
+            _check_update_positions(item)
+        return
+    if isinstance(expr, ast.IfExpr):
+        _require_simple(expr.condition)
+        _check_update_positions(expr.then)
+        _check_update_positions(expr.otherwise)
+        return
+    if isinstance(expr, ast.FLWORExpr):
+        for clause in expr.clauses:
+            for sub in _clause_expressions(clause):
+                _require_simple(sub)
+        _check_update_positions(expr.return_expr)
+        return
+    # Any other construct containing an update primitive is malformed.
+    raise QuerySyntaxError(
+        f"updating expressions may not appear inside a "
+        f"{type(expr).__name__}")
+
+
+def _clause_expressions(clause) -> list:
+    if isinstance(clause, ast.ForClause):
+        return [clause.sequence]
+    if isinstance(clause, ast.LetClause):
+        return [clause.expression]
+    if isinstance(clause, ast.WhereClause):
+        return [clause.condition]
+    if isinstance(clause, ast.OrderByClause):
+        return [spec.key for spec in clause.specs]
+    return []  # pragma: no cover - parser guarantees clause types
+
+
+def _require_simple(expr: ast.Expr) -> None:
+    if ast.contains_update(expr):
+        raise QuerySyntaxError(
+            "an updating expression may not be nested inside a target, "
+            "source, value, or clause expression")
 
 
 def parse_xpath(text: str) -> ast.Expr:
@@ -126,7 +216,99 @@ class _Parser:
                 return self._parse_quantified()
             if token.value == "if" and follower.is_symbol("("):
                 return self._parse_if()
+            # Updating expressions: the two-keyword heads can never
+            # begin an ordinary expression (two adjacent names are not
+            # valid XPath), so the lookahead is unambiguous.
+            if token.value == "insert" and follower.is_name("node"):
+                return self._parse_insert()
+            if token.value == "delete" and follower.is_name("node"):
+                return self._parse_delete()
+            if token.value == "replace" and follower.is_name("value"):
+                return self._parse_replace_value()
+            if token.value == "rename" and follower.is_name("node"):
+                return self._parse_rename()
+            if token.value == "add" and follower.is_name("markup"):
+                return self._parse_add_markup()
+            if token.value == "remove" and follower.is_name("markup"):
+                return self._parse_remove_markup()
         return self._parse_or()
+
+    # -- updating expressions -------------------------------------------------
+
+    def _parse_insert(self) -> ast.InsertExpr:
+        token = self._next()  # 'insert'
+        self._next()          # 'node'
+        source = self.parse_expr_single()
+        if self._accept_name("as"):
+            if self._accept_name("first"):
+                location = "into-first"
+            elif self._accept_name("last"):
+                location = "into-last"
+            else:
+                raise self._error("expected 'first' or 'last' after 'as'")
+            if not self._accept_name("into"):
+                raise self._error("expected 'into' after 'as first/last'")
+        elif self._accept_name("into"):
+            location = "into"
+        elif self._accept_name("before"):
+            location = "before"
+        elif self._accept_name("after"):
+            location = "after"
+        else:
+            raise self._error(
+                "expected 'into', 'before' or 'after' in insert expression")
+        target = self.parse_expr_single()
+        return ast.InsertExpr(source, location, target, offset=token.start)
+
+    def _parse_delete(self) -> ast.DeleteExpr:
+        token = self._next()  # 'delete'
+        self._next()          # 'node'
+        return ast.DeleteExpr(self.parse_expr_single(), offset=token.start)
+
+    def _parse_replace_value(self) -> ast.ReplaceValueExpr:
+        token = self._next()  # 'replace'
+        self._next()          # 'value'
+        if not self._accept_name("of"):
+            raise self._error("expected 'of' after 'replace value'")
+        if not self._accept_name("node"):
+            raise self._error("expected 'node' after 'replace value of'")
+        target = self.parse_expr_single()
+        if not self._accept_name("with"):
+            raise self._error("expected 'with' in replace expression")
+        return ast.ReplaceValueExpr(target, self.parse_expr_single(),
+                                    offset=token.start)
+
+    def _parse_rename(self) -> ast.RenameExpr:
+        token = self._next()  # 'rename'
+        self._next()          # 'node'
+        target = self.parse_expr_single()
+        if not self._accept_name("as"):
+            raise self._error("expected 'as' in rename expression")
+        return ast.RenameExpr(target, self.parse_expr_single(),
+                              offset=token.start)
+
+    def _parse_add_markup(self) -> ast.AddMarkupExpr:
+        token = self._next()  # 'add'
+        self._next()          # 'markup'
+        name = self._expect_name_token("an element name").value
+        if not self._accept_name("to"):
+            raise self._error("expected 'to' in add markup expression")
+        hierarchy_token = self._peek()
+        if hierarchy_token.kind != STRING:
+            raise self._error("expected a hierarchy name string after 'to'",
+                              hierarchy_token)
+        self._next()
+        if not self._accept_name("covering"):
+            raise self._error("expected 'covering' in add markup expression")
+        return ast.AddMarkupExpr(name, hierarchy_token.value,
+                                 self.parse_expr_single(),
+                                 offset=token.start)
+
+    def _parse_remove_markup(self) -> ast.RemoveMarkupExpr:
+        token = self._next()  # 'remove'
+        self._next()          # 'markup'
+        return ast.RemoveMarkupExpr(self.parse_expr_single(),
+                                    offset=token.start)
 
     # -- FLWOR ----------------------------------------------------------------
 

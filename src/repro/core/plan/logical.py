@@ -314,6 +314,30 @@ class ConstructOp(Plan):
         return f"construct <{self.name}>"
 
 
+@dataclass
+class UpdatePrimOp(Plan):
+    """One update primitive: evaluate child plans against the pre-state
+    snapshot, emit pending-update entries (DESIGN.md §9).
+
+    ``kind`` is one of ``insert``, ``delete``, ``replace-value``,
+    ``rename``, ``add-markup``, ``remove-markup``; ``args`` are the
+    named child plans in evaluation order (targets, sources, values);
+    ``detail`` carries static payload (insert location, add-markup
+    name/hierarchy) for the explain rendering.
+    """
+
+    kind: str
+    args: list[tuple[str, Plan]]
+    detail: str = ""
+    #: static payload consumed by the physical compiler (insert
+    #: location, add-markup element name and hierarchy)
+    payload: dict = field(default_factory=dict)
+
+    def _label(self) -> str:
+        suffix = f" [{self.detail}]" if self.detail else ""
+        return f"update {self.kind}{suffix}"
+
+
 # ---------------------------------------------------------------------------
 # explain rendering
 # ---------------------------------------------------------------------------
@@ -378,6 +402,8 @@ def _children(plan: Plan) -> list[Plan]:
             out.extend(p for p in parts if isinstance(p, Plan))
         out.extend(p for p in plan.content if isinstance(p, Plan))
         return out
+    if isinstance(plan, UpdatePrimOp):
+        return [p for _name, p in plan.args]
     return []
 
 

@@ -480,6 +480,128 @@ def _compile_construct(op: L.ConstructOp) -> Runner:
     return run
 
 
+def _compile_update(op: L.UpdatePrimOp) -> Runner:
+    """Update primitives: evaluate targets/sources against the pre-state
+    and emit :mod:`repro.core.update.pul` records as the result items.
+
+    Snapshot semantics fall out of the architecture: nothing mutates
+    during evaluation, so every child plan sees the untouched document.
+    """
+    from repro.core.runtime.evaluator import copy_dom, copy_gnode
+    from repro.core.update import pul
+
+    arg_fns = {name: compile_plan(plan) for name, plan in op.args}
+    kind = op.kind
+    payload = op.payload
+
+    def target_elements(frame: Frame) -> list[GElement]:
+        out: list[GElement] = []
+        for item in arg_fns["target"](frame):
+            if not isinstance(item, GElement):
+                shown = getattr(item, "kind", type(item).__name__)
+                raise QueryEvaluationError(
+                    f"{kind} target must be element nodes; got {shown}")
+            if frame.goddag.is_temporary(item.hierarchy):
+                raise QueryEvaluationError(
+                    f"{kind} cannot target a node of the temporary "
+                    f"hierarchy '{item.hierarchy}'")
+            out.append(item)
+        return out
+
+    def joined_string(frame: Frame, name: str) -> str:
+        return " ".join(values.string_value(values.atomize(item))
+                        for item in arg_fns[name](frame))
+
+    if kind == "rename":
+        def run(frame: Frame) -> list:
+            name = pul.require_xml_name(joined_string(frame, "name"),
+                                        "rename target name")
+            return [pul.RenamePrim(node, name)
+                    for node in target_elements(frame)]
+        return run
+
+    if kind == "replace-value":
+        def run(frame: Frame) -> list:
+            value = joined_string(frame, "value")
+            return [pul.ReplaceValuePrim(node, value)
+                    for node in target_elements(frame)]
+        return run
+
+    if kind == "delete":
+        def run(frame: Frame) -> list:
+            return [pul.DeletePrim(node)
+                    for node in target_elements(frame)]
+        return run
+
+    if kind == "remove-markup":
+        def run(frame: Frame) -> list:
+            return [pul.RemoveMarkupPrim(node)
+                    for node in target_elements(frame)]
+        return run
+
+    if kind == "insert":
+        location = payload["location"]
+        if location == "into":
+            location = "into-last"
+
+        def run(frame: Frame) -> list:
+            targets = target_elements(frame)
+            if len(targets) != 1:
+                # Mirrors XQuery Update's err:XUDY0027: a vanished or
+                # multi-node insert anchor must not silently no-op.
+                raise QueryEvaluationError(
+                    f"insert target must be exactly one element; got "
+                    f"{len(targets)}")
+            fragment: list = []
+            for item in arg_fns["source"](frame):
+                if isinstance(item, GNode):
+                    fragment.append(copy_gnode(item))
+                elif isinstance(item, dom.Node):
+                    fragment.append(copy_dom(item))
+                else:
+                    fragment.append(dom.Text(
+                        values.string_value(values.atomize(item))))
+            if not fragment:
+                return []
+            text = "".join(node.text_content() for node in fragment)
+            return [pul.InsertPrim(targets[0], location, fragment, text)]
+        return run
+
+    if kind == "add-markup":
+        element_name = payload["name"]
+        hierarchy = payload["hierarchy"]
+
+        def run(frame: Frame) -> list:
+            goddag = frame.goddag
+            if not goddag.has_hierarchy(hierarchy) \
+                    or goddag.is_temporary(hierarchy):
+                raise QueryEvaluationError(
+                    f"add markup: no persistent hierarchy named "
+                    f"'{hierarchy}'")
+            pul.require_xml_name(element_name, "add markup element name")
+            spans: list[tuple[int, int]] = []
+            for item in arg_fns["target"](frame):
+                if not isinstance(item, GNode):
+                    raise QueryEvaluationError(
+                        "add markup target must be nodes; got "
+                        f"{type(item).__name__}")
+                if (item.hierarchy is not None
+                        and goddag.is_temporary(item.hierarchy)):
+                    raise QueryEvaluationError(
+                        "add markup cannot cover temporary-hierarchy "
+                        "nodes")
+                spans.append((item.start, item.end))
+            if not spans:
+                return []
+            start = min(span[0] for span in spans)
+            end = max(span[1] for span in spans)
+            return [pul.AddMarkupPrim(hierarchy, element_name, start, end)]
+        return run
+
+    raise TypeError(  # pragma: no cover - planner kinds are exhaustive
+        f"no physical compiler for update kind {kind!r}")
+
+
 # ---------------------------------------------------------------------------
 # predicates, filters
 # ---------------------------------------------------------------------------
@@ -1265,6 +1387,7 @@ _COMPILERS = {
     L.QuantOp: _compile_quant,
     L.FuncOp: _compile_func,
     L.ConstructOp: _compile_construct,
+    L.UpdatePrimOp: _compile_update,
     L.FilterOp: _compile_filter,
     L.PathOp: _compile_path,
     L.FLWOROp: _compile_flwor,

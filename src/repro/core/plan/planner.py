@@ -99,6 +99,8 @@ def _plan(expr: ast.Expr, ordered: bool, notes: list[str]) -> L.Plan:
         args_ordered = expr.name not in _ORDER_INSENSITIVE_FUNCTIONS
         return L.FuncOp(expr.name, [_plan(a, args_ordered, notes)
                                     for a in expr.args])
+    if isinstance(expr, ast.UPDATE_NODES):
+        return _plan_update(expr, notes)
     if isinstance(expr, ast.ElementConstructor):
         attributes = [
             (name, [part if isinstance(part, str)
@@ -110,6 +112,41 @@ def _plan(expr: ast.Expr, ordered: bool, notes: list[str]) -> L.Plan:
                    for piece in expr.content]
         return L.ConstructOp(expr.name, attributes, content)
     raise TypeError(f"no planner for {type(expr).__name__}")
+
+
+def _plan_update(expr: ast.Expr, notes: list[str]) -> L.UpdatePrimOp:
+    """Updating expressions: targets/sources are ordinary (ordered)
+    sub-plans; the operator emits pending-update primitives."""
+    if isinstance(expr, ast.InsertExpr):
+        return L.UpdatePrimOp("insert", [
+            ("source", _plan(expr.source, True, notes)),
+            ("target", _plan(expr.target, True, notes)),
+        ], detail=expr.location, payload={"location": expr.location})
+    if isinstance(expr, ast.DeleteExpr):
+        return L.UpdatePrimOp("delete", [
+            ("target", _plan(expr.target, True, notes)),
+        ])
+    if isinstance(expr, ast.ReplaceValueExpr):
+        return L.UpdatePrimOp("replace-value", [
+            ("target", _plan(expr.target, True, notes)),
+            ("value", _plan(expr.value, True, notes)),
+        ])
+    if isinstance(expr, ast.RenameExpr):
+        return L.UpdatePrimOp("rename", [
+            ("target", _plan(expr.target, True, notes)),
+            ("name", _plan(expr.name, True, notes)),
+        ])
+    if isinstance(expr, ast.AddMarkupExpr):
+        return L.UpdatePrimOp("add-markup", [
+            ("target", _plan(expr.target, True, notes)),
+        ], detail=f"{expr.name} to '{expr.hierarchy}'",
+            payload={"name": expr.name, "hierarchy": expr.hierarchy})
+    if isinstance(expr, ast.RemoveMarkupExpr):
+        return L.UpdatePrimOp("remove-markup", [
+            ("target", _plan(expr.target, True, notes)),
+        ])
+    raise TypeError(  # pragma: no cover - UPDATE_NODES is exhaustive
+        f"no update planner for {type(expr).__name__}")
 
 
 # ---------------------------------------------------------------------------

@@ -130,6 +130,15 @@ def _map_children(expr: ast.Expr, fn) -> ast.Expr:
         content = tuple(piece if isinstance(piece, str) else fn(piece)
                         for piece in expr.content)
         return replace(expr, attributes=attributes, content=content)
+    if isinstance(expr, ast.InsertExpr):
+        return replace(expr, source=fn(expr.source), target=fn(expr.target))
+    if isinstance(expr, (ast.DeleteExpr, ast.RemoveMarkupExpr,
+                         ast.AddMarkupExpr)):
+        return replace(expr, target=fn(expr.target))
+    if isinstance(expr, ast.ReplaceValueExpr):
+        return replace(expr, target=fn(expr.target), value=fn(expr.value))
+    if isinstance(expr, ast.RenameExpr):
+        return replace(expr, target=fn(expr.target), name=fn(expr.name))
     return expr  # leaf: Literal, VarRef, ContextItem
 
 

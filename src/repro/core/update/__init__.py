@@ -1,0 +1,52 @@
+"""Transactional multihierarchy updates (DESIGN.md §9).
+
+The update engine in three stages:
+
+1. :mod:`~repro.core.update.compile` — XQuery-Update-flavored
+   statements (``insert node``, ``delete node``, ``replace value of``,
+   ``rename``, plus the hierarchy-aware ``add markup`` /
+   ``remove markup``) compile through the shared query pipeline into
+   closures that *evaluate* targets against the pre-state and emit
+   primitives;
+2. :mod:`~repro.core.update.pul` — the pending update list: snapshot
+   semantics, deterministic application order, conflict detection;
+3. :mod:`~repro.core.update.apply` — atomic application: in-place DOM
+   surgery, disjoint base-text splices propagated through every
+   aligned hierarchy, and incremental KyGODDAG patching (partition
+   boundary splicing, span-index component surgery, in-place renames)
+   — never a from-scratch rebuild.
+
+:mod:`~repro.core.update.oracle` hosts the naive re-parse/rebuild
+reference used by the differential fuzzer and the throughput
+benchmarks.
+"""
+
+from repro.core.update.apply import UpdateApplyStats, apply_pending
+from repro.core.update.compile import CompiledUpdate, compile_update
+from repro.core.update.oracle import RebuildOracle
+from repro.core.update.pul import (
+    AddMarkupPrim,
+    DeletePrim,
+    InsertPrim,
+    PendingUpdateList,
+    RemoveMarkupPrim,
+    RenamePrim,
+    ReplaceValuePrim,
+    UpdatePrimitive,
+)
+
+__all__ = [
+    "AddMarkupPrim",
+    "CompiledUpdate",
+    "DeletePrim",
+    "InsertPrim",
+    "PendingUpdateList",
+    "RebuildOracle",
+    "RemoveMarkupPrim",
+    "RenamePrim",
+    "ReplaceValuePrim",
+    "UpdateApplyStats",
+    "UpdatePrimitive",
+    "apply_pending",
+    "compile_update",
+]

@@ -1,0 +1,67 @@
+"""The naive re-parse/rebuild oracle for differential update testing.
+
+A :class:`RebuildOracle` keeps a document only as its *serialized* form
+(base text + one XML string per hierarchy).  Every update re-parses the
+strings, rebuilds a fresh KyGODDAG, applies the statement, and
+re-serializes — the slowest correct implementation imaginable, and
+deliberately so: the update fuzzer compares the incremental engine
+(one live KyGODDAG patched across the whole statement sequence)
+against this oracle after every step, byte-for-byte on serialization
+and item-for-item on a probe query set.  Because the oracle's state
+round-trips through XML text at every step, any divergence between the
+engine's in-place DOM/index/partition surgery and a from-scratch build
+shows up immediately.
+
+The same class doubles as the rebuild-per-update baseline of
+``benchmarks/test_update_throughput.py``.
+"""
+
+from __future__ import annotations
+
+from repro.cmh import MultihierarchicalDocument
+from repro.core.goddag import KyGoddag
+from repro.core.update.apply import apply_pending
+from repro.core.update.compile import compile_update
+
+
+class RebuildOracle:
+    """Serialized-state document with rebuild-per-update semantics."""
+
+    def __init__(self, document: MultihierarchicalDocument) -> None:
+        self.text = document.text
+        self.sources = {name: hierarchy.to_xml()
+                        for name, hierarchy in document.hierarchies.items()}
+
+    # -- state ---------------------------------------------------------------
+
+    def document(self) -> MultihierarchicalDocument:
+        """A fresh document parsed from the serialized state."""
+        return MultihierarchicalDocument.from_xml(self.text,
+                                                  dict(self.sources))
+
+    def goddag(self) -> KyGoddag:
+        """A from-scratch KyGODDAG of the current state."""
+        return KyGoddag.build(self.document())
+
+    # -- updates -------------------------------------------------------------
+
+    def apply(self, statement: str, variables=None) -> None:
+        """Apply one update by full re-parse, rebuild, re-serialize."""
+        document = self.document()
+        goddag = KyGoddag.build(document)
+        goddag.span_index()
+        pending = compile_update(statement).pending(goddag,
+                                                    variables=variables)
+        apply_pending(document, goddag, pending)
+        self.text = document.text
+        self.sources = {name: hierarchy.to_xml()
+                        for name, hierarchy in document.hierarchies.items()}
+
+    # -- probing -------------------------------------------------------------
+
+    def query_strings(self, queries: list[str]) -> list[list[str]]:
+        """Each probe query's per-item serializations, freshly rebuilt."""
+        from repro.api import Engine
+
+        engine = Engine(self.document())
+        return [engine.query(query).strings() for query in queries]

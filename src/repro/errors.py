@@ -101,3 +101,14 @@ class FunctionError(QueryEvaluationError):
 
 class BaselineError(ReproError):
     """A problem in the fragmentation/milestone baseline encoders."""
+
+
+class UpdateError(ReproError):
+    """An update statement cannot be applied (bad target, bad span,
+    improper nesting, unknown hierarchy, …)."""
+
+
+class UpdateConflictError(UpdateError):
+    """Two primitives of one pending update list conflict (duplicate
+    ``rename``/``replace value of`` on one node, overlapping text
+    edits, a target inside a deleted or replaced subtree, …)."""

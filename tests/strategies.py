@@ -59,3 +59,86 @@ def multihierarchical_documents(draw, max_hierarchies: int = 3,
         document.add_hierarchy(
             Hierarchy(f"h{index}", spans.to_document("r")))
     return document
+
+
+# ---------------------------------------------------------------------------
+# update statements (the differential update fuzzer, DESIGN.md §9)
+# ---------------------------------------------------------------------------
+
+#: Update operation shapes the fuzzer draws from.
+UPDATE_OP_KINDS = (
+    "rename", "replace-value", "delete", "remove-markup",
+    "insert", "add-markup", "add-markup-leaves",
+)
+
+#: Safe inside both string literals and constructor content.
+UPDATE_TEXT_ALPHABET = "ab xy"
+
+INSERT_LOCATIONS = ("into", "into-first", "into-last", "before", "after")
+
+
+@st.composite
+def update_ops(draw) -> dict:
+    """One abstract update operation.
+
+    Indices are unbounded draws; :func:`build_update_statement` folds
+    them modulo the live document's element/leaf/hierarchy counts, so
+    the same op dictionary stays meaningful as the document evolves
+    under earlier updates of the sequence.
+    """
+    return {
+        "kind": draw(st.sampled_from(UPDATE_OP_KINDS)),
+        "index": draw(st.integers(min_value=0, max_value=999)),
+        "index2": draw(st.integers(min_value=0, max_value=999)),
+        "name": draw(st.sampled_from(ELEMENT_NAMES + ("note", "mark"))),
+        "text": draw(st.text(alphabet=UPDATE_TEXT_ALPHABET, max_size=6)),
+        "location": draw(st.sampled_from(INSERT_LOCATIONS)),
+        "hierarchy": draw(st.integers(min_value=0, max_value=9)),
+    }
+
+
+def build_update_statement(op: dict, element_count: int, leaf_count: int,
+                           hierarchy_names: list[str]) -> str | None:
+    """Concretize one abstract op against the current document state.
+
+    Returns ``None`` when the op has no valid target (e.g. an element
+    op over a document that currently has no elements).
+    """
+    kind = op["kind"]
+    if kind == "add-markup-leaves":
+        if not leaf_count:
+            return None
+        first = op["index"] % leaf_count + 1
+        last = op["index2"] % leaf_count + 1
+        if last < first:
+            first, last = last, first
+        hierarchy = hierarchy_names[op["hierarchy"]
+                                    % len(hierarchy_names)]
+        return (f"add markup {op['name']} to \"{hierarchy}\" covering "
+                f"/descendant::leaf()[position() >= {first} and "
+                f"position() <= {last}]")
+    if not element_count:
+        return None
+    target = f"(/descendant::*)[{op['index'] % element_count + 1}]"
+    if kind == "rename":
+        return f"rename node {target} as \"{op['name']}\""
+    if kind == "replace-value":
+        return f"replace value of node {target} with \"{op['text']}\""
+    if kind == "delete":
+        return f"delete node {target}"
+    if kind == "remove-markup":
+        return f"remove markup {target}"
+    if kind == "insert":
+        source = (f"<{op['name']}>{op['text']}</{op['name']}>"
+                  if op["text"] else f"<{op['name']}/>")
+        location = op["location"]
+        prefix = {"into": "into", "into-first": "as first into",
+                  "into-last": "as last into", "before": "before",
+                  "after": "after"}[location]
+        return f"insert node {source} {prefix} {target}"
+    if kind == "add-markup":
+        hierarchy = hierarchy_names[op["hierarchy"]
+                                    % len(hierarchy_names)]
+        return (f"add markup {op['name']} to \"{hierarchy}\" "
+                f"covering {target}")
+    raise AssertionError(f"unknown op kind {kind!r}")

@@ -188,6 +188,85 @@ def test_differential_random_documents(document, index, offset):
 
 
 # ---------------------------------------------------------------------------
+# post-mutation differential pack (ISSUE 3)
+# ---------------------------------------------------------------------------
+
+#: Applied in order to the generated corpus before re-running the whole
+#: workload: together they exercise every apply path (in-place rename,
+#: single-hierarchy re-registration, full text rebuild).
+POST_MUTATION_STATEMENTS = [
+    "rename node (/descendant::w)[2] as 'word'",
+    "add markup mark to 'damage' covering (/descendant::w)[4]",
+    "insert node <w>addendum</w> after (/descendant::w)[1]",
+    "replace value of node (/descendant::w)[3] with 'mended'",
+    "remove markup (/descendant::mark)[1]",
+    "delete node (/descendant::w)[5]",
+]
+
+
+@pytest.fixture(scope="module")
+def mutated_engine() -> Engine:
+    """An engine whose plan cache was warmed *before* the mutations.
+
+    Every workload query compiles pre-mutation, so the re-query pass
+    below pins that compiled-plan caches are keyed by document version
+    and never serve pre-mutation state (the stale-plan regression).
+    """
+    config = GeneratorConfig(n_words=120, seed=7, hyphenation_rate=0.35,
+                             damage_rate=0.1, restoration_rate=0.1,
+                             boundary_cross_rate=0.5)
+    engine = Engine(generate_document(config))
+    engine.goddag.span_index()
+    for query in WORKLOAD_QUERIES:
+        try:
+            engine.compile(query)
+        except Exception:  # noqa: BLE001 - some queries only error at runtime
+            pass
+    for statement in POST_MUTATION_STATEMENTS:
+        engine.update(statement, check=True)
+    return engine
+
+
+class TestPostMutationDifferential:
+    """query → update → re-query: the full workload after mutations."""
+
+    @pytest.mark.parametrize("query", WORKLOAD_QUERIES)
+    def test_workload_after_mutations(self, mutated_engine, query):
+        assert_pipeline_matches_oracle(mutated_engine.goddag, query)
+
+    @pytest.mark.parametrize(
+        "query", [spec.query for spec in PAPER_QUERIES],
+        ids=[spec.id for spec in PAPER_QUERIES])
+    def test_paper_queries_after_mutations(self, mutated_engine, query):
+        assert_pipeline_matches_oracle(mutated_engine.goddag, query)
+
+    def test_mutations_visible_through_cached_plans(self, mutated_engine):
+        assert mutated_engine.query("count(//word)").items == [1]
+        assert mutated_engine.query(
+            "count(//w[string(.) = 'mended'])").items == [1]
+        assert mutated_engine.query(
+            "count(//w[string(.) = 'addendum'])").items == [1]
+        assert mutated_engine.query("count(//mark)").items == [0]
+
+    def test_mutated_engine_matches_full_rebuild(self, mutated_engine):
+        rebuilt = Engine(_reserialized_document(mutated_engine.document))
+        for query in ("count(/descendant::*)", "count(//leaf())",
+                      "/descendant::*/string(.)"):
+            assert mutated_engine.query(query).strings() == \
+                rebuilt.query(query).strings()
+
+
+def _reserialized_document(document):
+    """Round-trip the mutated document through its serialized form."""
+    from repro.cmh import MultihierarchicalDocument
+
+    return MultihierarchicalDocument.from_xml(
+        document.text,
+        {name: hierarchy.to_xml()
+         for name, hierarchy in document.hierarchies.items()})
+
+
+# ---------------------------------------------------------------------------
 # explain() golden snapshots
 # ---------------------------------------------------------------------------
 

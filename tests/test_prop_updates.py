@@ -1,0 +1,149 @@
+"""The differential update fuzzer (DESIGN.md §9).
+
+Hypothesis generates a random multihierarchical document and a
+sequence of 1–30 random update statements, applied two ways:
+
+* **incremental engine** — one :class:`~repro.api.Engine` whose live
+  KyGODDAG is patched in place across the whole sequence (partition
+  splices, span-index component surgery, in-place renames);
+* **rebuild oracle** — a :class:`~repro.core.update.RebuildOracle`
+  that keeps only serialized state and re-parses + rebuilds from
+  scratch for every statement.
+
+After every applied statement the two must agree byte-for-byte on the
+serialization of every hierarchy and the base text, item-for-item on a
+probe query set (run against the long-lived incremental goddag vs. a
+freshly rebuilt one), and ``check_invariants()`` must pass on the
+incremental structure.  Statements that fail (conflicts, proper
+overlap, empty targets) must leave both sides untouched — atomicity.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Engine
+from repro.errors import QueryEvaluationError, UpdateError
+from repro.core.update import RebuildOracle
+
+from tests.strategies import (
+    build_update_statement,
+    multihierarchical_documents,
+    update_ops,
+)
+
+#: Probe queries spanning counting, serialization, navigation, and the
+#: extended (overlap) axes — cheap enough to run after every statement.
+PROBE_QUERIES = [
+    "count(/descendant::*)",
+    "count(//leaf())",
+    "/descendant::*/string(.)",
+    "for $n in /descendant::* return name($n)",
+    "/descendant::*[overlapping::w or xdescendant::w]/string(.)",
+]
+
+
+#: Statements applied across *all* fuzz examples — asserted non-zero
+#: afterwards so the suite cannot silently degenerate into testing
+#: only the rejection path.
+_APPLIED_TOTAL = [0]
+
+
+def _serialized_state(engine: Engine) -> tuple[str, dict[str, str]]:
+    document = engine.document
+    return document.text, {name: hierarchy.to_xml()
+                           for name, hierarchy
+                           in document.hierarchies.items()}
+
+
+def _assert_states_match(engine: Engine, oracle: RebuildOracle,
+                         context: str) -> None:
+    text, sources = _serialized_state(engine)
+    assert text == oracle.text, f"base text diverged {context}"
+    assert sources == oracle.sources, f"serialization diverged {context}"
+
+
+def _assert_probes_match(engine: Engine, oracle: RebuildOracle,
+                         context: str) -> None:
+    fresh = oracle.query_strings(PROBE_QUERIES)
+    for query, expected in zip(PROBE_QUERIES, fresh):
+        actual = engine.query(query).strings()
+        assert actual == expected, (
+            f"probe {query!r} diverged {context}: incremental "
+            f"{actual!r} vs rebuilt {expected!r}")
+
+
+@settings(max_examples=200, deadline=None,
+          suppress_health_check=[HealthCheck.data_too_large,
+                                 HealthCheck.too_slow])
+@given(data=st.data())
+def test_update_sequences_match_rebuild_oracle(data):
+    document = data.draw(multihierarchical_documents(max_text=30),
+                         label="document")
+    engine = Engine(document)
+    engine.goddag.span_index()
+    oracle = RebuildOracle(document)
+    steps = data.draw(st.integers(min_value=1, max_value=30),
+                      label="steps")
+    applied = 0
+    for step in range(steps):
+        op = data.draw(update_ops(), label=f"op-{step}")
+        element_count = int(engine.query(
+            "count(/descendant::*)").items[0])
+        leaf_count = int(engine.query("count(//leaf())").items[0])
+        statement = build_update_statement(
+            op, element_count, leaf_count,
+            engine.document.hierarchy_names)
+        if statement is None:
+            continue
+        context = f"after step {step}: {statement!r}"
+        try:
+            engine.update(statement, check=True)
+        except (UpdateError, QueryEvaluationError):
+            # A rejected statement must be fully atomic: nothing may
+            # have leaked into the document, the goddag, or the text.
+            engine.goddag.check_invariants()
+            _assert_states_match(engine, oracle, f"(rejected) {context}")
+            continue
+        applied += 1
+        oracle.apply(statement)
+        _assert_states_match(engine, oracle, context)
+        _assert_probes_match(engine, oracle, context)
+    _APPLIED_TOTAL[0] += applied
+
+
+def test_fuzzer_actually_applied_updates():
+    """Runs after the fuzz test: across all its examples, a healthy
+    share of generated statements must have *applied* (not just been
+    rejected) — a generator regression that conflicts everything would
+    otherwise leave 200 green examples that test nothing."""
+    assert _APPLIED_TOTAL[0] >= 200, (
+        f"only {_APPLIED_TOTAL[0]} statements applied across the whole "
+        f"fuzz run — the statement generator has degenerated")
+
+
+@settings(max_examples=30, deadline=None)
+@given(document=multihierarchical_documents(max_text=25),
+       ops=st.lists(update_ops(), min_size=2, max_size=4))
+def test_multi_primitive_statements_are_atomic(document, ops):
+    """Comma-combined statements: all primitives apply, or none do."""
+    engine = Engine(document)
+    oracle = RebuildOracle(document)
+    element_count = int(engine.query("count(/descendant::*)").items[0])
+    leaf_count = int(engine.query("count(//leaf())").items[0])
+    parts = [build_update_statement(op, element_count, leaf_count,
+                                    engine.document.hierarchy_names)
+             for op in ops]
+    parts = [part for part in parts if part is not None]
+    if not parts:
+        return
+    statement = ", ".join(parts)
+    try:
+        engine.update(statement, check=True)
+    except (UpdateError, QueryEvaluationError):
+        _assert_states_match(engine, oracle, f"(rejected) {statement!r}")
+        return
+    oracle.apply(statement)
+    _assert_states_match(engine, oracle, repr(statement))
+    _assert_probes_match(engine, oracle, repr(statement))
