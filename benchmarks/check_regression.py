@@ -1,0 +1,137 @@
+"""The bench-regression wall: diff fresh bench runs against baselines.
+
+Compares candidate ``BENCH_*.json`` files (a fresh ``emit_bench.py``
+run) against the checked-in baselines and **fails** on regression,
+instead of merely uploading artifacts:
+
+* a *time* metric (any numeric leaf under the ``median_ns…`` trees)
+  regresses when ``candidate > baseline * (1 + tolerance)``;
+* a *ratio* metric (leaves named ``speedup`` — machine-independent,
+  so held to a band of their own) regresses when
+  ``candidate < baseline * (1 - ratio tolerance)``.
+
+Tolerances come from ``--tolerance`` / ``--ratio-tolerance`` or the
+``REPRO_BENCH_WALL_TOLERANCE`` / ``REPRO_BENCH_WALL_RATIO_TOLERANCE``
+environment variables (defaults 0.40 — the 40 % noise band).  Shared
+CI runners differ wildly from the quiet baseline machine in absolute
+speed, so CI sets a loose time band and leans on the ratio wall; the
+defaults are meant for like-for-like machines.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE:CANDIDATE \
+        [BASELINE:CANDIDATE ...] [--tolerance 0.4] \
+        [--ratio-tolerance 0.4]
+
+Exit status 1 when any metric regresses; improvements only report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+#: payload keys that never hold comparable metrics
+_SKIP_KEYS = {"schema", "series", "config"}
+
+
+def iter_metrics(tree, prefix: str = ""):
+    """Yield ``(dotted path, value)`` for every numeric leaf."""
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            if not prefix and key in _SKIP_KEYS:
+                continue
+            yield from iter_metrics(value,
+                                    f"{prefix}.{key}" if prefix else key)
+    elif isinstance(tree, (int, float)) and not isinstance(tree, bool):
+        yield prefix, float(tree)
+
+
+def compare(baseline: dict, candidate: dict, tolerance: float,
+            ratio_tolerance: float) -> tuple[list[str], list[str]]:
+    """``(regressions, notes)`` between two bench payloads."""
+    base = dict(iter_metrics(baseline))
+    cand = dict(iter_metrics(candidate))
+    regressions: list[str] = []
+    notes: list[str] = []
+    for path, reference in sorted(base.items()):
+        observed = cand.get(path)
+        if observed is None:
+            regressions.append(f"{path}: metric missing from candidate")
+            continue
+        is_ratio = path.rsplit(".", 1)[-1] == "speedup"
+        if is_ratio:
+            floor = reference * (1.0 - ratio_tolerance)
+            if observed < floor:
+                regressions.append(
+                    f"{path}: speedup {observed:.2f} fell below "
+                    f"{floor:.2f} (baseline {reference:.2f}, "
+                    f"ratio tolerance {ratio_tolerance:.0%})")
+            else:
+                notes.append(f"{path}: {reference:.2f} -> "
+                             f"{observed:.2f} ok")
+        else:
+            ceiling = reference * (1.0 + tolerance)
+            if observed > ceiling:
+                regressions.append(
+                    f"{path}: {observed:.0f} exceeds {ceiling:.0f} "
+                    f"(baseline {reference:.0f}, tolerance "
+                    f"{tolerance:.0%})")
+            else:
+                change = ((observed / reference - 1.0) * 100
+                          if reference else 0.0)
+                notes.append(f"{path}: {reference:.0f} -> "
+                             f"{observed:.0f} ({change:+.0f}%) ok")
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("pairs", nargs="+", metavar="BASELINE:CANDIDATE",
+                        help="baseline and candidate JSON paths, "
+                             "colon-separated")
+    parser.add_argument("--tolerance", type=float, default=float(
+        os.environ.get("REPRO_BENCH_WALL_TOLERANCE", "0.40")),
+        help="allowed fractional slowdown on time metrics")
+    parser.add_argument("--ratio-tolerance", type=float, default=float(
+        os.environ.get("REPRO_BENCH_WALL_RATIO_TOLERANCE", "0.40")),
+        help="allowed fractional drop on speedup metrics")
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    for pair in args.pairs:
+        baseline_path, _sep, candidate_path = pair.partition(":")
+        if not _sep:
+            parser.error(f"bad pair {pair!r}; want BASELINE:CANDIDATE")
+        try:
+            baseline = json.loads(
+                Path(baseline_path).read_text(encoding="utf-8"))
+            candidate = json.loads(
+                Path(candidate_path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            failures.append(f"{pair}: cannot load payloads: {error}")
+            continue
+        regressions, notes = compare(baseline, candidate,
+                                     args.tolerance,
+                                     args.ratio_tolerance)
+        print(f"== {baseline_path} vs {candidate_path} "
+              f"({len(notes)} ok, {len(regressions)} regressed)")
+        for note in notes:
+            print(f"   {note}")
+        for regression in regressions:
+            print(f"   REGRESSION {regression}")
+        failures.extend(f"{baseline_path}: {regression}"
+                        for regression in regressions)
+    if failures:
+        print(f"\nbench-regression wall: {len(failures)} metric(s) "
+              f"regressed", file=sys.stderr)
+        return 1
+    print("\nbench-regression wall: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

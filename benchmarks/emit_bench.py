@@ -1,20 +1,24 @@
 """Emit the perf-trajectory files ``BENCH_axes.json`` +
-``BENCH_queries.json`` + ``BENCH_updates.json``.
+``BENCH_queries.json`` + ``BENCH_updates.json`` + ``BENCH_store.json``.
 
 Times the headline series — S-AXES (axis evaluation), S-ANALYZE
 (the ``analyze-string`` temporary-hierarchy lifecycle), S-BUILD
 (KyGODDAG + SpanIndex construction) — into ``BENCH_axes.json``, the
 end-to-end §4 query workload (S-QUERIES: legacy evaluator vs the
 compiled pipeline, per query and total) into ``BENCH_queries.json``,
-and the transactional update workload (S-UPDATE: incremental apply vs
-rebuild-per-update, DESIGN.md §9) into ``BENCH_updates.json``; future
-PRs compare against all three (DESIGN.md §7).
+the transactional update workload (S-UPDATE: incremental apply vs
+rebuild-per-update, DESIGN.md §9) into ``BENCH_updates.json``, and the
+store cold-load path (S-STORE: ``.mhxb`` mmap load vs XML re-parse +
+index build, DESIGN.md §10) into ``BENCH_store.json``.  The CI
+bench-regression wall (``benchmarks/check_regression.py``) diffs fresh
+runs against all four checked-in files.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py [--quick] \
         [--out BENCH_axes.json] [--queries-out BENCH_queries.json] \
-        [--updates-out BENCH_updates.json] [--size 6400]
+        [--updates-out BENCH_updates.json] \
+        [--store-out BENCH_store.json] [--size 6400]
 
 ``--quick`` cuts the repeat counts for CI smoke runs; the checked-in
 files are produced by a full run on a quiet machine.
@@ -37,10 +41,19 @@ from repro.core.goddag import KyGoddag, evaluate_axis  # noqa: E402
 from repro.core.runtime import evaluate_query  # noqa: E402
 
 
-def median_ns(function, repeats: int) -> int:
-    """Median wall time of ``function()`` in nanoseconds."""
+def median_ns(function, repeats: int, collect_between: bool = False) -> int:
+    """Median wall time of ``function()`` in nanoseconds.
+
+    ``collect_between`` runs ``gc.collect()`` before each sample
+    (outside the timed window) — for workloads that churn enough
+    objects that one run's garbage would bill the next.
+    """
+    import gc
+
     samples = []
     for _ in range(repeats):
+        if collect_between:
+            gc.collect()
         begin = time.perf_counter_ns()
         function()
         samples.append(time.perf_counter_ns() - begin)
@@ -164,6 +177,61 @@ def bench_updates(size: int, repeats: int) -> dict:
     return out
 
 
+def bench_store(size: int, repeats: int) -> dict:
+    """S-STORE: ``.mhxb`` mmap cold load vs XML re-parse + index build.
+
+    Matches ``benchmarks/test_store_coldload.py``: each sample is a
+    full cold start — open the container, reconstruct (or rebuild) the
+    engine, answer one probe query.
+    """
+    import shutil
+    import tempfile
+
+    from repro.api import Engine, save_mhx
+
+    probe = "count(/descendant::w)"
+    corpus = corpus_at_size(size)
+    engine = Engine(corpus)
+    engine.goddag.span_index()
+    root = Path(tempfile.mkdtemp(prefix="mhxq-bench-store-"))
+    mhx = root / "corpus.mhx"
+    mhxb = root / "corpus.mhxb"
+    save_mhx(corpus, mhx)
+    engine.save_mhxb(mhxb)
+    try:
+        return _bench_store_timed(mhx, mhxb, probe, repeats)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _bench_store_timed(mhx: Path, mhxb: Path, probe: str,
+                       repeats: int) -> dict:
+    from repro.api import Engine, load_mhx
+
+    def cold_mhxb() -> None:
+        Engine.from_mhxb(mhxb).query(probe)
+
+    def cold_xml() -> None:
+        fresh = Engine(load_mhx(mhx))
+        fresh.goddag.span_index()
+        fresh.query(probe)
+
+    cold_mhxb()  # fault the containers into the page cache
+    cold_xml()
+    # cold loads churn ~10^5 objects: collect between samples so one
+    # run's garbage doesn't bill the next, late in a long bench process
+    binary = median_ns(cold_mhxb, repeats, collect_between=True)
+    xml = median_ns(cold_xml, max(repeats // 2, 3),
+                    collect_between=True)
+    return {
+        "cold-load-first-query": {
+            "mhxb-mmap": binary,
+            "xml-reparse-rebuild": xml,
+            "speedup": round(xml / binary, 2),
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(
@@ -172,6 +240,8 @@ def main(argv: list[str] | None = None) -> int:
         Path(__file__).resolve().parent.parent / "BENCH_queries.json"))
     parser.add_argument("--updates-out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_updates.json"))
+    parser.add_argument("--store-out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_store.json"))
     parser.add_argument("--size", type=int, default=SCALING_SIZES[-1])
     parser.add_argument("--quick", action="store_true",
                         help="fewer repeats (CI smoke run)")
@@ -216,6 +286,17 @@ def main(argv: list[str] | None = None) -> int:
     Path(args.updates_out).write_text(
         json.dumps(updates_payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(updates_payload, indent=2, sort_keys=True))
+    store_payload = {
+        "schema": "repro-bench/1",
+        "series": "store-coldload",
+        "config": {"n_words": args.size, "seed": BENCH_SEED,
+                   "repeats": query_repeats,
+                   "python": sys.version.split()[0]},
+        "median_ns_per_coldload": bench_store(args.size, query_repeats),
+    }
+    Path(args.store_out).write_text(
+        json.dumps(store_payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(store_payload, indent=2, sort_keys=True))
     return 0
 
 

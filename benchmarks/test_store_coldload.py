@@ -1,0 +1,102 @@
+"""S-STORE — ``.mhxb`` mmap cold load vs XML re-parse + index build.
+
+The tentpole claim of ISSUE 4 (DESIGN.md §10): loading an engine from
+the binary ``.mhxb`` container — memory-mapped arrays, no XML parse,
+no alignment pass, no sort — reaches the first query result ≥ 5×
+faster than the ``.mhx`` JSON path (XML re-parse + KyGODDAG build +
+span-index construction) on the largest bench corpus.  Both paths must
+agree on the probe results.  Shared CI runners damp the floor through
+``REPRO_BENCH_MIN_COLDLOAD_SPEEDUP``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+import pytest
+
+from repro.api import Engine, load_mhx, save_mhx
+from repro.bench import SCALING_SIZES, corpus_at_size
+
+from conftest import record
+
+LARGEST = SCALING_SIZES[-1]
+
+MIN_COLDLOAD_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_COLDLOAD_SPEEDUP", "5.0"))
+
+#: parity probes: a named-axis count plus an extended-axis touch, so
+#: both the name index and the span index actually serve reads
+PROBES = [
+    "count(/descendant::w)",
+    "count(/descendant::line[overlapping::w])",
+]
+
+#: the timed metric is cold-load **to first query** — one probe; the
+#: full probe list runs in the (untimed) parity test
+FIRST_QUERY = PROBES[0]
+
+
+def median_of(function, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        gc.collect()  # cold loads churn ~10^5 objects; decouple runs
+        begin = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - begin)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+@pytest.fixture(scope="module")
+def containers(tmp_path_factory):
+    root = tmp_path_factory.mktemp("coldload")
+    corpus = corpus_at_size(LARGEST)
+    engine = Engine(corpus)
+    engine.goddag.span_index()
+    mhx = root / "corpus.mhx"
+    mhxb = root / "corpus.mhxb"
+    save_mhx(corpus, mhx)
+    engine.save_mhxb(mhxb)
+    return mhx, mhxb
+
+
+def _cold_mhxb(mhxb, probes=PROBES) -> list[str]:
+    engine = Engine.from_mhxb(mhxb)
+    return [engine.query(probe).serialize() for probe in probes]
+
+
+def _cold_xml(mhx, probes=PROBES) -> list[str]:
+    engine = Engine(load_mhx(mhx))
+    engine.goddag.span_index()
+    return [engine.query(probe).serialize() for probe in probes]
+
+
+def test_cold_paths_agree(containers):
+    mhx, mhxb = containers
+    assert _cold_mhxb(mhxb) == _cold_xml(mhx)
+    restored = Engine.from_mhxb(mhxb)
+    restored.goddag.check_invariants()
+    record("S-STORE parity", "PASS",
+           f"n={LARGEST}: mmap cold load matches XML rebuild on "
+           f"{len(PROBES)} probes")
+
+
+def test_mhxb_coldload_beats_xml_rebuild(containers):
+    mhx, mhxb = containers
+    first = [FIRST_QUERY]
+    _cold_mhxb(mhxb, first)  # fault the file into the page cache
+    _cold_xml(mhx, first)
+    cold_binary = median_of(lambda: _cold_mhxb(mhxb, first), repeats=7)
+    cold_xml = median_of(lambda: _cold_xml(mhx, first), repeats=3)
+    speedup = cold_xml / cold_binary
+    record("S-STORE cold load", "PASS" if speedup >=
+           MIN_COLDLOAD_SPEEDUP else "FAIL",
+           f"n={LARGEST}: xml {cold_xml * 1e3:.0f} ms, "
+           f"mhxb {cold_binary * 1e3:.0f} ms ({speedup:.1f}x)")
+    assert speedup >= MIN_COLDLOAD_SPEEDUP, (
+        f"mhxb cold-load speedup {speedup:.2f}x below the "
+        f"{MIN_COLDLOAD_SPEEDUP}x floor "
+        f"(xml {cold_xml:.3f}s, mhxb {cold_binary:.3f}s)")

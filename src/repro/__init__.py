@@ -23,6 +23,7 @@ Quickstart::
 from repro.api import Engine, QueryResult, UpdateResult, load_mhx, save_mhx
 from repro.core.plan import CompiledQuery, compile_query
 from repro.core.update import CompiledUpdate, compile_update
+from repro.store import DocumentStore, Snapshot
 from repro.cmh import (
     ConcurrentMarkupHierarchy,
     Hierarchy,
@@ -41,8 +42,10 @@ from repro.errors import ReproError
 __version__ = "1.0.0"
 
 __all__ = [
+    "DocumentStore",
     "Engine",
     "QueryResult",
+    "Snapshot",
     "UpdateResult",
     "CompiledQuery",
     "compile_query",

@@ -16,6 +16,7 @@ interchange format for multihierarchical documents.
 from __future__ import annotations
 
 import json
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any
@@ -91,14 +92,66 @@ class Engine:
     def __init__(self, document: MultihierarchicalDocument,
                  options: QueryOptions | None = None,
                  use_pipeline: bool = True) -> None:
-        self.document = document
+        self._document = document
+        self._document_loader = None
         self.options = options or QueryOptions()
         self.goddag = KyGoddag.build(document)
         self.use_pipeline = use_pipeline
         self._plans: OrderedDict[tuple, CompiledQuery] = OrderedDict()
+        self._plans_lock = threading.Lock()
         self._plans_version = self.goddag.version
 
+    @property
+    def document(self) -> MultihierarchicalDocument:
+        """The DOM-side document (materialized lazily after a ``.mhxb``
+        cold load — queries need only the KyGODDAG; updates and
+        serialization fault the DOM in on first use).
+
+        Safe to race on a shared frozen engine: the loader is captured
+        in a local before use, ``_document`` is assigned before the
+        loader is cleared, and a duplicate materialization just wastes
+        work (both results are equivalent).
+        """
+        document = self._document
+        if document is None:
+            loader = self._document_loader
+            if loader is None:
+                return self._document  # another thread just finished
+            document = loader()
+            self._document = document
+            self._document_loader = None
+        return document
+
     # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_parts(cls, goddag: KyGoddag, *,
+                   document: MultihierarchicalDocument | None = None,
+                   document_loader=None,
+                   options: QueryOptions | None = None,
+                   use_pipeline: bool = True) -> "Engine":
+        """Assemble an engine around an already-built KyGODDAG.
+
+        The ``.mhxb`` cold-load and store-fork paths: the goddag was
+        reconstructed (or cloned) elsewhere, so nothing is rebuilt
+        here.  Exactly one of ``document`` / ``document_loader`` must
+        be provided; the loader defers DOM materialization to first
+        access.
+        """
+        if (document is None) == (document_loader is None):
+            raise ReproError(
+                "from_parts needs exactly one of document / "
+                "document_loader")
+        self = cls.__new__(cls)
+        self._document = document
+        self._document_loader = document_loader
+        self.options = options or QueryOptions()
+        self.goddag = goddag
+        self.use_pipeline = use_pipeline
+        self._plans = OrderedDict()
+        self._plans_lock = threading.Lock()
+        self._plans_version = goddag.version
+        return self
 
     @classmethod
     def from_xml(cls, text: str, sources: dict[str, str],
@@ -110,9 +163,24 @@ class Engine:
     @classmethod
     def from_mhx(cls, path: str | Path,
                  options: QueryOptions | None = None) -> "Engine":
-        """Load a ``.mhx`` JSON container."""
+        """Load a ``.mhx`` JSON container (or, routed by extension and
+        content sniffing, a binary ``.mhxb`` container)."""
+        from repro.store.mhxb import looks_like_mhxb
+
+        path = Path(path)
+        if path.suffix == ".mhxb" or looks_like_mhxb(path):
+            return cls.from_mhxb(path, options=options)
         document = load_mhx(path)
         return cls(document, options=options)
+
+    @classmethod
+    def from_mhxb(cls, path: str | Path,
+                  options: QueryOptions | None = None) -> "Engine":
+        """Cold-load a binary ``.mhxb`` container (mmap-backed; no XML
+        re-parse, no index rebuild — DESIGN.md §10)."""
+        from repro.store.mhxb import load_engine
+
+        return load_engine(path, options=options)
 
     # -- queries --------------------------------------------------------------
 
@@ -144,21 +212,34 @@ class Engine:
         warm cache across versions).
         """
         if self._plans_version != self.goddag.version:
-            self._plans.clear()
-            self._plans_version = self.goddag.version
+            with self._plans_lock:
+                if self._plans_version != self.goddag.version:
+                    self._plans.clear()
+                    self._plans_version = self.goddag.version
 
     def _cached_plan(self, mode: str, text: str, factory):
-        """LRU lookup keyed by (mode, text, options), version-synced."""
+        """LRU lookup keyed by (mode, text, options), version-synced.
+
+        The short lock makes the LRU bookkeeping safe for concurrent
+        plain readers sharing a frozen snapshot engine directly
+        (compilation runs outside it; a racing duplicate compile is
+        wasted work, never a wrong result).
+        """
         self._sync_plan_cache()
         key = (mode, text, self.options)
-        cached = self._plans.get(key)
-        if cached is not None:
-            self._plans.move_to_end(key)
-            return cached
+        with self._plans_lock:
+            cached = self._plans.get(key)
+            if cached is not None:
+                self._plans.move_to_end(key)
+                return cached
         compiled = factory()
-        self._plans[key] = compiled
-        if len(self._plans) > PLAN_CACHE_SIZE:
-            self._plans.popitem(last=False)
+        with self._plans_lock:
+            racing = self._plans.get(key)
+            if racing is not None:
+                return racing
+            self._plans[key] = compiled
+            if len(self._plans) > PLAN_CACHE_SIZE:
+                self._plans.popitem(last=False)
         return compiled
 
     def compile(self, text: str, xpath: bool = False) -> CompiledQuery:
@@ -203,18 +284,48 @@ class Engine:
         return apply_pending(self.document, self.goddag, pending,
                              check=check)
 
+    def _evaluate_guarded(self, text: str | None, run):
+        """Run one evaluation under the frozen-snapshot read latch.
+
+        Unfrozen engines (the single-owner case) evaluate directly.  A
+        frozen engine may be shared by concurrent snapshot readers, so
+        plain queries take the latch's shared side and queries that
+        mutate membership (``analyze-string`` temporaries — or a
+        pre-parsed AST whose text is unknown) take the exclusive side
+        (DESIGN.md §10).
+        """
+        latch = self.goddag.read_latch
+        if latch is None:
+            return run()
+        from repro.util.concurrency import needs_exclusive_evaluation
+
+        exclusive = needs_exclusive_evaluation(text)
+        latch.acquire(exclusive)
+        try:
+            return run()
+        finally:
+            latch.release(exclusive)
+
     def execute(self, compiled, variables: dict[str, list] | None = None
                 ) -> QueryResult:
         """Run a :class:`CompiledQuery` (or a pre-parsed legacy AST)."""
         if isinstance(compiled, CompiledQuery):
-            cached = any(plan is compiled
-                         for plan in self._plans.values())
+            with self._plans_lock:
+                cached = any(plan is compiled
+                             for plan in self._plans.values())
             stats = QueryStats(plan_cache_hit=cached)
-            items = compiled.execute(self.goddag, variables=variables,
-                                     options=self.options, stats=stats)
+            items = self._evaluate_guarded(
+                compiled.text,
+                lambda: compiled.execute(self.goddag,
+                                         variables=variables,
+                                         options=self.options,
+                                         stats=stats))
             return QueryResult(items, stats)
-        items = evaluate_query(self.goddag, compiled, variables=variables,
-                               options=self.options)
+        items = self._evaluate_guarded(
+            None,
+            lambda: evaluate_query(self.goddag, compiled,
+                                   variables=variables,
+                                   options=self.options))
         return QueryResult(items)
 
     def _run(self, text: str, variables: dict[str, list] | None,
@@ -222,15 +333,21 @@ class Engine:
         if not self.use_pipeline:
             expr = parse_xpath(text) if xpath else text
             stats = QueryStats()
-            items = evaluate_query(self.goddag, expr, variables=variables,
-                                   options=self.options, stats=stats)
+            items = self._evaluate_guarded(
+                text,
+                lambda: evaluate_query(self.goddag, expr,
+                                       variables=variables,
+                                       options=self.options,
+                                       stats=stats))
             return QueryResult(items, stats)
         self._sync_plan_cache()
         key = ("xpath" if xpath else "query", text, self.options)
         stats = QueryStats(plan_cache_hit=key in self._plans)
         compiled = self.compile(text, xpath=xpath)
-        items = compiled.execute(self.goddag, variables=variables,
-                                 options=self.options, stats=stats)
+        items = self._evaluate_guarded(
+            text,
+            lambda: compiled.execute(self.goddag, variables=variables,
+                                     options=self.options, stats=stats))
         return QueryResult(items, stats)
 
     # -- inspection ----------------------------------------------------------
@@ -250,6 +367,13 @@ class Engine:
     def save_mhx(self, path: str | Path) -> None:
         """Write the document to a ``.mhx`` container."""
         save_mhx(self.document, path)
+
+    def save_mhxb(self, path: str | Path) -> int:
+        """Write the full engine state to a binary ``.mhxb`` container
+        (DESIGN.md §10); returns the file size in bytes."""
+        from repro.store.mhxb import save_engine
+
+        return save_engine(self, path)
 
 
 # ---------------------------------------------------------------------------
@@ -285,6 +409,13 @@ def save_mhx(document: MultihierarchicalDocument,
 
 def load_mhx(path: str | Path) -> MultihierarchicalDocument:
     """Load a multihierarchical document from a ``.mhx`` JSON file."""
+    from repro.store.mhxb import looks_like_mhxb
+
+    if looks_like_mhxb(path):
+        raise ReproError(
+            f"{path} is a binary .mhxb container, not a JSON .mhx file "
+            f"— load it with Engine.from_mhxb (or Engine.from_mhx, "
+            f"which routes by content)")
     try:
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as error:

@@ -17,13 +17,20 @@ built-in Boethius document):
 * ``validate`` — check CMH alignment (and DTDs when bundled);
 * ``fragment`` / ``milestone`` — emit the baseline flat encodings;
 * ``experiments`` — run the paper-vs-measured reproduction report;
-* ``pack`` — bundle a base text + XML encodings into a ``.mhx`` file.
+* ``pack`` — bundle a base text + XML encodings into a ``.mhx`` (or,
+  by extension, a binary ``.mhxb``) container;
+* ``store`` — the concurrent document store (DESIGN.md §10):
+  ``store init/add/get/query/update/compact`` manage a named catalog
+  of ``.mhxb``-persisted documents with MVCC snapshot reads.
 
 Examples::
 
     mhxq query --sample 'count(/descendant::w)'
     mhxq experiments
     mhxq pack out.mhx --text base.txt physical=phys.xml damage=dmg.xml
+    mhxq store init ./catalog
+    mhxq store add ./catalog boethius --sample
+    mhxq store query ./catalog boethius 'count(/descendant::w)'
 """
 
 from __future__ import annotations
@@ -107,20 +114,78 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("experiments",
                    help="run the paper-vs-measured reproduction report")
 
-    p_pack = sub.add_parser("pack", help="bundle encodings into a .mhx")
-    p_pack.add_argument("output", help="output .mhx path")
+    p_pack = sub.add_parser(
+        "pack", help="bundle encodings into a .mhx (or binary .mhxb)")
+    p_pack.add_argument("output",
+                        help="output path (.mhx = JSON, .mhxb = binary)")
     p_pack.add_argument("--text", required=True, metavar="FILE",
                         help="file containing the base text")
     p_pack.add_argument("encodings", nargs="+", metavar="NAME=FILE",
                         help="hierarchy encodings as name=xmlfile")
+
+    p_store = sub.add_parser(
+        "store", help="the concurrent document store (DESIGN.md §10)")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    p_s_init = store_sub.add_parser("init", help="create an empty store")
+    p_s_init.add_argument("store_dir", help="store directory")
+
+    p_s_add = store_sub.add_parser("add", help="register a document")
+    p_s_add.add_argument("store_dir")
+    p_s_add.add_argument("name", help="catalog name for the document")
+    add_document_options(p_s_add)
+
+    p_s_get = store_sub.add_parser(
+        "get", help="show (and optionally export) a stored document")
+    p_s_get.add_argument("store_dir")
+    p_s_get.add_argument("name", nargs="?", default=None,
+                         help="document name (omit to list the catalog)")
+    p_s_get.add_argument("--out", metavar="FILE",
+                         help="export to .mhx (JSON) or .mhxb (binary)")
+
+    p_s_query = store_sub.add_parser(
+        "query", help="query a document's current snapshot")
+    p_s_query.add_argument("store_dir")
+    p_s_query.add_argument("name")
+    p_s_query.add_argument("expression", help="the query text, or @file")
+    p_s_query.add_argument("--mode", choices=("paper", "xquery"),
+                           default="paper")
+
+    p_s_update = store_sub.add_parser(
+        "update", help="apply a transactional update batch")
+    p_s_update.add_argument("store_dir")
+    p_s_update.add_argument("name")
+    p_s_update.add_argument("statements", nargs="+",
+                            help="update statements (each may be @file); "
+                                 "the batch is all-or-nothing")
+    p_s_update.add_argument("--no-check", action="store_true",
+                            help="skip the post-apply invariant checks")
+
+    p_s_compact = store_sub.add_parser(
+        "compact", help="rewrite .mhxb files from the live snapshots")
+    p_s_compact.add_argument("store_dir")
+    p_s_compact.add_argument("name", nargs="?", default=None,
+                             help="document name (omit for all)")
     return parser
+
+
+def _open_engine(args: argparse.Namespace) -> Engine:
+    """An engine for ``--mhx FILE`` (routing ``.mhxb``) or ``--sample``."""
+    if getattr(args, "sample", False):
+        return Engine(boethius_document(validate=False))
+    if getattr(args, "mhx", None):
+        return Engine.from_mhx(args.mhx)
+    raise ReproError("provide --mhx FILE or --sample")
 
 
 def _load_document(args: argparse.Namespace) -> MultihierarchicalDocument:
     if getattr(args, "sample", False):
         return boethius_document(validate=False)
     if getattr(args, "mhx", None):
-        return load_mhx(args.mhx)
+        path = Path(args.mhx)
+        if path.suffix == ".mhxb":
+            return Engine.from_mhxb(path).document
+        return load_mhx(path)
     raise ReproError("provide --mhx FILE or --sample")
 
 
@@ -154,26 +219,32 @@ def _dispatch(args: argparse.Namespace) -> int:
                                  f"expected NAME=FILE")
             sources[name] = Path(path).read_text(encoding="utf-8")
         document = MultihierarchicalDocument.from_xml(text, sources)
-        save_mhx(document, args.output)
-        print(f"wrote {args.output} "
+        if Path(args.output).suffix == ".mhxb":
+            Engine(document).save_mhxb(args.output)
+            kind = "binary .mhxb"
+        else:
+            save_mhx(document, args.output)
+            kind = ".mhx"
+        print(f"wrote {kind} {args.output} "
               f"({len(document)} hierarchies, {len(text)} characters)")
         return 0
+    if command == "store":
+        return _dispatch_store(args)
 
-    document = _load_document(args)
     if command in ("query", "xpath"):
-        engine = Engine(document)
+        engine = _open_engine(args)
         expression = _read_expression(args.expression)
         result = (engine.query(expression) if command == "query"
                   else engine.xpath(expression))
         print(result.serialize(mode=args.mode))
         return 0
     if command == "explain":
-        engine = Engine(document)
+        engine = _open_engine(args)
         expression = _read_expression(args.expression)
         print(engine.explain(expression, xpath=args.xpath))
         return 0
     if command == "update":
-        engine = Engine(document)
+        engine = _open_engine(args)
         statement = _read_expression(args.statement)
         if args.explain:
             print(engine.explain_update(statement))
@@ -187,26 +258,29 @@ def _dispatch(args: argparse.Namespace) -> int:
               f"{len(result.replaced_hierarchies)} hierarchies, "
               f"{result.renamed_in_place} in-place renames")
         if args.out:
-            engine.save_mhx(args.out)
+            if Path(args.out).suffix == ".mhxb":
+                engine.save_mhxb(args.out)
+            else:
+                engine.save_mhx(args.out)
             print(f"wrote {args.out} ({len(engine.document)} hierarchies, "
                   f"{len(engine.document.text)} characters)")
         return 0
     if command == "stats":
-        engine = Engine(document)
-        for label, value in engine.stats().rows():
+        for label, value in _open_engine(args).stats().rows():
             print(f"{label:28} {value}")
         return 0
     if command == "describe":
-        print(Engine(document).describe())
+        print(_open_engine(args).describe())
         return 0
     if command == "render":
-        print(Engine(document).to_dot())
+        print(_open_engine(args).to_dot())
         return 0
     if command == "leaves":
-        engine = Engine(document)
+        engine = _open_engine(args)
         for index, leaf in enumerate(engine.goddag.leaves(), start=1):
             print(f"{index:6} [{leaf.start},{leaf.end}) {leaf.text!r}")
         return 0
+    document = _load_document(args)
     if command == "validate":
         document.verify_alignment()
         if document.cmh is not None:
@@ -222,6 +296,69 @@ def _dispatch(args: argparse.Namespace) -> int:
                                            primary=args.primary)))
         return 0
     raise ReproError(f"unknown command {command!r}")
+
+
+def _dispatch_store(args: argparse.Namespace) -> int:
+    from repro.store import DocumentStore
+
+    command = args.store_command
+    if command == "init":
+        DocumentStore.init(args.store_dir)
+        print(f"initialized empty document store at {args.store_dir}")
+        return 0
+    store = DocumentStore(args.store_dir)
+    if command == "add":
+        if getattr(args, "sample", False):
+            snapshot = store.add(args.name,
+                                 boethius_document(validate=False))
+        elif getattr(args, "mhx", None):
+            snapshot = store.add(args.name, path=args.mhx)
+        else:
+            raise ReproError("provide --mhx FILE or --sample")
+        print(f"added {args.name!r} at version {snapshot.version} "
+              f"({len(snapshot.engine.goddag.hierarchy_names)} "
+              f"hierarchies)")
+        return 0
+    if command == "get":
+        if args.name is None:
+            for name, version, file_name in store.entries():
+                print(f"{name:24} v{version:<6} {file_name}")
+            return 0
+        snapshot = store.snapshot(args.name)
+        goddag = snapshot.engine.goddag
+        print(f"{args.name}: version {snapshot.version}, "
+              f"{len(goddag.hierarchy_names)} hierarchies "
+              f"({', '.join(goddag.hierarchy_names)}), "
+              f"{len(goddag.text)} characters")
+        if args.out:
+            if Path(args.out).suffix == ".mhxb":
+                snapshot.engine.save_mhxb(args.out)
+            else:
+                snapshot.engine.save_mhx(args.out)
+            print(f"exported to {args.out}")
+        return 0
+    if command == "query":
+        expression = _read_expression(args.expression)
+        result = store.query(args.name, expression)
+        print(result.serialize(mode=args.mode))
+        return 0
+    if command == "update":
+        statements = [_read_expression(statement)
+                      for statement in args.statements]
+        results = store.update(args.name, statements,
+                               check=not args.no_check)
+        applied = sum(result.applied for result in results)
+        snapshot = store.snapshot(args.name)
+        print(f"applied {applied} primitives across {len(results)} "
+              f"statements; {args.name!r} now at version "
+              f"{snapshot.version}")
+        return 0
+    if command == "compact":
+        sizes = store.compact(args.name)
+        for name, size in sizes.items():
+            print(f"compacted {name:24} {size:>10} bytes")
+        return 0
+    raise ReproError(f"unknown store command {command!r}")
 
 
 if __name__ == "__main__":  # pragma: no cover

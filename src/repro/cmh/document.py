@@ -163,6 +163,24 @@ class MultihierarchicalDocument:
         for hierarchy in self.hierarchies.values():
             self._align(hierarchy)
 
+    # -- forking -----------------------------------------------------------
+
+    def clone(self) -> "MultihierarchicalDocument":
+        """An independent deep copy sharing only immutable pieces.
+
+        Every hierarchy DOM is cloned node-by-node (text spans survive,
+        so no re-alignment pass is needed); the CMH schema — immutable
+        once parsed — is shared.  This is the copy-on-write fork of the
+        document store's single-writer path (DESIGN.md §10): the writer
+        mutates the clone while readers keep querying the original.
+        """
+        copy = MultihierarchicalDocument(self.text)
+        for name, hierarchy in self.hierarchies.items():
+            copy.hierarchies[name] = Hierarchy(
+                name, hierarchy.document.clone())
+        copy.cmh = self.cmh
+        return copy
+
 
 def _first_divergence(text: str, cursor: int, data: str) -> int:
     """Offset in ``text`` of the first mismatching character."""

@@ -135,6 +135,14 @@ class KyGoddag:
         # rename, base-text change).  Compiled-plan caches key on it so
         # a stale plan can never serve a mutated document (DESIGN.md §9).
         self.version = 0
+        # Frozen structures back published store snapshots: every
+        # persistent mutation raises, so concurrent readers can share
+        # them lock-free (DESIGN.md §10).  Temporary (analyze-string)
+        # hierarchies stay allowed — their add/remove cycle is part of
+        # one evaluation and is serialized by ``read_latch``, which
+        # every evaluation path of a frozen structure goes through.
+        self.frozen = False
+        self.read_latch = None
 
     # ------------------------------------------------------------------
     # construction
@@ -170,8 +178,32 @@ class KyGoddag:
         document = spans.to_document(self.root.root_name)
         self.add_hierarchy_from_dom(name, document, temporary=temporary)
 
+    def adopt_component(self, component: _HierarchyComponent,
+                        top_nodes: list[_HierarchyNode],
+                        root_attributes: dict[str, str]) -> None:
+        """Attach a fully reconstructed hierarchy component.
+
+        The ``.mhxb`` cold-load path (DESIGN.md §10): the caller built
+        the component's node objects straight from persisted arrays —
+        preorder numbers, subtree ends, spans, boundaries and text-node
+        tables already filled — so nothing is re-derived here.  The
+        partition and span index are restored wholesale by the same
+        caller; this only wires the component into the catalog and the
+        shared root.
+        """
+        if component.name in self._components:
+            raise GoddagError(
+                f"duplicate hierarchy name '{component.name}'")
+        self._components[component.name] = component
+        self._next_rank = max(self._next_rank, component.rank + 1)
+        self.root.children_by_hierarchy[component.name] = list(top_nodes)
+        self.root.attributes_by_hierarchy[component.name] = dict(
+            root_attributes)
+
     def _new_component(self, name: str,
                        temporary: bool) -> _HierarchyComponent:
+        if self.frozen and not temporary:
+            self._frozen_violation(f"add hierarchy '{name}'")
         if name in self._components:
             raise GoddagError(f"duplicate hierarchy name '{name}'")
         component = _HierarchyComponent(name, self._next_rank, temporary)
@@ -193,9 +225,12 @@ class KyGoddag:
 
     def remove_hierarchy(self, name: str) -> None:
         """Remove a hierarchy; leaves split only by it coalesce again."""
-        component = self._components.pop(name, None)
+        component = self._components.get(name)
         if component is None:
             raise GoddagError(f"no hierarchy named '{name}'")
+        if self.frozen and not component.temporary:
+            self._frozen_violation(f"remove hierarchy '{name}'")
+        del self._components[name]
         self.partition.remove_boundaries(component.boundaries)
         self.root.children_by_hierarchy.pop(name, None)
         self.root.attributes_by_hierarchy.pop(name, None)
@@ -216,6 +251,54 @@ class KyGoddag:
             self.version += 1
 
     # ------------------------------------------------------------------
+    # snapshot pinning (the document store, DESIGN.md §10)
+    # ------------------------------------------------------------------
+
+    def _frozen_violation(self, what: str) -> None:
+        raise GoddagError(
+            f"cannot {what}: this KyGODDAG is a frozen snapshot — "
+            f"fork the document (DocumentStore.update does) and mutate "
+            f"the fork")
+
+    def freeze(self) -> None:
+        """Pin the structure so concurrent readers can share it lock-free.
+
+        Materializes every lazily built read structure (span index,
+        partition boundary array and leaf list, per-component parallel
+        arrays), marks the numeric arrays read-only, and flips
+        ``frozen``: persistent mutations raise from then on.  Remaining
+        lazy caches (name masks, per-name element indexes, order keys)
+        are idempotent fills — safe to race under the GIL.
+
+        ``read_latch`` serializes the one mutating query construct
+        (``analyze-string`` temporaries) against plain readers: every
+        evaluation path over a frozen KyGODDAG — snapshot queries and
+        direct :class:`~repro.api.Engine` calls alike — acquires it.
+        """
+        from repro.util.concurrency import ReadWriteLatch
+
+        index = self.span_index()
+        index.freeze()
+        self.partition.freeze()
+        for component in self._components.values():
+            component.node_arrays()
+        if self.read_latch is None:
+            self.read_latch = ReadWriteLatch()
+        self.frozen = True
+
+    def thaw(self) -> None:
+        """Re-allow mutation.
+
+        For callers that want to mutate a frozen (e.g. cold-loaded)
+        structure *they exclusively own* in place; the store never
+        thaws a published snapshot — it forks instead.  Arrays that
+        were marked read-only are replaced wholesale by the mutation
+        paths, never written in place, so no unlocking is needed.
+        """
+        self.frozen = False
+        self.read_latch = None
+
+    # ------------------------------------------------------------------
     # mutation (the transactional update engine, DESIGN.md §9)
     # ------------------------------------------------------------------
 
@@ -227,6 +310,8 @@ class KyGoddag:
         component's per-name element index and the span index's name
         arrays.
         """
+        if self.frozen:
+            self._frozen_violation(f"rename element <{node.name}>")
         component = self._components.get(node.hierarchy)
         if component is None or node.preorder < 0 \
                 or node.preorder >= len(component.nodes) \
@@ -249,6 +334,8 @@ class KyGoddag:
         survive untouched.  The base text must be unchanged; use
         :meth:`rebuild_hierarchies` when it is not.
         """
+        if self.frozen:
+            self._frozen_violation(f"replace hierarchy '{name}'")
         component = self._components.get(name)
         if component is None:
             raise GoddagError(f"no hierarchy named '{name}'")
@@ -275,6 +362,8 @@ class KyGoddag:
         patched by per-component surgery plus a root re-seed, and no XML
         is ever re-parsed.
         """
+        if self.frozen:
+            self._frozen_violation("rebuild hierarchies over new text")
         if set(documents) != set(self._components):
             raise GoddagError(
                 "rebuild_hierarchies needs exactly the registered "

@@ -114,6 +114,27 @@ def _span_nodes_of(component: "_HierarchyComponent") -> list[GNode]:
             if isinstance(node, (GElement, GText))]
 
 
+class _RestoredSub:
+    """Stand-in sub-index for a hierarchy restored from ``.mhxb``.
+
+    A restored global index never replays the merge that produced it,
+    so the only sub-index state later operations touch is the rank (the
+    compression mask of :meth:`SpanIndex.remove_component`) and the
+    length (its empty-component early-out).  Everything else — the
+    per-hierarchy sorted arrays — exists only transiently during a
+    merge and is not reconstructed.
+    """
+
+    __slots__ = ("rank", "count")
+
+    def __init__(self, rank: int, count: int) -> None:
+        self.rank = rank
+        self.count = count
+
+    def __len__(self) -> int:
+        return self.count
+
+
 class SpanIndex:
     """Sorted parallel arrays over all span-bearing nodes."""
 
@@ -161,6 +182,58 @@ class SpanIndex:
     def _refresh_nonempty(self) -> None:
         self.nonempty = self.starts < self.ends
         self.e_nonempty = self.e_starts < self.ends_sorted
+
+    # -- persistence (the .mhxb cold-load path, DESIGN.md §10) ---------------
+
+    @classmethod
+    def restore(cls, goddag: "KyGoddag", arrays: dict,
+                subs: dict[str, tuple[int, int]]) -> "SpanIndex":
+        """Rebuild a span index from persisted global arrays.
+
+        ``arrays`` holds both sorted orders exactly as they left
+        :func:`repro.store.mhxb.save_engine` — the numeric columns may
+        stay memory-mapped (they are only ever replaced wholesale) and
+        nothing is re-sorted or re-merged.  ``subs`` maps hierarchy
+        name to ``(rank, span node count)``.
+        """
+        index = cls.__new__(cls)
+        index.goddag = goddag
+        index._subs = {name: _RestoredSub(rank, count)
+                       for name, (rank, count) in subs.items()}
+        index._name_masks = {}
+        index._e_name_masks = {}
+        index._containment = {}
+        index._pending = []
+        index.incremental_adds = 0
+        index.incremental_removes = 0
+        index._s_keys = arrays["s_keys"]
+        index.nodes = arrays["nodes"]
+        index.starts = arrays["starts"]
+        index.ends = arrays["ends"]
+        index.ranks = arrays["ranks"]
+        index.preorders = arrays["preorders"]
+        index.subtree_ends = arrays["subtree_ends"]
+        index._names = arrays["names"]
+        index._e_keys = arrays["e_keys"]
+        index.e_nodes = arrays["e_nodes"]
+        index.e_starts = arrays["e_starts"]
+        index.ends_sorted = arrays["ends_sorted"]
+        index.e_ranks = arrays["e_ranks"]
+        index._e_names = arrays["e_names"]
+        index._refresh_nonempty()
+        return index
+
+    def freeze(self) -> None:
+        """Flush pending membership changes and mark the numeric arrays
+        read-only — accidental in-place writes then raise instead of
+        tearing a concurrent snapshot reader (DESIGN.md §10).  Array
+        *replacement* (the temporary-hierarchy merge/compress paths)
+        stays possible; those build fresh arrays."""
+        self._flush_pending()
+        for array in (self._s_keys, self.starts, self.ends, self.ranks,
+                      self.preorders, self.subtree_ends, self._e_keys,
+                      self.e_starts, self.ends_sorted, self.e_ranks):
+            array.setflags(write=False)
 
     # -- incremental maintenance --------------------------------------------
 

@@ -135,6 +135,38 @@ class Partition:
                 cache[left.start] = merged
         self._bounds_array = array
 
+    # -- persistence (the .mhxb cold-load path, DESIGN.md §10) ---------------
+
+    def export_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(offsets, refcounts)`` — the whole boundary multiset as two
+        parallel sorted int64 arrays, ready for binary persistence."""
+        offsets = sorted(self._refcounts)
+        counts = [self._refcounts[offset] for offset in offsets]
+        return (np.array(offsets, dtype=np.int64),
+                np.array(counts, dtype=np.int64))
+
+    @classmethod
+    def restore(cls, goddag: "KyGoddag", length: int,
+                offsets: np.ndarray, counts: np.ndarray) -> "Partition":
+        """Rebuild a partition from :meth:`export_arrays` output.
+
+        The offsets arrive sorted, so no re-sorting happens; the
+        boundary array may stay memory-mapped (it is only ever replaced
+        wholesale, never written in place).
+        """
+        partition = cls(goddag, length)
+        offset_list = np.asarray(offsets).tolist()
+        partition._refcounts = Counter(dict(zip(
+            offset_list, np.asarray(counts).tolist())))
+        partition._sorted = offset_list
+        partition._bounds_array = np.asarray(offsets, dtype=np.int64)
+        return partition
+
+    def freeze(self) -> None:
+        """Materialize the lazy caches for lock-free snapshot readers."""
+        self.boundary_array.setflags(write=False)
+        self._all_leaves()
+
     # -- access ---------------------------------------------------------------
 
     @property

@@ -24,5 +24,11 @@ from repro.core.lang.parser import (
 )
 from repro.core.lang import ast
 
-__all__ = ["parse_query", "parse_statement", "parse_update",
-           "parse_xpath", "ast"]
+#: Bumped whenever the grammar (lexer/parser surface) changes in a way
+#: that alters parse results.  Compiled-plan caches that outlive one
+#: engine — the document store's cross-catalog cache — key on it so a
+#: plan compiled under an older grammar is never served.
+GRAMMAR_VERSION = "mhxq-grammar-3"
+
+__all__ = ["GRAMMAR_VERSION", "parse_query", "parse_statement",
+           "parse_update", "parse_xpath", "ast"]

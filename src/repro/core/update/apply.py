@@ -97,6 +97,10 @@ def apply_pending(document: "MultihierarchicalDocument",
     once mutation starts, only internal invariant failures can raise
     (and those indicate a bug, not a bad statement).
     """
+    if goddag.frozen:
+        # Refuse up front: the per-method guards in the goddag layer
+        # would only fire in the patch phase, after the DOM mutated.
+        goddag._frozen_violation("apply an update")
     applier = _Applier(document, goddag, pending)
     stats = applier.run()
     if check:

@@ -88,6 +88,15 @@ class Node:
         """The string value: concatenated descendant text."""
         raise NotImplementedError
 
+    def clone(self) -> "Node":
+        """A deep copy of this node, detached from any parent.
+
+        Text spans (``start``/``end``) and source positions survive the
+        copy, so a cloned, aligned hierarchy needs no re-alignment —
+        the copy-on-write fork path of the document store.
+        """
+        raise NotImplementedError
+
     def detach(self) -> None:
         """Remove this node from its parent, if attached."""
         if self.parent is not None:
@@ -181,6 +190,10 @@ class ParentNode(Node):
                     child.normalize()
         self.children = merged
 
+    def _clone_children_into(self, copy: "ParentNode") -> None:
+        for child in self.children:
+            copy.append(child.clone())
+
 
 class Document(ParentNode):
     """An XML document: at most one element child plus comments/PIs."""
@@ -191,6 +204,13 @@ class Document(ParentNode):
         super().__init__()
         self.doctype_name: str | None = None
         self.dtd = None  # populated by the parser when a DTD is present
+
+    def clone(self) -> "Document":
+        copy = Document()
+        copy.doctype_name = self.doctype_name
+        copy.dtd = self.dtd  # parsed DTDs are immutable; share them
+        self._clone_children_into(copy)
+        return copy
 
     @property
     def root(self) -> Element:
@@ -267,6 +287,12 @@ class Element(ParentNode):
             attr.value = self.attributes[name]
         return list(self._attr_nodes.values())
 
+    def clone(self) -> "Element":
+        copy = Element(self.name, self.attributes)
+        copy.line, copy.column = self.line, self.column
+        self._clone_children_into(copy)
+        return copy
+
     # -- convenience --------------------------------------------------------
 
     @property
@@ -315,6 +341,12 @@ class Text(Node):
     def text_content(self) -> str:
         return self.data
 
+    def clone(self) -> "Text":
+        copy = Text(self.data)
+        copy.line, copy.column = self.line, self.column
+        copy.start, copy.end = self.start, self.end
+        return copy
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Text {self.data!r}>"
 
@@ -331,6 +363,11 @@ class Comment(Node):
     def text_content(self) -> str:
         return ""
 
+    def clone(self) -> "Comment":
+        copy = Comment(self.data)
+        copy.line, copy.column = self.line, self.column
+        return copy
+
 
 class ProcessingInstruction(Node):
     """A processing instruction ``<?target data?>``."""
@@ -344,6 +381,11 @@ class ProcessingInstruction(Node):
 
     def text_content(self) -> str:
         return ""
+
+    def clone(self) -> "ProcessingInstruction":
+        copy = ProcessingInstruction(self.target, self.data)
+        copy.line, copy.column = self.line, self.column
+        return copy
 
 
 class Attr(Node):

@@ -1,0 +1,39 @@
+"""The concurrent document store (DESIGN.md §10).
+
+Three pieces turn the single-document engine into a small database:
+
+* :mod:`~repro.store.catalog` — :class:`DocumentStore`, a named
+  catalog with single-writer / many-snapshot-reader concurrency:
+  updates fork the current snapshot, mutate the fork through the
+  transactional update engine, and publish the result; readers pin the
+  snapshot they opened and never block behind the writer;
+* :mod:`~repro.store.mhxb` — the ``.mhxb`` binary container persisting
+  the packed numpy artifacts (order keys, span-index orders, partition
+  boundaries) for an mmap-backed cold load that skips XML parsing and
+  every sort;
+* :mod:`~repro.store.plancache` — the cross-document compiled-plan
+  cache keyed by query text + grammar version.
+"""
+
+from repro.store.catalog import DocumentStore, fork_engine
+from repro.store.mhxb import (
+    MHXB_FORMAT,
+    load_engine,
+    looks_like_mhxb,
+    read_header,
+    save_engine,
+)
+from repro.store.plancache import SharedPlanCache
+from repro.store.snapshot import Snapshot
+
+__all__ = [
+    "DocumentStore",
+    "MHXB_FORMAT",
+    "Snapshot",
+    "SharedPlanCache",
+    "fork_engine",
+    "load_engine",
+    "looks_like_mhxb",
+    "read_header",
+    "save_engine",
+]

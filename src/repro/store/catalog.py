@@ -1,0 +1,288 @@
+"""The :class:`DocumentStore`: a named catalog of persistent engines.
+
+Concurrency model (DESIGN.md §10) — **single writer, many snapshot
+readers**, per store:
+
+* every document name maps to one published :class:`Snapshot` — a
+  frozen engine at a version.  ``snapshot(name)`` is a single dict
+  read (atomic under the GIL) and never takes the writer lock;
+* ``update(name, statements)`` serializes writers on one re-entrant
+  lock, **forks** the current snapshot (DOM clone + goddag rebuild —
+  the engine's incremental update paths then run on the private fork),
+  applies the whole statement batch transactionally, persists the new
+  ``.mhxb``, and publishes the fork as the next snapshot.  A failing
+  statement aborts the entire batch: the fork is discarded and both
+  the published snapshot and the on-disk file stay at the old version;
+* compiled plans live in one :class:`SharedPlanCache` keyed by query
+  text + grammar, shared by every catalog entry — a query compiled for
+  one document is a cache hit for all of them.
+
+On disk a store is a directory: ``store.json`` (the manifest) plus one
+``.mhxb`` file per document, each written atomically.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+import threading
+from pathlib import Path
+
+from repro.api import Engine, UpdateResult, load_mhx
+from repro.errors import ReproError
+from repro.cmh import MultihierarchicalDocument
+from repro.core.runtime import QueryOptions
+from repro.store.mhxb import looks_like_mhxb, read_header, save_engine
+from repro.store.plancache import SharedPlanCache
+from repro.store.snapshot import Snapshot
+
+STORE_FORMAT = "mhx-store-1"
+MANIFEST_NAME = "store.json"
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def fork_engine(engine: Engine) -> Engine:
+    """An unfrozen deep copy of an engine at the same version.
+
+    The document DOM is cloned node-by-node (no XML re-parse) and the
+    KyGODDAG rebuilt from the clone; the version counter carries over,
+    so subsequent updates continue the original version sequence.
+    """
+    document = engine.document.clone()
+    forked = Engine(document, options=engine.options,
+                    use_pipeline=engine.use_pipeline)
+    forked.goddag.version = engine.goddag.version
+    return forked
+
+
+class DocumentStore:
+    """A directory-backed catalog of documents with MVCC snapshots."""
+
+    def __init__(self, root: str | Path,
+                 options: QueryOptions | None = None,
+                 plan_cache_size: int = 512) -> None:
+        self.root = Path(root)
+        self.options = options or QueryOptions()
+        self.plans = SharedPlanCache(plan_cache_size)
+        self._lock = threading.RLock()
+        self._live: dict[str, Snapshot] = {}
+        manifest_path = self.root / MANIFEST_NAME
+        try:
+            manifest = json.loads(
+                manifest_path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise ReproError(
+                f"{self.root} is not a document store ({error}); "
+                f"create one with DocumentStore.init / "
+                f"`mhxq store init`") from error
+        except json.JSONDecodeError as error:
+            raise ReproError(
+                f"corrupt store manifest {manifest_path}: "
+                f"{error}") from error
+        if manifest.get("format") != STORE_FORMAT:
+            raise ReproError(
+                f"{manifest_path} is not an {STORE_FORMAT} manifest "
+                f"(format={manifest.get('format')!r})")
+        self._manifest = manifest
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def init(cls, root: str | Path, **kwargs) -> "DocumentStore":
+        """Create an empty store directory (refusing to clobber one)."""
+        root = Path(root)
+        manifest_path = root / MANIFEST_NAME
+        if manifest_path.exists():
+            raise ReproError(f"{root} already holds a document store")
+        root.mkdir(parents=True, exist_ok=True)
+        _write_json(manifest_path,
+                    {"format": STORE_FORMAT, "documents": {}})
+        return cls(root, **kwargs)
+
+    # -- catalog -------------------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        """Registered document names, in registration order."""
+        with self._lock:  # snapshot the keys: add() may race this walk
+            return list(self._manifest["documents"])
+
+    def entries(self) -> list[tuple[str, int, str]]:
+        """``(name, persisted version, file name)`` per document."""
+        with self._lock:
+            return [(name, entry["version"], entry["file"])
+                    for name, entry in
+                    self._manifest["documents"].items()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._manifest["documents"]
+
+    def __len__(self) -> int:
+        return len(self._manifest["documents"])
+
+    def add(self, name: str,
+            document: MultihierarchicalDocument | None = None, *,
+            engine: Engine | None = None,
+            path: str | Path | None = None) -> Snapshot:
+        """Register a document under ``name`` and persist it.
+
+        Exactly one source: an in-memory document (cloned — the caller
+        keeps ownership of theirs), a live engine (forked likewise), or
+        a ``.mhx``/``.mhxb`` file path.
+        """
+        if not _NAME_RE.match(name):
+            raise ReproError(
+                f"invalid document name {name!r} (want "
+                f"[A-Za-z0-9][A-Za-z0-9._-]*, at most 64 characters)")
+        provided = [source for source in (document, engine, path)
+                    if source is not None]
+        if len(provided) != 1:
+            raise ReproError(
+                "add() needs exactly one of document / engine / path")
+        with self._lock:
+            if name in self._manifest["documents"]:
+                raise ReproError(
+                    f"document {name!r} already exists in this store")
+            if path is not None and looks_like_mhxb(path):
+                # Register by byte copy: saves are deterministic, so
+                # re-serializing would reproduce the source bytes at
+                # the full pipeline cost the format exists to skip.
+                read_header(path)  # validate before the copy lands
+                target = self.root / f"{name}.mhxb"
+                temp = target.with_name(target.name + ".tmp")
+                shutil.copyfile(path, temp)
+                temp.replace(target)
+                try:
+                    fresh = Engine.from_mhxb(target,
+                                             options=self.options)
+                except ReproError:
+                    target.unlink(missing_ok=True)
+                    raise
+                snapshot = Snapshot(name, fresh, self.plans)
+                self._manifest["documents"][name] = {
+                    "file": target.name,
+                    "version": fresh.version,
+                }
+                self._save_manifest()
+            else:
+                if path is not None:
+                    fresh = Engine(load_mhx(path), options=self.options)
+                elif engine is not None:
+                    fresh = fork_engine(engine)
+                else:
+                    fresh = Engine(document.clone(),
+                                   options=self.options)
+                snapshot = Snapshot(name, fresh, self.plans)
+                self._persist(name, fresh)
+            self._live[name] = snapshot
+            return snapshot
+
+    def remove(self, name: str) -> None:
+        """Drop a document from the catalog and delete its file."""
+        with self._lock:
+            entry = self._manifest["documents"].pop(name, None)
+            if entry is None:
+                raise ReproError(f"no document named {name!r}")
+            self._live.pop(name, None)
+            self._save_manifest()
+            (self.root / entry["file"]).unlink(missing_ok=True)
+
+    # -- reads ---------------------------------------------------------------
+
+    def snapshot(self, name: str) -> Snapshot:
+        """The current published snapshot (lock-free when warm).
+
+        A cold catalog entry is mmap-loaded from its ``.mhxb`` file
+        under the writer lock (once), then served lock-free.
+        """
+        snapshot = self._live.get(name)
+        if snapshot is not None:
+            return snapshot
+        with self._lock:
+            snapshot = self._live.get(name)
+            if snapshot is not None:
+                return snapshot
+            entry = self._manifest["documents"].get(name)
+            if entry is None:
+                raise ReproError(f"no document named {name!r}")
+            engine = Engine.from_mhxb(self.root / entry["file"],
+                                      options=self.options)
+            snapshot = Snapshot(name, engine, self.plans)
+            self._live[name] = snapshot
+            return snapshot
+
+    def query(self, name: str, text: str,
+              variables: dict[str, list] | None = None):
+        """Query the current snapshot of one document."""
+        return self.snapshot(name).query(text, variables)
+
+    def xpath(self, name: str, text: str,
+              variables: dict[str, list] | None = None):
+        """XPath against the current snapshot of one document."""
+        return self.snapshot(name).xpath(text, variables)
+
+    # -- writes --------------------------------------------------------------
+
+    def update(self, name: str, statements: str | list[str], *,
+               check: bool = True,
+               persist: bool = True) -> list[UpdateResult]:
+        """Apply an update batch and publish the next snapshot.
+
+        The whole batch is one transaction over one fork: readers on
+        the old snapshot keep their version, readers arriving after
+        publication see every statement applied, and nobody ever sees
+        a prefix.  Any failure discards the fork untouched.
+        """
+        if isinstance(statements, str):
+            statements = [statements]
+        if not statements:
+            raise ReproError("update() needs at least one statement")
+        with self._lock:
+            current = self.snapshot(name)
+            working = fork_engine(current.engine)
+            results = [working.update(statement, check=check)
+                       for statement in statements]
+            snapshot = Snapshot(name, working, self.plans)
+            if persist:
+                self._persist(name, working)
+            self._live[name] = snapshot
+        return results
+
+    def compact(self, name: str | None = None) -> dict[str, int]:
+        """Rewrite ``.mhxb`` files from the live snapshots.
+
+        Persists any in-memory versions created with ``persist=False``
+        and normalizes the on-disk span-index order; returns the new
+        file size per document.
+        """
+        sizes: dict[str, int] = {}
+        targets = [name] if name is not None else self.names
+        with self._lock:
+            for target in targets:
+                snapshot = self.snapshot(target)
+                sizes[target] = self._persist(target, snapshot.engine)
+        return sizes
+
+    # -- persistence ---------------------------------------------------------
+
+    def _persist(self, name: str, engine: Engine) -> int:
+        file_name = f"{name}.mhxb"
+        size = save_engine(engine, self.root / file_name)
+        self._manifest["documents"][name] = {
+            "file": file_name,
+            "version": engine.version,
+        }
+        self._save_manifest()
+        return size
+
+    def _save_manifest(self) -> None:
+        _write_json(self.root / MANIFEST_NAME, self._manifest)
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_text(json.dumps(payload, ensure_ascii=False, indent=2)
+                    + "\n", encoding="utf-8")
+    temp.replace(path)

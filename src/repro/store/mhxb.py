@@ -1,0 +1,588 @@
+"""The ``.mhxb`` binary container: mmap-backed engine persistence.
+
+A ``.mhx`` file is a JSON bundle of XML source strings — portable, but
+a cold start pays the full pipeline: XML parse, alignment, KyGODDAG
+build, partition sort, span-index argsorts.  ``.mhxb`` persists the
+*artifacts* of that pipeline instead (DESIGN.md §10):
+
+* per hierarchy, the component node table as parallel arrays — kind,
+  interned name id, span, parent preorder, subtree end, packed int64
+  Definition 3 order key — in preorder, which is exactly the order the
+  component list needs;
+* the partition boundary multiset as sorted ``(offsets, refcounts)``;
+* the span index in **both** sorted orders: the global numeric columns
+  verbatim plus one permutation per hierarchy that recovers the object
+  columns by rank-gather — no argsort, no merge at load;
+* a JSON header with everything non-numeric: name table, attributes,
+  comments/PIs, DTD sources, the document version.
+
+File layout::
+
+    b"MHXB1\\0" | u64 header length | header JSON | pad | array blocks
+
+Every array block is 64-byte aligned and loaded through
+``np.memmap(..., mode="r")``, so a cold load touches only the pages a
+query actually reads; the loader reconstructs node objects from the
+arrays and never re-parses XML or re-sorts anything.  The DOM side of
+the document (needed only for updates and serialization) materializes
+lazily from the same arrays on first access.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.cmh import ConcurrentMarkupHierarchy, MultihierarchicalDocument
+from repro.cmh.document import Hierarchy
+from repro.markup import dom
+from repro.core.goddag.goddag import KyGoddag, _HierarchyComponent
+from repro.core.goddag.index import SpanIndex, _end_keys, _start_keys
+from repro.core.goddag.nodes import (
+    GComment,
+    GElement,
+    GPi,
+    GText,
+)
+from repro.core.goddag.partition import Partition
+
+MAGIC = b"MHXB1\x00"
+MHXB_FORMAT = "mhxb-1"
+_ALIGN = 64
+
+#: node kind codes in the component tables
+_KIND_ELEMENT, _KIND_TEXT, _KIND_COMMENT, _KIND_PI = 0, 1, 2, 3
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def looks_like_mhxb(path: str | Path) -> bool:
+    """True when the file starts with the ``.mhxb`` magic bytes."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# save
+# ---------------------------------------------------------------------------
+
+
+def save_engine(engine, path: str | Path) -> int:
+    """Serialize an engine's full state to ``path``; return the size.
+
+    The write is atomic (temp file + rename) and deterministic: saving
+    the same logical state twice — or saving a freshly cold-loaded
+    engine — produces byte-identical files.
+    """
+    goddag = engine.goddag
+    if not goddag.hierarchy_names:
+        raise ReproError("cannot save an empty document to .mhxb")
+    if any(goddag.is_temporary(name) for name in goddag.hierarchy_names):
+        raise ReproError(
+            "cannot save a KyGODDAG holding temporary (analyze-string) "
+            "hierarchies")
+    if len(goddag.text) >= (1 << 31):
+        raise ReproError(
+            "base text exceeds 2^31 characters; the packed span-index "
+            "keys cannot represent it")
+
+    document = engine.document  # materializes a lazy DOM if needed
+    names: list[str] = []
+    name_ids: dict[str, int] = {}
+
+    def intern(name: str) -> int:
+        position = name_ids.get(name)
+        if position is None:
+            position = name_ids[name] = len(names)
+            names.append(name)
+        return position
+
+    arrays: dict[str, np.ndarray] = {}
+    hierarchy_meta: list[dict[str, Any]] = []
+    sub_starts: list[np.ndarray] = []
+    sub_ends: list[np.ndarray] = []
+    sub_ranks: list[np.ndarray] = []
+    sub_preorders: list[np.ndarray] = []
+    sub_subtrees: list[np.ndarray] = []
+
+    # rank -1: the shared root seeds both sorted orders.
+    sub_starts.append(np.array([0], dtype=np.int64))
+    sub_ends.append(np.array([len(goddag.text)], dtype=np.int64))
+    sub_ranks.append(np.array([-1], dtype=np.int64))
+    sub_preorders.append(np.array([-1], dtype=np.int64))
+    sub_subtrees.append(np.array([-1], dtype=np.int64))
+
+    for position, name in enumerate(goddag.hierarchy_names):
+        component = goddag._components[name]
+        prefix = f"h{position}"
+        meta = _save_component(goddag, component, document, prefix,
+                               arrays, intern)
+        hierarchy_meta.append(meta)
+        span_mask = (arrays[f"{prefix}/kinds"] <= _KIND_TEXT)
+        starts = arrays[f"{prefix}/starts"][span_mask]
+        ends = arrays[f"{prefix}/ends"][span_mask]
+        preorders = np.nonzero(span_mask)[0].astype(np.int64)
+        subtrees = arrays[f"{prefix}/subtree_ends"][span_mask]
+        meta["span_count"] = int(len(starts))
+        arrays[f"{prefix}/s_perm"] = np.argsort(
+            _start_keys(starts, ends), kind="stable")
+        arrays[f"{prefix}/e_perm"] = np.argsort(
+            _end_keys(starts, ends), kind="stable")
+        sub_starts.append(starts)
+        sub_ends.append(ends)
+        sub_ranks.append(np.full(len(starts), component.rank,
+                                 dtype=np.int64))
+        sub_preorders.append(preorders)
+        sub_subtrees.append(subtrees)
+
+    _save_span_index(arrays, sub_starts, sub_ends, sub_ranks,
+                     sub_preorders, sub_subtrees)
+    offsets, counts = goddag.partition.export_arrays()
+    arrays["partition/offsets"] = offsets
+    arrays["partition/counts"] = counts
+    arrays["text"] = np.frombuffer(
+        goddag.text.encode("utf-8"), dtype=np.uint8)
+
+    dtds = None
+    if document.cmh is not None:
+        dtds = document.cmh.sources()
+    header = {
+        "format": MHXB_FORMAT,
+        "root": goddag.root.root_name,
+        "version": goddag.version,
+        "text_chars": len(goddag.text),
+        "names": names,
+        "hierarchies": hierarchy_meta,
+        "dtds": dtds,
+    }
+    return _pack(path, header, arrays)
+
+
+def _save_component(goddag, component, document, prefix: str,
+                    arrays: dict[str, np.ndarray], intern) -> dict:
+    nodes = component.nodes
+    count = len(nodes)
+    kinds = np.empty(count, dtype=np.int8)
+    ids = np.full(count, -1, dtype=np.int64)
+    starts = np.empty(count, dtype=np.int64)
+    ends = np.empty(count, dtype=np.int64)
+    parents = np.empty(count, dtype=np.int64)
+    subtree_ends = np.empty(count, dtype=np.int64)
+    okeys = np.empty(count, dtype=np.int64)
+    attrs: list[list] = []
+    comments: list[list] = []
+    pis: list[list] = []
+    for position, node in enumerate(nodes):
+        starts[position] = node.start
+        ends[position] = node.end
+        subtree_ends[position] = node.subtree_end
+        okeys[position] = goddag.order_key(node)
+        parent = node._parent
+        parents[position] = (parent.preorder
+                             if isinstance(parent, GElement) else -1)
+        if isinstance(node, GElement):
+            kinds[position] = _KIND_ELEMENT
+            ids[position] = intern(node.name)
+            if node.attributes:
+                attrs.append([position, dict(node.attributes)])
+        elif isinstance(node, GText):
+            kinds[position] = _KIND_TEXT
+        elif isinstance(node, GComment):
+            kinds[position] = _KIND_COMMENT
+            comments.append([position, node.data])
+        elif isinstance(node, GPi):
+            kinds[position] = _KIND_PI
+            ids[position] = intern(node.target)
+            pis.append([position, node.data])
+        else:  # pragma: no cover - the component builder emits no others
+            raise ReproError(
+                f"cannot persist node kind {node.kind!r} to .mhxb")
+    arrays[f"{prefix}/kinds"] = kinds
+    arrays[f"{prefix}/name_ids"] = ids
+    arrays[f"{prefix}/starts"] = starts
+    arrays[f"{prefix}/ends"] = ends
+    arrays[f"{prefix}/parents"] = parents
+    arrays[f"{prefix}/subtree_ends"] = subtree_ends
+    arrays[f"{prefix}/okeys"] = okeys
+    hier_doc = document.hierarchies[component.name].document
+    prolog, epilog = _document_level_nodes(hier_doc)
+    return {
+        "name": component.name,
+        "rank": component.rank,
+        "count": count,
+        "root_attrs": dict(
+            goddag.root.attributes_by_hierarchy.get(component.name, {})),
+        "attrs": attrs,
+        "comments": comments,
+        "pis": pis,
+        "prolog": prolog,
+        "epilog": epilog,
+    }
+
+
+def _document_level_nodes(hier_doc: dom.Document) -> tuple[list, list]:
+    """Comments/PIs outside the root element (they exist only in the
+    DOM, not in the KyGODDAG, so they ride along in the header)."""
+    prolog: list[list] = []
+    epilog: list[list] = []
+    target = prolog
+    for child in hier_doc.children:
+        if isinstance(child, dom.Element):
+            target = epilog
+        elif isinstance(child, dom.Comment):
+            target.append(["comment", child.data])
+        elif isinstance(child, dom.ProcessingInstruction):
+            target.append(["pi", child.target, child.data])
+    return prolog, epilog
+
+
+def _save_span_index(arrays, sub_starts, sub_ends, sub_ranks,
+                     sub_preorders, sub_subtrees) -> None:
+    """Persist both global sorted orders of the span index.
+
+    The global order is the stable sort of the concatenation root +
+    components in rank order — identical to what successive
+    ``searchsorted`` merges produce on a fresh build, and the
+    normal form a compacted store file always carries.
+    """
+    starts = np.concatenate(sub_starts)
+    ends = np.concatenate(sub_ends)
+    ranks = np.concatenate(sub_ranks)
+    preorders = np.concatenate(sub_preorders)
+    subtrees = np.concatenate(sub_subtrees)
+    s_order = np.argsort(_start_keys(starts, ends), kind="stable")
+    arrays["index/s_keys"] = _start_keys(starts, ends)[s_order]
+    arrays["index/starts"] = starts[s_order]
+    arrays["index/ends"] = ends[s_order]
+    arrays["index/ranks"] = ranks[s_order]
+    arrays["index/preorders"] = preorders[s_order]
+    arrays["index/subtree_ends"] = subtrees[s_order]
+    e_order = np.argsort(_end_keys(starts, ends), kind="stable")
+    arrays["index/e_keys"] = _end_keys(starts, ends)[e_order]
+    arrays["index/e_starts"] = starts[e_order]
+    arrays["index/e_ends"] = ends[e_order]
+    arrays["index/e_ranks"] = ranks[e_order]
+
+
+def _pack(path: str | Path, header: dict,
+          arrays: dict[str, np.ndarray]) -> int:
+    directory: dict[str, dict] = {}
+    offset = 0
+    blocks: list[tuple[int, bytes]] = []
+    for key, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        offset = _align(offset)
+        directory[key] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": offset,
+        }
+        blocks.append((offset, array.tobytes()))
+        offset += array.nbytes
+    header["arrays"] = directory
+    header_bytes = json.dumps(header, ensure_ascii=False).encode("utf-8")
+    data_start = _align(len(MAGIC) + 8 + len(header_bytes))
+    path = Path(path)
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(len(header_bytes).to_bytes(8, "little"))
+        handle.write(header_bytes)
+        handle.write(b"\x00" * (data_start - len(MAGIC) - 8
+                                - len(header_bytes)))
+        cursor = 0
+        for block_offset, payload in blocks:
+            handle.write(b"\x00" * (block_offset - cursor))
+            handle.write(payload)
+            cursor = block_offset + len(payload)
+        size = handle.tell()
+    os.replace(temp, path)
+    return size
+
+
+# ---------------------------------------------------------------------------
+# load
+# ---------------------------------------------------------------------------
+
+
+def read_header(path: str | Path) -> tuple[dict, int]:
+    """The parsed JSON header and the data-section start offset."""
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.read(len(MAGIC))
+            if magic != MAGIC:
+                if magic[:1] == b"{":
+                    raise ReproError(
+                        f"{path} looks like a JSON .mhx container, not "
+                        f"a binary .mhxb file — load it with load_mhx / "
+                        f"Engine.from_mhx")
+                raise ReproError(
+                    f"{path} is not a .mhxb container (bad magic "
+                    f"{magic!r})")
+            header_len = int.from_bytes(handle.read(8), "little")
+            header = json.loads(handle.read(header_len).decode("utf-8"))
+    except OSError as error:
+        raise ReproError(
+            f"cannot read .mhxb file {path}: {error}") from error
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ReproError(
+            f"{path} has a corrupt .mhxb header: {error}") from error
+    if header.get("format") != MHXB_FORMAT:
+        raise ReproError(
+            f"{path} is not an {MHXB_FORMAT} container "
+            f"(format={header.get('format')!r})")
+    return header, _align(len(MAGIC) + 8 + header_len)
+
+
+def _map_arrays(path: Path, header: dict,
+                data_start: int) -> dict[str, np.ndarray]:
+    arrays: dict[str, np.ndarray] = {}
+    for key, entry in header["arrays"].items():
+        shape = tuple(entry["shape"])
+        if 0 in shape:
+            arrays[key] = np.empty(shape, dtype=np.dtype(entry["dtype"]))
+            continue
+        arrays[key] = np.memmap(path, dtype=np.dtype(entry["dtype"]),
+                                mode="r", offset=data_start
+                                + entry["offset"], shape=shape)
+    return arrays
+
+
+def load_engine(path: str | Path, options=None, use_pipeline: bool = True):
+    """Cold-load an :class:`~repro.api.Engine` from a ``.mhxb`` file.
+
+    Reconstructs the KyGODDAG — components, partition, span index,
+    order keys — straight from the memory-mapped arrays; no XML parse,
+    no alignment pass, no sort.  The DOM document materializes lazily
+    on first access (updates, serialization).
+    """
+    from repro.api import Engine
+
+    path = Path(path)
+    header, data_start = read_header(path)
+    arrays = _map_arrays(path, header, data_start)
+    text = bytes(arrays["text"]).decode("utf-8")
+    names: list[str] = header["names"]
+
+    goddag = KyGoddag(text, header["root"])
+    goddag.partition = Partition.restore(
+        goddag, len(text), arrays["partition/offsets"],
+        arrays["partition/counts"])
+    span_lists: list[tuple[int, list, np.ndarray, np.ndarray]] = []
+    for position, meta in enumerate(header["hierarchies"]):
+        prefix = f"h{position}"
+        component, span_nodes = _load_component(goddag, meta, prefix,
+                                                arrays, names)
+        span_lists.append((component.rank, span_nodes,
+                           arrays[f"{prefix}/s_perm"],
+                           arrays[f"{prefix}/e_perm"]))
+    goddag._index = _restore_index(goddag, header, arrays, span_lists)
+    goddag.version = header["version"]
+
+    loader = _DocumentLoader(header, arrays, text, names)
+    return Engine.from_parts(goddag, document_loader=loader,
+                             options=options, use_pipeline=use_pipeline)
+
+
+def _load_component(goddag: KyGoddag, meta: dict, prefix: str,
+                    arrays: dict[str, np.ndarray], names: list[str]):
+    component = _HierarchyComponent(meta["name"], meta["rank"],
+                                    temporary=False)
+    kinds = arrays[f"{prefix}/kinds"].tolist()
+    ids = arrays[f"{prefix}/name_ids"].tolist()
+    starts = arrays[f"{prefix}/starts"].tolist()
+    ends = arrays[f"{prefix}/ends"].tolist()
+    parents = arrays[f"{prefix}/parents"].tolist()
+    subtree_ends = arrays[f"{prefix}/subtree_ends"].tolist()
+    okeys = arrays[f"{prefix}/okeys"].tolist()
+    attrs = {position: mapping for position, mapping in meta["attrs"]}
+    comments = {position: data for position, data in meta["comments"]}
+    pis = {position: data for position, data in meta["pis"]}
+    hierarchy = meta["name"]
+    nodes: list = []
+    top_nodes: list = []
+    span_nodes: list = []
+    # Hand-inlined constructors: this loop builds every node of the
+    # document, and the nested __init__ chains are the single largest
+    # cold-load cost at scale.
+    for position in range(meta["count"]):
+        kind = kinds[position]
+        start = starts[position]
+        end = ends[position]
+        if kind == _KIND_ELEMENT:
+            node = GElement.__new__(GElement)
+            node._name = names[ids[position]]
+            node.attributes = attrs.get(position) or {}
+            node.children = []
+            node._attr_nodes = None
+            node._child_positions = None
+            span_nodes.append(node)
+        elif kind == _KIND_TEXT:
+            node = GText.__new__(GText)
+            component.text_nodes.append(node)
+            component.text_starts.append(start)
+            span_nodes.append(node)
+        elif kind == _KIND_COMMENT:
+            node = GComment.__new__(GComment)
+            node.data = comments[position]
+        else:
+            node = GPi.__new__(GPi)
+            node.target = names[ids[position]]
+            node.data = pis[position]
+        node.goddag = goddag
+        node.start = start
+        node.end = end
+        node._hierarchy = hierarchy
+        node.preorder = position
+        node.subtree_end = subtree_ends[position]
+        node._okey = okeys[position]
+        parent_position = parents[position]
+        if parent_position < 0:
+            node._parent = goddag.root
+            top_nodes.append(node)
+        else:
+            parent = nodes[parent_position]
+            node._parent = parent
+            parent.children.append(node)
+        nodes.append(node)
+    component.nodes = nodes
+    component.boundaries = [offset for span in zip(starts, ends)
+                            for offset in span]
+    objects = np.empty(len(nodes), dtype=object)
+    for position, node in enumerate(nodes):
+        objects[position] = node
+    component._nodes_arr = objects
+    component._subtree_ends_arr = np.asarray(
+        arrays[f"{prefix}/subtree_ends"])
+    goddag.adopt_component(component, top_nodes, meta["root_attrs"])
+    return component, span_nodes
+
+
+def _restore_index(goddag: KyGoddag, header: dict,
+                   arrays: dict[str, np.ndarray], span_lists) -> SpanIndex:
+    """Rebuild the span index: numeric columns stay memory-mapped, the
+    object columns (nodes, names) come from one rank-gather per
+    hierarchy using the persisted per-hierarchy permutations."""
+    ranks = arrays["index/ranks"]
+    e_ranks = arrays["index/e_ranks"]
+    total = len(ranks)
+    nodes = np.empty(total, dtype=object)
+    node_names = np.empty(total, dtype=object)
+    e_nodes = np.empty(total, dtype=object)
+    e_names = np.empty(total, dtype=object)
+    root_mask = ranks == -1
+    nodes[root_mask] = goddag.root
+    node_names[root_mask] = goddag.root.name
+    e_root_mask = e_ranks == -1
+    e_nodes[e_root_mask] = goddag.root
+    e_names[e_root_mask] = goddag.root.name
+    subs: dict[str, tuple[int, int]] = {}
+    for (rank, span_nodes, s_perm, e_perm), meta in zip(
+            span_lists, header["hierarchies"]):
+        count = len(span_nodes)
+        subs[meta["name"]] = (rank, count)
+        objects = np.empty(count, dtype=object)
+        labels = np.empty(count, dtype=object)
+        for position, node in enumerate(span_nodes):
+            objects[position] = node
+            labels[position] = node.name
+        mask = ranks == rank
+        nodes[mask] = objects[s_perm]
+        node_names[mask] = labels[s_perm]
+        e_mask = e_ranks == rank
+        e_nodes[e_mask] = objects[e_perm]
+        e_names[e_mask] = labels[e_perm]
+    return SpanIndex.restore(goddag, {
+        "s_keys": arrays["index/s_keys"],
+        "nodes": nodes,
+        "starts": arrays["index/starts"],
+        "ends": arrays["index/ends"],
+        "ranks": ranks,
+        "preorders": arrays["index/preorders"],
+        "subtree_ends": arrays["index/subtree_ends"],
+        "names": node_names,
+        "e_keys": arrays["index/e_keys"],
+        "e_nodes": e_nodes,
+        "e_starts": arrays["index/e_starts"],
+        "ends_sorted": arrays["index/e_ends"],
+        "e_ranks": e_ranks,
+        "e_names": e_names,
+    }, subs)
+
+
+class _DocumentLoader:
+    """Materializes the DOM side of a cold-loaded engine on demand."""
+
+    def __init__(self, header: dict, arrays: dict[str, np.ndarray],
+                 text: str, names: list[str]) -> None:
+        self._header = header
+        self._arrays = arrays
+        self._text = text
+        self._names = names
+
+    def __call__(self) -> MultihierarchicalDocument:
+        header, text, names = self._header, self._text, self._names
+        document = MultihierarchicalDocument(text)
+        for position, meta in enumerate(header["hierarchies"]):
+            hier_doc = self._build_dom(meta, f"h{position}")
+            document.hierarchies[meta["name"]] = Hierarchy(
+                meta["name"], hier_doc)
+        if header.get("dtds"):
+            document.cmh = ConcurrentMarkupHierarchy.from_sources(
+                header["root"], header["dtds"])
+        return document
+
+    def _build_dom(self, meta: dict, prefix: str) -> dom.Document:
+        arrays, text, names = self._arrays, self._text, self._names
+        hier_doc = dom.Document()
+        for entry in meta["prolog"]:
+            hier_doc.append(_aux_node(entry))
+        root = dom.Element(self._header["root"], meta["root_attrs"])
+        hier_doc.append(root)
+        for entry in meta["epilog"]:
+            hier_doc.append(_aux_node(entry))
+        kinds = arrays[f"{prefix}/kinds"].tolist()
+        ids = arrays[f"{prefix}/name_ids"].tolist()
+        starts = arrays[f"{prefix}/starts"].tolist()
+        ends = arrays[f"{prefix}/ends"].tolist()
+        parents = arrays[f"{prefix}/parents"].tolist()
+        attrs = {position: mapping for position, mapping in meta["attrs"]}
+        comments = {position: data for position, data in meta["comments"]}
+        pis = {position: data for position, data in meta["pis"]}
+        nodes: list[dom.Node] = []
+        for position in range(meta["count"]):
+            kind = kinds[position]
+            if kind == _KIND_ELEMENT:
+                node: dom.Node = dom.Element(names[ids[position]],
+                                             attrs.get(position))
+            elif kind == _KIND_TEXT:
+                node = dom.Text(text[starts[position]:ends[position]])
+                node.start = starts[position]
+                node.end = ends[position]
+            elif kind == _KIND_COMMENT:
+                node = dom.Comment(comments[position])
+            else:
+                node = dom.ProcessingInstruction(names[ids[position]],
+                                                 pis[position])
+            parent_position = parents[position]
+            parent = (root if parent_position < 0
+                      else nodes[parent_position])
+            parent.append(node)
+            nodes.append(node)
+        return hier_doc
+
+
+def _aux_node(entry: list) -> dom.Node:
+    if entry[0] == "comment":
+        return dom.Comment(entry[1])
+    return dom.ProcessingInstruction(entry[1], entry[2])

@@ -1,0 +1,66 @@
+"""The cross-document compiled-plan cache (DESIGN.md §10).
+
+Query compilation is a pure function of the query text and the grammar
+— no document state flows into parse, rewrite, planning, or closure
+compilation — so one cache can serve every catalog entry of a
+:class:`~repro.store.DocumentStore`.  Keys combine the grammar version
+(:data:`repro.core.lang.GRAMMAR_VERSION`), the compilation mode, the
+query text, and the (frozen, hashable) query options; a grammar bump
+therefore orphans stale plans instead of serving them.
+
+The cache is thread-safe: lookups and LRU bookkeeping hold a short
+lock, while compilation itself runs outside it (two racing threads may
+both compile a missing query; the first store wins and the duplicate
+is discarded — wasted work, never wrong results).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.core.lang import GRAMMAR_VERSION
+from repro.core.plan import CompiledQuery, compile_query
+from repro.core.runtime import QueryOptions
+
+
+class SharedPlanCache:
+    """An LRU of :class:`CompiledQuery` shared across documents."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[tuple, CompiledQuery] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def get(self, text: str, options: QueryOptions, *,
+            xpath: bool = False) -> tuple[CompiledQuery, bool]:
+        """``(compiled plan, was it a cache hit)`` for one query."""
+        mode = "xpath" if xpath else "query"
+        key = (GRAMMAR_VERSION, mode, text, options)
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                return cached, True
+        compiled = compile_query(text, xpath=xpath)
+        with self._lock:
+            racing = self._plans.get(key)
+            if racing is not None:
+                self.hits += 1
+                return racing, True
+            self._plans[key] = compiled
+            self.misses += 1
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+        return compiled, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()

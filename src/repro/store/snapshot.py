@@ -1,0 +1,75 @@
+"""Version-pinned snapshots: the reader side of the document store.
+
+A :class:`Snapshot` wraps one frozen :class:`~repro.api.Engine` at one
+document version.  Readers that hold a snapshot keep querying exactly
+that version — the store's writer never mutates a published engine, it
+forks, mutates the fork, and publishes a *new* snapshot — so reads are
+lock-free and can never observe partial update state (DESIGN.md §10).
+
+The one exception is ``analyze-string``: Definition 4 temporaries are
+real (if transient) KyGODDAG membership changes, so a query that uses
+them takes the exclusive side of the frozen goddag's reader/writer
+latch while plain queries share the read side.  The latch lives on the
+goddag itself (created by ``KyGoddag.freeze()``), so it also guards
+direct ``snapshot.engine.query(...)`` calls that bypass this wrapper;
+it never interacts with the store's writer lock — updates happen on
+forks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.runtime import QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import Engine, QueryResult
+    from repro.store.plancache import SharedPlanCache
+
+
+class Snapshot:
+    """An immutable view of one stored document at one version."""
+
+    __slots__ = ("name", "version", "engine", "_plans")
+
+    def __init__(self, name: str, engine: "Engine",
+                 plans: "SharedPlanCache") -> None:
+        engine.goddag.freeze()
+        self.name = name
+        self.version = engine.version
+        self.engine = engine
+        self._plans = plans
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Snapshot {self.name!r} v{self.version}>"
+
+    # -- queries -------------------------------------------------------------
+
+    def query(self, text: str,
+              variables: dict[str, list] | None = None) -> "QueryResult":
+        """Evaluate an extended XQuery against this pinned version."""
+        return self._run(text, variables, xpath=False)
+
+    def xpath(self, text: str,
+              variables: dict[str, list] | None = None) -> "QueryResult":
+        """Evaluate a pure extended-XPath expression."""
+        return self._run(text, variables, xpath=True)
+
+    def _run(self, text: str, variables, xpath: bool) -> "QueryResult":
+        from repro.api import QueryResult
+
+        engine = self.engine
+        compiled, hit = self._plans.get(text, engine.options, xpath=xpath)
+        stats = QueryStats(plan_cache_hit=hit)
+        items = engine._evaluate_guarded(
+            text,
+            lambda: compiled.execute(engine.goddag, variables=variables,
+                                     options=engine.options,
+                                     stats=stats))
+        return QueryResult(items, stats)
+
+    def explain(self, text: str, xpath: bool = False) -> str:
+        """The compiled pipeline report (shared-cache compiled)."""
+        compiled, _hit = self._plans.get(text, self.engine.options,
+                                         xpath=xpath)
+        return compiled.explain()

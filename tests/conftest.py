@@ -1,12 +1,32 @@
-"""Shared fixtures: the paper's Figure 1 document in every form."""
+"""Shared fixtures: the paper's Figure 1 document in every form.
+
+Also registers the hypothesis profiles: the default settings serve
+interactive and PR runs; ``--hypothesis-profile=nightly`` (the
+scheduled CI job) multiplies example counts for the property suites —
+``tests/test_prop_updates.py`` reads the active profile's
+``max_examples`` at import time to scale its fuzz budget.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.cmh import MultihierarchicalDocument
 from repro.core.goddag import KyGoddag
 from repro.corpus.boethius import BASE_TEXT, ENCODINGS, boethius_document
+
+settings.register_profile(
+    "nightly", max_examples=1000, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.data_too_large,
+                           HealthCheck.filter_too_much],
+    print_blob=True)
+
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 
 @pytest.fixture()

@@ -1,0 +1,110 @@
+"""Tests for the bench-regression wall (benchmarks/check_regression.py).
+
+The wall script lives outside the package (it runs standalone in CI),
+so it is loaded here by file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).resolve().parent.parent / "benchmarks"
+    / "check_regression.py")
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+BASELINE = {
+    "schema": "repro-bench/1",
+    "config": {"repeats": 41},
+    "median_ns_per_op": {
+        "S-AXES": {"descendant": 1000, "following": 2000},
+        "S-TOTAL": {"workload": {"legacy": 50000, "speedup": 2.5}},
+    },
+}
+
+
+def _candidate(**overrides):
+    candidate = json.loads(json.dumps(BASELINE))
+    axes = candidate["median_ns_per_op"]["S-AXES"]
+    total = candidate["median_ns_per_op"]["S-TOTAL"]["workload"]
+    for key, value in overrides.items():
+        if key in axes:
+            axes[key] = value
+        else:
+            total[key] = value
+    return candidate
+
+
+class TestCompare:
+    def test_within_band_passes(self):
+        regressions, notes = check_regression.compare(
+            BASELINE, _candidate(descendant=1300), 0.4, 0.4)
+        assert regressions == []
+        assert any("descendant" in note for note in notes)
+
+    def test_time_regression_fails(self):
+        regressions, _ = check_regression.compare(
+            BASELINE, _candidate(descendant=1500), 0.4, 0.4)
+        assert len(regressions) == 1
+        assert "descendant" in regressions[0]
+
+    def test_speedup_drop_fails(self):
+        regressions, _ = check_regression.compare(
+            BASELINE, _candidate(speedup=1.2), 0.4, 0.4)
+        assert len(regressions) == 1
+        assert "speedup" in regressions[0]
+
+    def test_speedup_improvement_passes(self):
+        regressions, _ = check_regression.compare(
+            BASELINE, _candidate(speedup=9.9), 0.4, 0.4)
+        assert regressions == []
+
+    def test_faster_times_pass(self):
+        regressions, _ = check_regression.compare(
+            BASELINE, _candidate(descendant=10, following=10), 0.4, 0.4)
+        assert regressions == []
+
+    def test_missing_metric_fails(self):
+        candidate = _candidate()
+        del candidate["median_ns_per_op"]["S-AXES"]["following"]
+        regressions, _ = check_regression.compare(
+            BASELINE, candidate, 0.4, 0.4)
+        assert any("missing" in regression for regression in regressions)
+
+    def test_config_subtree_is_not_compared(self):
+        candidate = _candidate()
+        candidate["config"]["repeats"] = 5  # quick run: fine
+        regressions, _ = check_regression.compare(
+            BASELINE, candidate, 0.4, 0.4)
+        assert regressions == []
+
+
+class TestCli:
+    def test_exit_codes_and_report(self, tmp_path, capsys):
+        baseline_path = tmp_path / "base.json"
+        good_path = tmp_path / "good.json"
+        bad_path = tmp_path / "bad.json"
+        baseline_path.write_text(json.dumps(BASELINE))
+        good_path.write_text(json.dumps(_candidate(descendant=1100)))
+        bad_path.write_text(json.dumps(_candidate(descendant=9000)))
+
+        assert check_regression.main(
+            [f"{baseline_path}:{good_path}", "--tolerance", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "all metrics within tolerance" in out
+
+        assert check_regression.main(
+            [f"{baseline_path}:{bad_path}", "--tolerance", "0.4"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regressed" in captured.err
+
+    def test_unreadable_payload_fails(self, tmp_path):
+        baseline_path = tmp_path / "base.json"
+        baseline_path.write_text(json.dumps(BASELINE))
+        assert check_regression.main(
+            [f"{baseline_path}:{tmp_path / 'absent.json'}"]) == 1

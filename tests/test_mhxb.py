@@ -1,0 +1,233 @@
+"""Tests for the ``.mhxb`` binary container (DESIGN.md §10).
+
+Round-trip fidelity (byte-identical re-serialization, identical query
+results against the ``.mhx`` JSON path), cold-load reconstruction
+invariants, lazy DOM materialization, and the wrong-format error
+behavior of both loaders.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Engine, load_mhx, save_mhx
+from repro.errors import GoddagError, ReproError
+from repro.cmh import MultihierarchicalDocument
+from repro.corpus.boethius import boethius_document
+from repro.store.mhxb import (
+    MAGIC,
+    looks_like_mhxb,
+    read_header,
+    save_engine,
+)
+
+PROBE_QUERIES = [
+    "count(/descendant::*)",
+    "count(//leaf())",
+    "/descendant::*/string(.)",
+    "for $n in /descendant::* return name($n)",
+    "/descendant::line[overlapping::w or xdescendant::w]/string(.)",
+    'analyze-string(/, "si")',
+]
+
+
+@pytest.fixture()
+def engine() -> Engine:
+    return Engine(boethius_document(validate=False))
+
+
+def _assert_same_results(left: Engine, right: Engine) -> None:
+    for query in PROBE_QUERIES:
+        assert left.query(query).serialize() == \
+            right.query(query).serialize(), query
+
+
+class TestRoundTrip:
+    def test_identical_query_results_vs_mhx_path(self, engine, tmp_path):
+        mhx = tmp_path / "doc.mhx"
+        mhxb = tmp_path / "doc.mhxb"
+        engine.save_mhx(mhx)
+        engine.save_mhxb(mhxb)
+        via_json = Engine.from_mhx(mhx)
+        via_binary = Engine.from_mhxb(mhxb)
+        _assert_same_results(via_json, via_binary)
+
+    def test_byte_identical_reserialization(self, engine, tmp_path):
+        first = tmp_path / "a.mhxb"
+        second = tmp_path / "b.mhxb"
+        engine.save_mhxb(first)
+        Engine.from_mhxb(first).save_mhxb(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_cold_load_passes_invariants(self, engine, tmp_path):
+        path = tmp_path / "doc.mhxb"
+        engine.save_mhxb(path)
+        restored = Engine.from_mhxb(path)
+        restored.goddag.check_invariants()
+        assert restored.version == engine.version
+        assert restored.goddag.hierarchy_names == \
+            engine.goddag.hierarchy_names
+
+    def test_no_reparse_no_resort_artifacts(self, engine, tmp_path):
+        """The cold load restores the span index (no full build) and
+        the packed order keys (no recomputation)."""
+        path = tmp_path / "doc.mhxb"
+        engine.save_mhxb(path)
+        restored = Engine.from_mhxb(path)
+        assert restored.goddag._index is not None
+        assert restored.goddag.index_full_builds == 0
+        for name in restored.goddag.hierarchy_names:
+            for node in restored.goddag.nodes_of(name):
+                assert node._okey is not None
+        restored.goddag.check_invariants()
+
+    def test_dom_materializes_lazily_and_serializes_identically(
+            self, engine, tmp_path):
+        path = tmp_path / "doc.mhxb"
+        engine.save_mhxb(path)
+        restored = Engine.from_mhxb(path)
+        assert restored._document is None  # queries never touched it
+        restored.query("count(//w)")
+        assert restored._document is None
+        original = {name: hierarchy.to_xml() for name, hierarchy
+                    in engine.document.hierarchies.items()}
+        materialized = {name: hierarchy.to_xml() for name, hierarchy
+                        in restored.document.hierarchies.items()}
+        assert original == materialized
+        assert restored.document.text == engine.document.text
+
+    def test_round_trip_after_updates(self, engine, tmp_path):
+        engine.update('rename node /descendant::w[1] as "word"')
+        engine.update('insert node <note>marginal</note> '
+                      'after /descendant::word[1]')
+        path = tmp_path / "doc.mhxb"
+        engine.save_mhxb(path)
+        restored = Engine.from_mhxb(path)
+        restored.goddag.check_invariants()
+        _assert_same_results(engine, restored)
+        assert restored.query("//note/string(.)").serialize() \
+            == "marginal"
+
+    def test_updates_apply_on_cold_loaded_engine(self, engine, tmp_path):
+        path = tmp_path / "doc.mhxb"
+        engine.save_mhxb(path)
+        restored = Engine.from_mhxb(path)
+        statement = ('insert node <gloss>explicatio</gloss> '
+                     'into /descendant::line[1]')
+        engine.update(statement)
+        restored.update(statement)
+        assert engine.document.text == restored.document.text
+        _assert_same_results(engine, restored)
+        restored.goddag.check_invariants()
+
+    def test_dtds_survive(self, tmp_path):
+        document = boethius_document(validate=True)
+        assert document.cmh is not None
+        path = tmp_path / "doc.mhxb"
+        Engine(document).save_mhxb(path)
+        restored = Engine.from_mhxb(path)
+        assert restored.document.cmh is not None
+        assert restored.document.cmh.sources() == document.cmh.sources()
+
+    def test_comments_pis_attributes_survive(self, tmp_path):
+        sources = {
+            "a": '<r id="top"><!--lead--><w x="1">ab</w>'
+                 '<?proc data?><w>cd</w></r>',
+            "b": "<r><s>abc</s><s>d</s></r>",
+        }
+        document = MultihierarchicalDocument.from_xml("abcd", sources)
+        engine = Engine(document)
+        path = tmp_path / "doc.mhxb"
+        engine.save_mhxb(path)
+        restored = Engine.from_mhxb(path)
+        restored.goddag.check_invariants()
+        assert {name: hierarchy.to_xml() for name, hierarchy
+                in restored.document.hierarchies.items()} == \
+            {name: hierarchy.to_xml() for name, hierarchy
+             in engine.document.hierarchies.items()}
+        _assert_same_results(engine, restored)
+
+    def test_save_refuses_empty_document(self, tmp_path):
+        engine = Engine(MultihierarchicalDocument.from_xml(
+            "ab", {"only": "<r>ab</r>"}))
+        engine.goddag.remove_hierarchy("only")
+        with pytest.raises(ReproError, match="empty document"):
+            save_engine(engine, tmp_path / "x.mhxb")
+
+
+class TestFormatErrors:
+    def test_load_mhx_rejects_binary_with_clear_error(self, engine,
+                                                      tmp_path):
+        path = tmp_path / "doc.mhxb"
+        engine.save_mhxb(path)
+        with pytest.raises(ReproError, match="binary .mhxb container"):
+            load_mhx(path)
+
+    def test_from_mhxb_rejects_json_with_clear_error(self, engine,
+                                                     tmp_path):
+        path = tmp_path / "doc.mhx"
+        engine.save_mhx(path)
+        with pytest.raises(ReproError, match="JSON .mhx container"):
+            Engine.from_mhxb(path)
+
+    def test_from_mhx_routes_by_extension_and_content(self, engine,
+                                                      tmp_path):
+        binary = tmp_path / "doc.mhxb"
+        engine.save_mhxb(binary)
+        assert Engine.from_mhx(binary).query(
+            "count(//w)").serialize() == "6"
+        # binary content under a .mhx name still routes correctly
+        sniffed = tmp_path / "mislabeled.mhx"
+        sniffed.write_bytes(binary.read_bytes())
+        assert looks_like_mhxb(sniffed)
+        assert Engine.from_mhx(sniffed).query(
+            "count(//w)").serialize() == "6"
+
+    def test_bad_magic_and_corrupt_header(self, tmp_path):
+        garbage = tmp_path / "garbage.mhxb"
+        garbage.write_bytes(b"\x89PNG not an mhxb")
+        with pytest.raises(ReproError, match="bad magic"):
+            read_header(garbage)
+        truncated = tmp_path / "truncated.mhxb"
+        truncated.write_bytes(MAGIC + (10_000).to_bytes(8, "little")
+                              + b"{not json at all")
+        with pytest.raises(ReproError, match="corrupt .mhxb header"):
+            read_header(truncated)
+
+    def test_format_field_mismatch(self, tmp_path):
+        path = tmp_path / "future.mhxb"
+        header = json.dumps({"format": "mhxb-99"}).encode()
+        path.write_bytes(MAGIC + len(header).to_bytes(8, "little")
+                         + header)
+        with pytest.raises(ReproError, match="mhxb-1"):
+            read_header(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            read_header(tmp_path / "absent.mhxb")
+
+
+class TestFrozenEngine:
+    def test_frozen_engine_rejects_updates_atomically(self, engine):
+        engine.update('insert node <note>x</note> '
+                      'after /descendant::w[1]')
+        before = {name: hierarchy.to_xml() for name, hierarchy
+                  in engine.document.hierarchies.items()}
+        engine.goddag.freeze()
+        with pytest.raises(GoddagError, match="frozen snapshot"):
+            engine.update("delete node /descendant::note[1]")
+        # nothing mutated, not even the DOM side
+        assert {name: hierarchy.to_xml() for name, hierarchy
+                in engine.document.hierarchies.items()} == before
+        engine.goddag.thaw()
+        engine.update("delete node /descendant::note[1]")
+        assert engine.query("count(//note)").serialize() == "0"
+
+    def test_frozen_engine_still_answers_analyze_string(self, engine):
+        expected = engine.query('analyze-string(/, "si")').serialize()
+        engine.goddag.freeze()
+        assert engine.query(
+            'analyze-string(/, "si")').serialize() == expected
+        engine.goddag.check_invariants()

@@ -74,7 +74,13 @@ def _assert_probes_match(engine: Engine, oracle: RebuildOracle,
             f"{actual!r} vs rebuilt {expected!r}")
 
 
-@settings(max_examples=200, deadline=None,
+#: Example budget: 200 on the default profile; the nightly CI profile
+#: (``--hypothesis-profile=nightly``, registered in conftest) raises
+#: ``settings.default.max_examples`` past that and the fuzzer follows.
+FUZZ_EXAMPLES = max(200, settings.default.max_examples)
+
+
+@settings(max_examples=FUZZ_EXAMPLES, deadline=None,
           suppress_health_check=[HealthCheck.data_too_large,
                                  HealthCheck.too_slow])
 @given(data=st.data())
@@ -123,7 +129,7 @@ def test_fuzzer_actually_applied_updates():
         f"fuzz run — the statement generator has degenerated")
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=max(30, FUZZ_EXAMPLES // 20), deadline=None)
 @given(document=multihierarchical_documents(max_text=25),
        ops=st.lists(update_ops(), min_size=2, max_size=4))
 def test_multi_primitive_statements_are_atomic(document, ops):

@@ -1,0 +1,216 @@
+"""Thread-stress tests: snapshot readers racing the store writer.
+
+The acceptance bar of DESIGN.md §10: N reader threads querying pinned
+snapshots concurrently with a writer applying update sequences — every
+reader must observe a *version-consistent* result set (verified
+against a single-threaded replay of the same updates) with zero torn
+reads.
+
+Scaled up by the nightly CI profile through ``REPRO_STRESS_READERS`` /
+``REPRO_STRESS_BATCHES`` / ``REPRO_STRESS_MIN_READS``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.api import Engine
+from repro.corpus.boethius import boethius_document
+from repro.store import DocumentStore
+
+READERS = int(os.environ.get("REPRO_STRESS_READERS", "4"))
+BATCHES = int(os.environ.get("REPRO_STRESS_BATCHES", "16"))
+#: every reader must complete at least this many full probe rounds
+MIN_READS = int(os.environ.get("REPRO_STRESS_MIN_READS", "8"))
+
+PROBES = [
+    "count(/descendant::*)",
+    "for $n in /descendant::* return name($n)",
+    "/descendant::line[overlapping::w or xdescendant::w]/string(.)",
+]
+
+#: four-phase churn cycle: two in-place renames (component patch), one
+#: text-bearing insert and its delete (full rebuild path)
+_CYCLE = [
+    'rename node /descendant::w[1] as "wx"',
+    'rename node /descendant::wx[1] as "w"',
+    'insert node <note>burst</note> after /descendant::w[2]',
+    "delete node /descendant::note[1]",
+]
+
+
+def _batches() -> list[list[str]]:
+    return [[_CYCLE[index % len(_CYCLE)]] for index in range(BATCHES)]
+
+
+def _replay_expected() -> dict[int, dict[str, str]]:
+    """Single-threaded replay: version -> probe -> serialized result."""
+    engine = Engine(boethius_document(validate=False))
+    expected = {engine.version: {probe: engine.query(probe).serialize()
+                                 for probe in PROBES}}
+    for batch in _batches():
+        for statement in batch:
+            engine.update(statement)
+        expected[engine.version] = {
+            probe: engine.query(probe).serialize() for probe in PROBES}
+    return expected
+
+
+class TestSnapshotReadersVsWriter:
+    def test_readers_see_version_consistent_results(self, tmp_path):
+        expected = _replay_expected()
+        store = DocumentStore.init(tmp_path / "catalog")
+        store.add("boe", boethius_document(validate=False))
+
+        writer_done = threading.Event()
+        errors: list[str] = []
+        observations: list[tuple[int, int]] = []  # (reader, version)
+        lock = threading.Lock()
+
+        def writer() -> None:
+            try:
+                for batch in _batches():
+                    store.update("boe", batch, persist=False)
+                    time.sleep(0.001)  # let readers interleave
+            except Exception as error:  # pragma: no cover - fail loud
+                with lock:
+                    errors.append(f"writer: {error!r}")
+            finally:
+                writer_done.set()
+
+        def reader(identity: int) -> None:
+            rounds = 0
+            try:
+                while rounds < MIN_READS or not writer_done.is_set():
+                    snapshot = store.snapshot("boe")
+                    version = snapshot.version
+                    reference = expected.get(version)
+                    if reference is None:
+                        with lock:
+                            errors.append(
+                                f"reader {identity} saw unpublished "
+                                f"version {version}")
+                        return
+                    for probe in PROBES:
+                        observed = snapshot.query(probe).serialize()
+                        if observed != reference[probe]:
+                            with lock:
+                                errors.append(
+                                    f"reader {identity} tore at "
+                                    f"v{version} on {probe!r}")
+                            return
+                    # the pinned snapshot never moves underneath us
+                    if snapshot.version != version:
+                        with lock:
+                            errors.append(
+                                f"reader {identity}: snapshot version "
+                                f"drifted")
+                        return
+                    with lock:
+                        observations.append((identity, version))
+                    rounds += 1
+            except Exception as error:  # pragma: no cover - fail loud
+                with lock:
+                    errors.append(f"reader {identity}: {error!r}")
+
+        threads = [threading.Thread(target=writer)]
+        threads += [threading.Thread(target=reader, args=(identity,))
+                    for identity in range(READERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        assert writer_done.is_set()
+        # every reader completed its quota, and the final version is
+        # the replay's final version
+        per_reader = {identity for identity, _version in observations}
+        assert per_reader == set(range(READERS))
+        final = store.snapshot("boe")
+        assert final.version == max(expected)
+        for probe in PROBES:
+            assert final.query(probe).serialize() == \
+                expected[final.version][probe]
+        final.engine.goddag.check_invariants()
+
+    def test_analyze_string_readers_share_one_snapshot(self, tmp_path):
+        """Definition 4 temporaries mutate membership; the snapshot
+        latch must serialize them against plain readers on the *same*
+        snapshot without corrupting either."""
+        store = DocumentStore.init(tmp_path / "catalog")
+        store.add("boe", boethius_document(validate=False))
+        snapshot = store.snapshot("boe")
+        plain = "count(/descendant::*)"
+        analyze = 'analyze-string(/, "si")'
+        expected_plain = snapshot.query(plain).serialize()
+        expected_analyze = snapshot.query(analyze).serialize()
+
+        errors: list[str] = []
+        lock = threading.Lock()
+
+        def worker(identity: int) -> None:
+            try:
+                for _round in range(MIN_READS):
+                    if identity % 2:
+                        observed = snapshot.query(analyze).serialize()
+                        reference = expected_analyze
+                    else:
+                        observed = snapshot.query(plain).serialize()
+                        reference = expected_plain
+                    if observed != reference:
+                        with lock:
+                            errors.append(
+                                f"worker {identity} diverged")
+                        return
+            except Exception as error:  # pragma: no cover - fail loud
+                with lock:
+                    errors.append(f"worker {identity}: {error!r}")
+
+        threads = [threading.Thread(target=worker, args=(identity,))
+                   for identity in range(max(READERS, 4))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        snapshot.engine.goddag.check_invariants()
+
+    def test_latch_guards_direct_engine_queries_too(self, tmp_path):
+        """``snapshot.engine.query(...)`` bypasses the Snapshot wrapper
+        but not the latch — it lives on the frozen goddag, so direct
+        analyze-string calls racing plain readers stay serialized."""
+        store = DocumentStore.init(tmp_path / "catalog")
+        store.add("boe", boethius_document(validate=False))
+        engine = store.snapshot("boe").engine
+        plain = "count(/descendant::*)"
+        analyze = 'analyze-string(/, "si")'
+        expected_plain = engine.query(plain).serialize()
+        expected_analyze = engine.query(analyze).serialize()
+
+        errors: list[str] = []
+        lock = threading.Lock()
+
+        def worker(identity: int) -> None:
+            try:
+                for _round in range(MIN_READS):
+                    text = analyze if identity % 2 else plain
+                    reference = (expected_analyze if identity % 2
+                                 else expected_plain)
+                    if engine.query(text).serialize() != reference:
+                        with lock:
+                            errors.append(f"worker {identity} diverged")
+                        return
+            except Exception as error:  # pragma: no cover - fail loud
+                with lock:
+                    errors.append(f"worker {identity}: {error!r}")
+
+        threads = [threading.Thread(target=worker, args=(identity,))
+                   for identity in range(max(READERS, 4))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        engine.goddag.check_invariants()
