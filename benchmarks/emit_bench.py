@@ -1,5 +1,6 @@
 """Emit the perf-trajectory files ``BENCH_axes.json`` +
-``BENCH_queries.json`` + ``BENCH_updates.json`` + ``BENCH_store.json``.
+``BENCH_queries.json`` + ``BENCH_updates.json`` + ``BENCH_store.json``
++ ``BENCH_joins.json``.
 
 Times the headline series — S-AXES (axis evaluation), S-ANALYZE
 (the ``analyze-string`` temporary-hierarchy lifecycle), S-BUILD
@@ -7,18 +8,22 @@ Times the headline series — S-AXES (axis evaluation), S-ANALYZE
 end-to-end §4 query workload (S-QUERIES: legacy evaluator vs the
 compiled pipeline, per query and total) into ``BENCH_queries.json``,
 the transactional update workload (S-UPDATE: incremental apply vs
-rebuild-per-update, DESIGN.md §9) into ``BENCH_updates.json``, and the
+rebuild-per-update, DESIGN.md §9) into ``BENCH_updates.json``, the
 store cold-load path (S-STORE: ``.mhxb`` mmap load vs XML re-parse +
-index build, DESIGN.md §10) into ``BENCH_store.json``.  The CI
-bench-regression wall (``benchmarks/check_regression.py``) diffs fresh
-runs against all four checked-in files.
+index build, DESIGN.md §10) into ``BENCH_store.json``, and the
+extended-axis interval-join workload (S-JOINS: batched sorted-array
+joins vs per-node span arithmetic, DESIGN.md §11) into
+``BENCH_joins.json``.  The CI bench-regression wall
+(``benchmarks/check_regression.py``) diffs fresh runs against all five
+checked-in files.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py [--quick] \
         [--out BENCH_axes.json] [--queries-out BENCH_queries.json] \
         [--updates-out BENCH_updates.json] \
-        [--store-out BENCH_store.json] [--size 6400]
+        [--store-out BENCH_store.json] \
+        [--joins-out BENCH_joins.json] [--size 6400]
 
 ``--quick`` cuts the repeat counts for CI smoke runs; the checked-in
 files are produced by a full run on a quiet machine.
@@ -177,6 +182,68 @@ def bench_updates(size: int, repeats: int) -> dict:
     return out
 
 
+#: The S-JOINS workload: one entry per extended-axis step shape —
+#: overlap (the singallice word/line crossings), containment both ways,
+#: and the boundary axes — each evaluated over *every* context element
+#: of the named kind (the set-at-a-time shape the join engine targets).
+JOIN_WORKLOAD = (
+    ("overlap-w-line", "w", "overlapping", "line"),
+    ("overlap-line-w", "line", "overlapping", "w"),
+    ("containment-dmg-w", "dmg", "xdescendant", "w"),
+    ("containment-w-vline", "w", "xancestor", "vline"),
+    ("boundary-dmg-res", "dmg", "xfollowing", "res"),
+    ("boundary-res-w", "res", "xpreceding", "w"),
+)
+
+
+def join_step_contexts(goddag, element: str) -> list:
+    """All elements of one name — the step's whole context sequence."""
+    return [node for node in goddag.elements(element)]
+
+
+def bench_joins(size: int, repeats: int) -> dict:
+    """S-JOINS: batched interval joins vs the per-node extended axes.
+
+    Both sides evaluate identical steps over identical context sets —
+    ``join_axis_batch`` (one sorted-array join per step, DESIGN.md §11)
+    against ``evaluate_axis_batch`` (one span-arithmetic call per
+    context node plus a Python-object merge, the pre-PR-5 hot path).
+    ``benchmarks/test_extended_axis_joins.py`` asserts the two sides
+    stay element-for-element identical and gates the speedup.
+    """
+    from repro.core.goddag import evaluate_axis_batch, join_axis_batch
+
+    goddag = goddag_at_size(size)
+    goddag.span_index()
+    steps = [(label, join_step_contexts(goddag, element), axis, name)
+             for label, element, axis, name in JOIN_WORKLOAD]
+    out: dict = {}
+    batched_total = 0
+    pernode_total = 0
+    for label, contexts, axis, name in steps:
+        batched = median_ns(
+            lambda c=contexts, a=axis, n=name: join_axis_batch(
+                goddag, a, c, n, skip_leaves=True), repeats)
+        pernode = median_ns(
+            lambda c=contexts, a=axis, n=name: evaluate_axis_batch(
+                goddag, a, c, n, skip_leaves=True),
+            max(repeats // 2, 3))
+        batched_total += batched
+        pernode_total += pernode
+        out[label] = {
+            "contexts": len(contexts),
+            "batched-join": batched,
+            "per-node": pernode,
+            "speedup": round(pernode / batched, 2),
+        }
+    out["workload_total"] = {
+        "batched-join": batched_total,
+        "per-node": pernode_total,
+        "speedup": round(pernode_total / batched_total, 2),
+    }
+    return out
+
+
 def bench_store(size: int, repeats: int) -> dict:
     """S-STORE: ``.mhxb`` mmap cold load vs XML re-parse + index build.
 
@@ -242,6 +309,8 @@ def main(argv: list[str] | None = None) -> int:
         Path(__file__).resolve().parent.parent / "BENCH_updates.json"))
     parser.add_argument("--store-out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_store.json"))
+    parser.add_argument("--joins-out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_joins.json"))
     parser.add_argument("--size", type=int, default=SCALING_SIZES[-1])
     parser.add_argument("--quick", action="store_true",
                         help="fewer repeats (CI smoke run)")
@@ -297,6 +366,17 @@ def main(argv: list[str] | None = None) -> int:
     Path(args.store_out).write_text(
         json.dumps(store_payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(store_payload, indent=2, sort_keys=True))
+    joins_payload = {
+        "schema": "repro-bench/1",
+        "series": "extended-axis-joins",
+        "config": {"n_words": args.size, "seed": BENCH_SEED,
+                   "repeats": repeats,
+                   "python": sys.version.split()[0]},
+        "median_ns_per_step": bench_joins(args.size, repeats),
+    }
+    Path(args.joins_out).write_text(
+        json.dumps(joins_payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(joins_payload, indent=2, sort_keys=True))
     return 0
 
 

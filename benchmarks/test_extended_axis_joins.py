@@ -1,0 +1,98 @@
+"""S-JOINS — vectorized interval joins vs the per-node extended axes.
+
+The tentpole claim of ISSUE 5: the extended-axis workload (overlap +
+cross-hierarchy containment/boundary steps, each over the full context
+set of the largest bench corpus) runs ≥ 5× faster through the
+set-at-a-time join kernels (``join_axis_batch``, DESIGN.md §11) than
+through the per-node path (``evaluate_axis_batch``: one span-arithmetic
+call per context node plus a Python-object merge — the pre-PR-5 hot
+path), while staying **element-for-element identical**.
+
+Shared CI runners override the floor through
+``REPRO_BENCH_MIN_JOIN_SPEEDUP`` to damp wall-clock noise; quiet
+machines enforce the real target.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.bench import SCALING_SIZES, goddag_at_size
+from repro.core.goddag import evaluate_axis_batch, join_axis_batch
+
+from conftest import record
+from emit_bench import JOIN_WORKLOAD, join_step_contexts
+
+LARGEST = SCALING_SIZES[-1]
+
+MIN_JOIN_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_JOIN_SPEEDUP", "5.0"))
+
+
+def best_of(function, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - begin)
+    return best
+
+
+@pytest.fixture(scope="module")
+def workload():
+    goddag = goddag_at_size(LARGEST)
+    goddag.span_index()
+    steps = [(label, join_step_contexts(goddag, element), axis, name)
+             for label, element, axis, name in JOIN_WORKLOAD]
+    assert all(contexts for _label, contexts, _axis, _name in steps)
+    return goddag, steps
+
+
+def test_joins_identical_to_pernode_path(workload):
+    """Every workload step: batched join ≡ per-node union, element for
+    element (both sides document-ordered and deduplicated)."""
+    goddag, steps = workload
+    checked = 0
+    for label, contexts, axis, name in steps:
+        batched = join_axis_batch(goddag, axis, contexts, name,
+                                  skip_leaves=True)
+        pernode = evaluate_axis_batch(goddag, axis, contexts, name,
+                                      skip_leaves=True)
+        assert len(batched) == len(pernode), label
+        for want, got in zip(pernode, batched):
+            assert want is got, label
+        checked += len(batched)
+    record("S-JOINS parity", "PASS",
+           f"{len(steps)} join steps, {checked} result nodes identical")
+
+
+def test_join_workload_speedup(workload):
+    goddag, steps = workload
+
+    def run_batched() -> None:
+        for _label, contexts, axis, name in steps:
+            join_axis_batch(goddag, axis, contexts, name,
+                            skip_leaves=True)
+
+    def run_pernode() -> None:
+        for _label, contexts, axis, name in steps:
+            evaluate_axis_batch(goddag, axis, contexts, name,
+                                skip_leaves=True)
+
+    run_batched()  # warm the okey/name-interval columns
+    run_pernode()
+    batched_time = best_of(run_batched)
+    pernode_time = best_of(run_pernode)
+    speedup = pernode_time / batched_time
+    record("S-JOINS speedup", "PASS" if speedup >= MIN_JOIN_SPEEDUP
+           else "FAIL",
+           f"batched {batched_time * 1e3:.1f}ms vs per-node "
+           f"{pernode_time * 1e3:.1f}ms = {speedup:.1f}x "
+           f"(floor {MIN_JOIN_SPEEDUP:.1f}x) at n={LARGEST}")
+    assert speedup >= MIN_JOIN_SPEEDUP, (
+        f"interval-join workload speedup {speedup:.2f}x fell below the "
+        f"{MIN_JOIN_SPEEDUP:.1f}x floor (batched {batched_time:.4f}s, "
+        f"per-node {pernode_time:.4f}s)")

@@ -6,6 +6,8 @@ Public surface:
   :meth:`KyGoddag.build` from a
   :class:`~repro.cmh.document.MultihierarchicalDocument`.
 * :mod:`~repro.core.goddag.axes` — the 12 standard and 7 extended axes.
+* :mod:`~repro.core.goddag.joins` — set-at-a-time interval joins for
+  the extended axes (DESIGN.md §11).
 * :mod:`~repro.core.goddag.render` — XML/DOT/outline rendering.
 * :mod:`~repro.core.goddag.stats` — node/edge inventory (Figure 2).
 * :class:`~repro.core.goddag.temp.TemporaryHierarchyManager` — the
@@ -29,6 +31,12 @@ from repro.core.goddag.axes import (
     evaluate_axis,
     evaluate_axis_batch,
 )
+from repro.core.goddag.joins import (
+    JOIN_KERNELS,
+    ColumnarNodeSet,
+    exists_axis_batch,
+    join_axis_batch,
+)
 from repro.core.goddag.render import describe, serialize_node, to_dot
 from repro.core.goddag.stats import GoddagStats, collect
 from repro.core.goddag.temp import TemporaryHierarchyManager
@@ -45,8 +53,12 @@ __all__ = [
     "GPi",
     "AXES",
     "EXTENDED_AXES",
+    "JOIN_KERNELS",
+    "ColumnarNodeSet",
     "evaluate_axis",
     "evaluate_axis_batch",
+    "exists_axis_batch",
+    "join_axis_batch",
     "serialize_node",
     "to_dot",
     "describe",

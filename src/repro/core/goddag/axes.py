@@ -403,7 +403,20 @@ def axis_following_overlapping(goddag: KyGoddag, node: GNode,
 
 def axis_overlapping(goddag: KyGoddag, node: GNode,
                      name: str | None = None) -> list[GNode]:
-    """The union of the two overlap directions (Definition 1)."""
+    """The union of the two overlap directions (Definition 1).
+
+    Emission-order audit (PR 5): the concatenation is *not* globally
+    document-ordered — each sublist comes out span-sorted (end order,
+    then start order), and Definition 3 orders nodes by hierarchy rank
+    before position, so a preceding-overlapping node of a later
+    hierarchy can trail a following-overlapping node it precedes.  The
+    two sublists are disjoint for one context (``m.end < n.end`` vs
+    ``m.end > n.end``), so the list is duplicate-free, and every
+    consumer sorts: ``overlapping`` is not in :data:`ORDERED_AXES`, so
+    the evaluator, the batch entry point and the existence probes all
+    merge by order key.  Locked by
+    ``tests/test_extended_axis_joins.py::TestOverlappingEmissionOrder``.
+    """
     return (axis_preceding_overlapping(goddag, node, name)
             + axis_following_overlapping(goddag, node, name))
 
@@ -680,6 +693,30 @@ def axis_exists_named(goddag: KyGoddag, axis: str, node: GNode,
         if not mask.any():
             return False
         return bool((mask & (index.ends[left:right] > node.end)).any())
+    if axis == "xancestor":
+        if not node.has_leaves:
+            return False
+        index = goddag.span_index()
+        root = goddag.root
+        if (root.name == name and root is not node
+                and not index.is_descendant_or_self(node, root)):
+            return True
+        # Containment via the per-name prefix-max arrays, minus the
+        # Definition 1 descendant-or-self exclusion (rank-masked).
+        starts, ends, max_ends, ranks, preorders, _subs = \
+            index.name_containment(name)
+        position = int(np.searchsorted(starts, node.start, side="right"))
+        if position == 0 or int(max_ends[position - 1]) < node.end:
+            return False
+        if isinstance(node, GRoot):
+            return False  # every element descends from the root
+        mask = ends[:position] >= node.end
+        if isinstance(node, _HierarchyNode):
+            rank = goddag.hierarchy_rank(node.hierarchy)
+            mask &= ~((ranks[:position] == rank)
+                      & (preorders[:position] >= node.preorder)
+                      & (preorders[:position] <= node.subtree_end))
+        return bool(mask.any())
     return None
 
 

@@ -55,12 +55,77 @@ def _end_keys(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
     return (ends << _OFFSET_BITS) | starts
 
 
+def _pack_okeys(ranks: np.ndarray, preorders: np.ndarray) -> np.ndarray:
+    """Packed Definition 3 order keys for span-index rows (vectorized).
+
+    Mirrors :meth:`KyGoddag._pack_hierarchy_key` for hierarchy nodes
+    (tier 1, minor 0) — including its overflow guard, so a join-only
+    query path can never sort on silently wrapped keys.  The root
+    (rank -1) keys to 0, exactly its packed order key.  Leaves and
+    attributes never appear in the span index.
+    """
+    if len(ranks) and (int(ranks.max()) >= 1 << 16
+                       or int(preorders.max()) >= 1 << 32):
+        raise GoddagError(
+            "document-order key overflow: hierarchy rank/preorder "
+            "exceeds the packed int64 layout (see DESIGN.md §1)")
+    keys = (np.int64(1) << np.int64(61)) | (ranks << np.int64(45)) \
+        | (preorders << np.int64(13))
+    return np.where(ranks == -1, np.int64(0), keys)
+
+
+class _NameInterval:
+    """Per-name interval-join columns (DESIGN.md §11).
+
+    Start-sorted parallel arrays over the nonempty *elements* named
+    ``name`` (root excluded), the same multiset re-sorted by the end
+    order, running containment bounds (prefix max / suffix min of the
+    end offsets), and packed Definition 3 order keys — everything the
+    set-at-a-time kernels of :mod:`repro.core.goddag.joins` consume.
+    The existence fast paths' containment tuples
+    (:meth:`SpanIndex.name_containment`) are views of the same arrays,
+    so each name is gathered exactly once.
+    """
+
+    __slots__ = ("nodes", "starts", "ends", "ranks", "preorders",
+                 "subtree_ends", "okeys",
+                 "prefix_max_ends", "suffix_min_ends",
+                 "e_nodes", "e_starts", "e_ends", "e_okeys")
+
+    def __init__(self, nodes: np.ndarray, starts: np.ndarray,
+                 ends: np.ndarray, ranks: np.ndarray,
+                 preorders: np.ndarray,
+                 subtree_ends: np.ndarray) -> None:
+        self.nodes = nodes
+        self.starts = starts
+        self.ends = ends
+        self.ranks = ranks
+        self.preorders = preorders
+        self.subtree_ends = subtree_ends
+        self.okeys = _pack_okeys(ranks, preorders)
+        if len(ends):
+            self.prefix_max_ends = np.maximum.accumulate(ends)
+            self.suffix_min_ends = np.minimum.accumulate(ends[::-1])[::-1]
+        else:
+            self.prefix_max_ends = ends
+            self.suffix_min_ends = ends
+        e_order = np.argsort(_end_keys(starts, ends), kind="stable")
+        self.e_nodes = nodes[e_order]
+        self.e_starts = starts[e_order]
+        self.e_ends = ends[e_order]
+        self.e_okeys = self.okeys[e_order]
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+
 class _SubIndex:
     """One hierarchy's span nodes as sorted parallel sub-arrays."""
 
     __slots__ = ("rank", "s_keys", "s_nodes", "s_starts", "s_ends",
                  "s_preorders", "s_subtree_ends", "s_names",
-                 "e_keys", "e_nodes", "e_starts", "e_ends", "e_names")
+                 "e_keys", "e_nodes", "e_starts", "e_ends", "e_names",
+                 "e_preorders")
 
     def __init__(self, rank: int, nodes: list[GNode]) -> None:
         self.rank = rank
@@ -103,6 +168,7 @@ class _SubIndex:
         self.e_starts = starts[e_order]
         self.e_ends = ends[e_order]
         self.e_names = names[e_order]
+        self.e_preorders = preorders[e_order]
 
     def __len__(self) -> int:
         return len(self.s_nodes)
@@ -143,7 +209,9 @@ class SpanIndex:
         self._subs: dict[str, _SubIndex] = {}
         self._name_masks: dict[str, np.ndarray] = {}
         self._e_name_masks: dict[str, np.ndarray] = {}
-        self._containment: dict[str, tuple] = {}
+        self._intervals: dict[str, _NameInterval] = {}
+        self._okeys: np.ndarray | None = None
+        self._e_okeys: np.ndarray | None = None
         # Hierarchies registered but not yet merged into the arrays.
         # Membership changes are applied *lazily* on the next read: an
         # analyze-string temporary whose lifetime never touches an
@@ -167,6 +235,7 @@ class SpanIndex:
         self.e_starts = root.e_starts
         self.ends_sorted = root.e_ends
         self.e_ranks = np.full(1, -1, dtype=np.int64)
+        self.e_preorders = root.e_preorders
         self._e_names = root.e_names
         self._e_keys = root.e_keys
         self._refresh_nonempty()
@@ -202,7 +271,9 @@ class SpanIndex:
                        for name, (rank, count) in subs.items()}
         index._name_masks = {}
         index._e_name_masks = {}
-        index._containment = {}
+        index._intervals = {}
+        index._okeys = None
+        index._e_okeys = None
         index._pending = []
         index.incremental_adds = 0
         index.incremental_removes = 0
@@ -219,6 +290,9 @@ class SpanIndex:
         index.e_starts = arrays["e_starts"]
         index.ends_sorted = arrays["ends_sorted"]
         index.e_ranks = arrays["e_ranks"]
+        # Not persisted in .mhxb: derived lazily from the node objects
+        # on first interval-join use (see _e_preorders_now).
+        index.e_preorders = arrays.get("e_preorders")
         index._e_names = arrays["e_names"]
         index._refresh_nonempty()
         return index
@@ -230,9 +304,11 @@ class SpanIndex:
         *replacement* (the temporary-hierarchy merge/compress paths)
         stays possible; those build fresh arrays."""
         self._flush_pending()
+        self.okey_columns()  # materializes e_preorders too
         for array in (self._s_keys, self.starts, self.ends, self.ranks,
                       self.preorders, self.subtree_ends, self._e_keys,
-                      self.e_starts, self.ends_sorted, self.e_ranks):
+                      self.e_starts, self.ends_sorted, self.e_ranks,
+                      self.e_preorders):
             array.setflags(write=False)
 
     # -- incremental maintenance --------------------------------------------
@@ -273,6 +349,9 @@ class SpanIndex:
             self._names = np.insert(self._names, positions, sub.s_names)
             e_positions = np.searchsorted(self._e_keys, sub.e_keys,
                                           side="right")
+            # Materialize the (possibly lazily-derived) preorder column
+            # before e_nodes changes underneath the derivation.
+            e_preorders = self._e_preorders_now()
             self._e_keys = np.insert(self._e_keys, e_positions, sub.e_keys)
             self.e_nodes = np.insert(self.e_nodes, e_positions, sub.e_nodes)
             self.e_starts = np.insert(self.e_starts, e_positions,
@@ -283,10 +362,11 @@ class SpanIndex:
                                      np.int64(sub.rank))
             self._e_names = np.insert(self._e_names, e_positions,
                                       sub.e_names)
+            self.e_preorders = np.insert(e_preorders, e_positions,
+                                         sub.e_preorders)
             self._refresh_nonempty()
-        self._name_masks.clear()
-        self._e_name_masks.clear()
-        self._containment.clear()
+        self._clear_derived(names={name for name in sub.s_names
+                                   if name is not None})
 
     def remove_component(self, component: "_HierarchyComponent") -> None:
         """Drop one hierarchy: cancel its queued add, or compress the
@@ -309,16 +389,21 @@ class SpanIndex:
         self.subtree_ends = self.subtree_ends[keep]
         self._names = self._names[keep]
         e_keep = self.e_ranks != sub.rank
+        e_preorders = self._e_preorders_now()
         self._e_keys = self._e_keys[e_keep]
         self.e_nodes = self.e_nodes[e_keep]
         self.e_starts = self.e_starts[e_keep]
         self.ends_sorted = self.ends_sorted[e_keep]
+        self.e_preorders = e_preorders[e_keep]
         self.e_ranks = self.e_ranks[e_keep]
         self._e_names = self._e_names[e_keep]
         self._refresh_nonempty()
-        self._name_masks.clear()
-        self._e_name_masks.clear()
-        self._containment.clear()
+        if isinstance(sub, _SubIndex):
+            self._clear_derived(names={name for name in sub.s_names
+                                       if name is not None})
+        else:
+            # Restored sub-indexes carry no name table: clear wholesale.
+            self._clear_derived()
         self.incremental_removes += 1
 
     def rename_node(self, node: GNode) -> None:
@@ -345,9 +430,11 @@ class SpanIndex:
             if self.e_nodes[position] is node:
                 self._e_names[position] = node.name
                 break
+        # Spans, ranks and preorders are untouched: the order-key
+        # columns stay valid; only the name-derived caches reset.
         self._name_masks.clear()
         self._e_name_masks.clear()
-        self._containment.clear()
+        self._intervals.clear()
 
     def reset_root(self) -> None:
         """Re-seed the root entry after a base-text length change.
@@ -374,12 +461,35 @@ class SpanIndex:
         self.e_starts = root.e_starts
         self.ends_sorted = root.e_ends
         self.e_ranks = np.full(1, -1, dtype=np.int64)
+        self.e_preorders = root.e_preorders
         self._e_names = root.e_names
         self._e_keys = root.e_keys
         self._refresh_nonempty()
+        self._clear_derived()
+
+    def _clear_derived(self, names=None) -> None:
+        """Invalidate caches after a membership change.
+
+        The boolean name masks and packed order-key columns are
+        *positional* (parallel to the global arrays), so any membership
+        change stales them wholesale — the order keys rebuild with two
+        vectorized packs on next use.  The per-name containment and
+        interval caches hold gathered *values* (a node's spans and
+        order key never change once registered), so a change only
+        stales the names the changed component actually contains —
+        pass them as ``names`` to keep every other name's arrays warm
+        across ``analyze-string`` temporary churn.  ``names=None``
+        clears everything.
+        """
         self._name_masks.clear()
         self._e_name_masks.clear()
-        self._containment.clear()
+        self._okeys = None
+        self._e_okeys = None
+        if names is None:
+            self._intervals.clear()
+            return
+        for name in names:
+            self._intervals.pop(name, None)
 
     # -- name pushdown -------------------------------------------------------
 
@@ -410,20 +520,13 @@ class SpanIndex:
         ``ends``.  ``span ⊇ [s, e)`` existence is then one bisect plus
         one prefix-max lookup: a container named ``name`` exists iff
         some entry starts at or before ``s`` and the prefix max end
-        reaches ``e``.
+        reaches ``e``.  A view of the cached :meth:`name_interval`
+        columns — one gather per name serves both the existence fast
+        paths and the join kernels.
         """
-        self._flush_pending()
-        cached = self._containment.get(name)
-        if cached is None:
-            mask = self.name_mask(name) & self.nonempty & (self.ranks != -1)
-            starts = self.starts[mask]
-            ends = self.ends[mask]
-            max_ends = (np.maximum.accumulate(ends) if len(ends)
-                        else ends)
-            cached = (starts, ends, max_ends, self.ranks[mask],
-                      self.preorders[mask], self.subtree_ends[mask])
-            self._containment[name] = cached
-        return cached
+        interval = self.name_interval(name)
+        return (interval.starts, interval.ends, interval.prefix_max_ends,
+                interval.ranks, interval.preorders, interval.subtree_ends)
 
     def has_containing_named(self, name: str, start: int,
                              end: int) -> bool:
@@ -432,6 +535,53 @@ class SpanIndex:
         starts, _ends, max_ends, _r, _p, _s = self.name_containment(name)
         position = int(starts.searchsorted(start, side="right"))
         return position > 0 and int(max_ends[position - 1]) >= end
+
+    # -- interval-join columns (DESIGN.md §11) -------------------------------
+
+    def _e_preorders_now(self) -> np.ndarray:
+        """The end-sorted preorder column, deriving it when absent.
+
+        Indexes restored from ``.mhxb`` don't persist the column (the
+        container predates it); one ``np.fromiter`` over the restored
+        node objects fills it, after which it is maintained
+        incrementally like every other column.
+        """
+        if self.e_preorders is None:
+            self.e_preorders = np.fromiter(
+                (getattr(node, "preorder", -1) for node in self.e_nodes),
+                dtype=np.int64, count=len(self.e_nodes))
+        return self.e_preorders
+
+    def okey_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """Packed Definition 3 order keys, in both sort orders.
+
+        ``(start-sorted, end-sorted)`` parallel to ``nodes`` /
+        ``e_nodes``.  Join kernels gather these per candidate position,
+        so one ``np.unique`` over the gathered keys is simultaneously
+        the step's deduplication *and* its global document-order merge
+        — no per-node Python key computation.
+        """
+        self._flush_pending()
+        if self._okeys is None:
+            # Guard attribute assigned last: racing fills on a shared
+            # frozen snapshot must never expose a half-built pair.
+            self._e_okeys = _pack_okeys(self.e_ranks,
+                                        self._e_preorders_now())
+            self._okeys = _pack_okeys(self.ranks, self.preorders)
+        return self._okeys, self._e_okeys
+
+    def name_interval(self, name: str) -> _NameInterval:
+        """The cached per-name interval-join columns (DESIGN.md §11)."""
+        self._flush_pending()
+        interval = self._intervals.get(name)
+        if interval is None:
+            mask = self.name_mask(name) & self.nonempty & (self.ranks != -1)
+            interval = _NameInterval(self.nodes[mask], self.starts[mask],
+                                     self.ends[mask], self.ranks[mask],
+                                     self.preorders[mask],
+                                     self.subtree_ends[mask])
+            self._intervals[name] = interval
+        return interval
 
     # -- range slices -----------------------------------------------------------
 

@@ -32,11 +32,21 @@ from repro.core.runtime.context import QueryOptions, QueryStats
 
 __all__ = [
     "CompiledQuery",
+    "PLAN_VERSION",
     "compile_query",
     "build_plan",
     "rewrite",
     "render_plan",
 ]
+
+#: Version of the plan pipeline's lowering rules.  Compilation is a
+#: pure function of (query text, grammar, *these rules*); caches that
+#: may outlive one pipeline revision — the store's cross-document
+#: :class:`~repro.store.plancache.SharedPlanCache` — key on it next to
+#: :data:`repro.core.lang.GRAMMAR_VERSION` so a rule change orphans
+#: stale plans instead of serving them.  Bumped by PR 5 (extended-axis
+#: steps and cross-hierarchy predicates lower to interval joins).
+PLAN_VERSION = 2
 
 
 class CompiledQuery:

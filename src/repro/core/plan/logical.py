@@ -13,6 +13,8 @@ Operator glossary (DESIGN.md §8):
 ``seq``          sequence concatenation (the comma operator)
 ``path``         a location path: anchor or input plan, then steps
 ``step``         one set-at-a-time axis step (axis, test, predicates)
+``interval-join``  an extended-axis step lowered to a vectorized
+                 sorted-array join over the span-index columns (§11)
 ``expr-step``    a non-axis path step, evaluated once per input node
 ``filter``       predicates over an arbitrary item sequence
 ``flwor``        the FLWOR pipeline (streaming unless it orders)
@@ -167,10 +169,18 @@ class PredicateOp(Plan):
     #: never reads ``position()``/``last()``: candidate order and focus
     #: position are irrelevant to the verdict
     position_free: bool = False
+    #: a recognized cross-hierarchy existence test (``[overlapping::b]``
+    #: and friends): ``(axis, name)``; the physical layer then filters
+    #: the whole candidate set with one batched semi-join probe instead
+    #: of one per-candidate EBV evaluation (DESIGN.md §11)
+    semi_join: tuple[str, str] | None = None
 
     def _label(self) -> str:
         if self.positional_literal is not None:
             return f"predicate [position={self.positional_literal}]"
+        if self.semi_join is not None:
+            axis, name = self.semi_join
+            return f"predicate [semi-join {axis}::{name}]"
         return "predicate [boolean]" if self.boolean_only else "predicate"
 
 
@@ -203,6 +213,33 @@ class StepOp(Plan):
             flags.append("unordered")
         rendered = f" [{', '.join(flags)}]" if flags else ""
         return f"step {self.axis}::{render_test(self.test)}{rendered}"
+
+
+@dataclass
+class IntervalJoinOp(StepOp):
+    """One extended-axis step lowered to a set-at-a-time interval join.
+
+    A :class:`StepOp` specialization (the physical layer and the
+    order-normalization rules treat it as a step), carrying the kernel
+    family (``containment``, ``containment-reverse``, ``boundary``,
+    ``stab``) the join engine will run (DESIGN.md §11).  With
+    predicates that are not all batched semi-joins, execution falls
+    back to the per-node step machinery — the oracle path.
+    """
+
+    kernel: str = ""
+
+    def _label(self) -> str:
+        flags = [f"kernel={self.kernel}"] if self.kernel else []
+        if self.skip_leaves:
+            flags.append("skip-leaves")
+        if self.leaves_only:
+            flags.append("leaves-only")
+        if self.emit == "any":
+            flags.append("unordered")
+        rendered = f" [{', '.join(flags)}]" if flags else ""
+        return (f"interval-join {self.axis}::{render_test(self.test)}"
+                f"{rendered}")
 
 
 @dataclass
@@ -376,7 +413,9 @@ def _children(plan: Plan) -> list[Plan]:
     if isinstance(plan, QuantOp):
         return [p for _name, p in plan.bindings] + [plan.condition]
     if isinstance(plan, PredicateOp):
-        return [] if plan.positional_literal is not None else [plan.plan]
+        if plan.positional_literal is not None or plan.semi_join is not None:
+            return []  # the label carries the whole story
+        return [plan.plan]
     if isinstance(plan, StepOp):
         return list(plan.predicates)
     if isinstance(plan, ExprStepOp):

@@ -27,8 +27,6 @@ from __future__ import annotations
 import math
 from typing import Callable
 
-import numpy as np
-
 from repro.errors import QueryEvaluationError
 from repro.markup import dom
 from repro.core.goddag.axes import (
@@ -37,6 +35,11 @@ from repro.core.goddag.axes import (
     emits_document_order,
     evaluate_axis_batch,
     leaf_candidates,
+)
+from repro.core.goddag.joins import (
+    ColumnarNodeSet,
+    exists_axis_batch,
+    join_axis_batch,
 )
 from repro.core.goddag.nodes import (
     GAttr,
@@ -47,7 +50,6 @@ from repro.core.goddag.nodes import (
     GPi,
     GRoot,
     GText,
-    _HierarchyNode,
 )
 from repro.core.lang import ast
 from repro.core.plan import logical as L
@@ -691,6 +693,79 @@ def _compile_filter(op: L.FilterOp) -> Runner:
 # ---------------------------------------------------------------------------
 
 
+def _apply_semi_joins(frame: "Frame", semi_joins: list[tuple[str, str]],
+                      candidates: list) -> list:
+    """Filter a document-ordered candidate set by batched existence
+    probes — one vectorized semi-join per ``[extended-axis::name]``
+    predicate instead of one EBV evaluation per candidate.  Valid only
+    for boolean, position-free predicates (the planner guarantees it):
+    their verdicts cannot depend on candidate grouping or position."""
+    for axis, name in semi_joins:
+        if not candidates:
+            return candidates
+        frame.stats.join_steps += 1
+        mask = exists_axis_batch(frame.goddag, axis, candidates, name)
+        if mask.all():
+            continue
+        kept = [node for node, keep in zip(candidates, mask) if keep]
+        if isinstance(candidates, ColumnarNodeSet):
+            starts, ends = candidates.span_columns()
+            candidates = ColumnarNodeSet(kept, starts[mask], ends[mask])
+        else:
+            candidates = kept
+    return candidates
+
+
+def _compile_join(op: L.IntervalJoinOp):
+    """``fn(frame, inputs) -> outputs`` for one interval-join step.
+
+    The whole step is one set-at-a-time sorted-array join
+    (:func:`repro.core.goddag.joins.join_axis_batch`): candidates are
+    gathered as positions into the span-index columns and merged into
+    global document order by one ``np.unique`` over packed order keys.
+    Semi-join predicates filter the joined set with batched existence
+    probes; any other predicate shape falls back to the per-node step
+    machinery (:func:`_compile_step`), which is also the oracle path.
+    """
+    if op.predicates and not all(p.semi_join is not None
+                                 for p in op.predicates):
+        return _compile_step(op)
+    axis = op.axis
+    semi_joins = [p.semi_join for p in op.predicates]
+    test_factory = _make_test_factory(op.test, axis)
+    skip_leaves = op.skip_leaves
+    leaves_only = op.leaves_only
+    hint = op.name_hint
+    test_cache: list = [None, None]
+
+    def run(frame: Frame, inputs: list) -> list:
+        if not inputs:
+            return []
+        for item in inputs:
+            if not isinstance(item, GNode):
+                _require_navigable(item)
+        goddag = frame.goddag
+        stats = frame.stats
+        stats.axis_steps += 1
+        stats.batched_steps += 1
+        stats.join_steps += 1
+        if test_cache[0] is not goddag:
+            test_cache[0] = goddag
+            test_cache[1] = test_factory(goddag)
+        # batched_extended_steps is bumped inside join_axis_batch,
+        # only when a kernel actually runs (single-context steps
+        # delegate to the per-node walk and must not count).
+        out = join_axis_batch(goddag, axis, inputs, hint,
+                              skip_leaves=skip_leaves,
+                              leaves_only=leaves_only,
+                              test=test_cache[1], stats=stats)
+        if semi_joins:
+            out = _apply_semi_joins(frame, semi_joins, out)
+        return out
+
+    return run
+
+
 def _make_test_factory(test: ast.NodeTest, axis: str):
     """``factory(goddag) -> (fn(node) -> bool) | None`` (None = match all)."""
     principal_attribute = axis == "attribute"
@@ -772,6 +847,13 @@ def _compile_step(op: L.StepOp):
     axis = op.axis
     reverse = axis in REVERSE_AXES
     predicate_fns = [_compile_predicate(p) for p in op.predicates]
+    #: all predicates are recognized cross-hierarchy existence tests:
+    #: filter the step's batched union with vectorized semi-joins
+    #: instead of looping candidates per input node (DESIGN.md §11)
+    semi_joins = ([p.semi_join for p in op.predicates]
+                  if op.predicates and all(p.semi_join is not None
+                                           for p in op.predicates)
+                  else None)
     test_factory = _make_test_factory(op.test, axis)
     skip_leaves = op.skip_leaves
     leaves_only = op.leaves_only
@@ -841,6 +923,17 @@ def _compile_step(op: L.StepOp):
             return evaluate_axis_batch(
                 goddag, axis, inputs, hint, skip_leaves=skip_leaves,
                 leaves_only=leaves_only, test=test)
+        if semi_joins is not None:
+            # Boolean, position-free existence predicates filter the
+            # same set regardless of per-input grouping: take the
+            # batched union once, then one vectorized probe per
+            # predicate over the whole candidate set.
+            found = evaluate_axis_batch(
+                goddag, axis, inputs, hint, skip_leaves=skip_leaves,
+                leaves_only=leaves_only, test=test)
+            if len(inputs) == 1 and emits_document_order(axis, inputs[0]):
+                stats.ordered_steps += 1
+            return _apply_semi_joins(frame, semi_joins, found)
         # Predicated: candidates per input in legacy predicate order
         # (reverse axes count positions away from the context node),
         # then one merge across inputs.
@@ -957,53 +1050,19 @@ def _compile_step_exists(op: L.StepOp):
             return any(isinstance(c, (GElement, GRoot)) and c.name == name
                        for c in found)
         return exists_ancestor
-    if named and axis == "xancestor":
-        def exists_xancestor(frame: Frame) -> bool:
-            node = frame.context_item()
-            if not isinstance(node, GNode):
-                _require_navigable(node)
-            frame.stats.axis_steps += 1
-            frame.stats.ordered_steps += 1
-            goddag = frame.goddag
-            if not node.has_leaves:
-                return False
-            index = goddag.span_index()
-            root = goddag.root
-            if (root.name == name and root is not node
-                    and not index.is_descendant_or_self(node, root)):
-                return True
-            starts, ends, max_ends, ranks, preorders, _subs = \
-                index.name_containment(name)
-            position = int(np.searchsorted(starts, node.start,
-                                           side="right"))
-            if position == 0 or int(max_ends[position - 1]) < node.end:
-                return False
-            mask = ends[:position] >= node.end
-            if isinstance(node, GRoot):
-                return False  # every element descends from the root
-            if isinstance(node, _HierarchyNode):
-                rank = goddag.hierarchy_rank(node.hierarchy)
-                mask &= ~((ranks[:position] == rank)
-                          & (preorders[:position] >= node.preorder)
-                          & (preorders[:position] <= node.subtree_end))
-            return bool(mask.any())
-        return exists_xancestor
-    if named and axis in ("xdescendant", "xfollowing", "xpreceding",
-                          "overlapping", "preceding-overlapping",
+    if named and axis in ("xancestor", "xdescendant", "xfollowing",
+                          "xpreceding", "overlapping",
+                          "preceding-overlapping",
                           "following-overlapping"):
+        # axis_exists_named covers every extended axis in this branch,
+        # so there is no per-candidate fallback to mask a gap.
         def exists_masked(frame: Frame) -> bool:
             node = frame.context_item()
             if not isinstance(node, GNode):
                 _require_navigable(node)
             frame.stats.axis_steps += 1
             frame.stats.ordered_steps += 1
-            found = axis_exists_named(frame.goddag, axis, node, name)
-            if found is None:  # pragma: no cover - all axes covered
-                found = any(
-                    isinstance(c, (GElement, GRoot)) and c.name == name
-                    for c in axis_candidates(frame.goddag, axis, node,
-                                             name, True))
-            return found
+            return bool(axis_exists_named(frame.goddag, axis, node, name))
         return exists_masked
     # Generic probe: materialize the (pushdown-trimmed) candidates and
     # stop at the first test hit — no sort, no dedup, no predicate pass.
@@ -1132,7 +1191,9 @@ def _compile_expr_step(op: L.ExprStepOp):
 def _compile_path(op: L.PathOp) -> Runner:
     step_fns = []
     for step in op.steps:
-        if isinstance(step, L.StepOp):
+        if isinstance(step, L.IntervalJoinOp):
+            step_fns.append(_compile_join(step))
+        elif isinstance(step, L.StepOp):
             step_fns.append(_compile_step(step))
         else:
             step_fns.append(_compile_expr_step(step))

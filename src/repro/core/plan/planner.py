@@ -19,6 +19,7 @@ families that annotate the *plan* rather than the AST:
 
 from __future__ import annotations
 
+from repro.core.goddag.joins import JOIN_KERNELS
 from repro.core.lang import ast
 from repro.core.plan import logical as L
 from repro.core.plan.rewrite import (
@@ -165,9 +166,39 @@ def _plan_predicate(pred: ast.Expr, notes: list[str]) -> L.PredicateOp:
         return L.PredicateOp(L.ConstOp([pred.value]),
                              positional_literal=position)
     boolean_only = is_statically_boolean(pred)
-    return L.PredicateOp(_plan(pred, not boolean_only, notes),
-                         boolean_only=boolean_only,
-                         position_free=not uses_position(pred))
+    predicate = L.PredicateOp(_plan(pred, not boolean_only, notes),
+                              boolean_only=boolean_only,
+                              position_free=not uses_position(pred))
+    semi_join = _semi_join_probe(predicate)
+    if semi_join is not None:
+        predicate.semi_join = semi_join
+        axis, name = semi_join
+        notes.append(f"join-lowering: [{axis}::{name}] predicate "
+                     "batched as a semi-join existence probe")
+    return predicate
+
+
+def _semi_join_probe(predicate: L.PredicateOp) -> tuple[str, str] | None:
+    """Recognize ``[extended-axis::name]`` cross-hierarchy predicates.
+
+    The shape the batched semi-join probes handle: a bare relative
+    single-step path over an extended axis with a plain name test and
+    no inner predicates, consumed only through its EBV (boolean,
+    position-free).  Anything else keeps the per-candidate evaluation.
+    """
+    if not predicate.boolean_only or not predicate.position_free:
+        return None
+    plan = predicate.plan
+    if not (isinstance(plan, L.PathOp) and plan.input is None
+            and plan.anchor == "relative" and len(plan.steps) == 1):
+        return None
+    step = plan.steps[0]
+    if not isinstance(step, L.StepOp) or step.predicates:
+        return None
+    if step.axis not in JOIN_KERNELS or not isinstance(
+            step.test, ast.NameTest):
+        return None
+    return step.axis, step.test.name
 
 
 def _test_pushdowns(test: ast.NodeTest) -> tuple[bool, bool, str | None]:
@@ -197,12 +228,24 @@ def _plan_path(expr: ast.PathExpr, ordered: bool,
             steps.append(L.ExprStepOp(_plan(step.expression, True, notes)))
             continue
         skip_leaves, leaves_only, name_hint = _test_pushdowns(step.test)
-        steps.append(L.StepOp(
-            axis=step.axis, test=step.test,
-            predicates=[_plan_predicate(p, notes)
-                        for p in step.predicates],
-            skip_leaves=skip_leaves, leaves_only=leaves_only,
-            name_hint=name_hint))
+        predicates = [_plan_predicate(p, notes) for p in step.predicates]
+        if step.axis in JOIN_KERNELS:
+            # Extended-axis steps lower to explicit interval-join
+            # operators: the physical layer runs them as one
+            # sorted-array join per step instead of per-node span
+            # arithmetic (DESIGN.md §11).
+            kernel = JOIN_KERNELS[step.axis]
+            notes.append(f"join-lowering: {step.axis}:: step lowered "
+                         f"to a set-at-a-time {kernel} join")
+            steps.append(L.IntervalJoinOp(
+                axis=step.axis, test=step.test, predicates=predicates,
+                skip_leaves=skip_leaves, leaves_only=leaves_only,
+                name_hint=name_hint, kernel=kernel))
+        else:
+            steps.append(L.StepOp(
+                axis=step.axis, test=step.test, predicates=predicates,
+                skip_leaves=skip_leaves, leaves_only=leaves_only,
+                name_hint=name_hint))
     # Order normalization: an axis step's output order is unobservable
     # when the *next* step is again an axis step (an axis step's own
     # output never depends on its input order — per-input candidate

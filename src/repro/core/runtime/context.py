@@ -38,6 +38,16 @@ class QueryStats:
     batched_steps:
         Pipeline only: steps evaluated set-at-a-time over a whole
         context sequence in one batched axis call.
+    join_steps:
+        Pipeline only: vectorized interval-join executions — one per
+        extended-axis step run through the join engine plus one per
+        batched semi-join existence probe (DESIGN.md §11).
+    batched_extended_steps:
+        Pipeline only: extended-axis steps actually served by the
+        set-at-a-time join kernels instead of per-node span arithmetic
+        (a subset of ``join_steps``; single-context steps delegated to
+        the per-node walk count in ``join_steps`` only, and predicated
+        steps that fall back to the per-node machinery in neither).
     plan_cache_hit:
         Pipeline only: the compiled plan came from the engine's LRU
         cache instead of a fresh parse/rewrite/plan run.
@@ -46,6 +56,8 @@ class QueryStats:
     axis_steps: int = 0
     ordered_steps: int = 0
     batched_steps: int = 0
+    join_steps: int = 0
+    batched_extended_steps: int = 0
     plan_cache_hit: bool = False
 
     # -- dict-style compatibility (the legacy stats were a plain dict) --
@@ -55,6 +67,8 @@ class QueryStats:
             "axis_steps": self.axis_steps,
             "ordered_steps": self.ordered_steps,
             "batched_steps": self.batched_steps,
+            "join_steps": self.join_steps,
+            "batched_extended_steps": self.batched_extended_steps,
         }
 
     def __getitem__(self, key: str) -> int:

@@ -1,12 +1,15 @@
 """The cross-document compiled-plan cache (DESIGN.md §10).
 
-Query compilation is a pure function of the query text and the grammar
-— no document state flows into parse, rewrite, planning, or closure
-compilation — so one cache can serve every catalog entry of a
-:class:`~repro.store.DocumentStore`.  Keys combine the grammar version
-(:data:`repro.core.lang.GRAMMAR_VERSION`), the compilation mode, the
-query text, and the (frozen, hashable) query options; a grammar bump
-therefore orphans stale plans instead of serving them.
+Query compilation is a pure function of the query text, the grammar,
+and the plan pipeline's lowering rules — no document state flows into
+parse, rewrite, planning, or closure compilation — so one cache can
+serve every catalog entry of a :class:`~repro.store.DocumentStore`.
+Keys combine the grammar version
+(:data:`repro.core.lang.GRAMMAR_VERSION`), the plan pipeline version
+(:data:`repro.core.plan.PLAN_VERSION` — bumped when lowering rules
+change, e.g. PR 5's interval-join lowering), the compilation mode, the
+query text, and the (frozen, hashable) query options; a grammar or
+pipeline bump therefore orphans stale plans instead of serving them.
 
 The cache is thread-safe: lookups and LRU bookkeeping hold a short
 lock, while compilation itself runs outside it (two racing threads may
@@ -20,7 +23,7 @@ import threading
 from collections import OrderedDict
 
 from repro.core.lang import GRAMMAR_VERSION
-from repro.core.plan import CompiledQuery, compile_query
+from repro.core.plan import PLAN_VERSION, CompiledQuery, compile_query
 from repro.core.runtime import QueryOptions
 
 
@@ -42,7 +45,7 @@ class SharedPlanCache:
             xpath: bool = False) -> tuple[CompiledQuery, bool]:
         """``(compiled plan, was it a cache hit)`` for one query."""
         mode = "xpath" if xpath else "query"
-        key = (GRAMMAR_VERSION, mode, text, options)
+        key = (GRAMMAR_VERSION, PLAN_VERSION, mode, text, options)
         with self._lock:
             cached = self._plans.get(key)
             if cached is not None:

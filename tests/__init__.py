@@ -1,0 +1,8 @@
+"""The tier-1 test suite.
+
+A real package so test module names are ``tests.<name>`` — letting a
+benchmark module (``benchmarks/test_extended_axis_joins.py``) share a
+basename with its tier-1 counterpart without colliding in pytest's
+module registry.  Shared hypothesis strategies live in
+:mod:`tests.strategies`.
+"""

@@ -62,6 +62,33 @@ def multihierarchical_documents(draw, max_hierarchies: int = 3,
 
 
 # ---------------------------------------------------------------------------
+# interval-join scenarios (the extended-axis join suite, DESIGN.md §11)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def join_scenarios(draw, max_hierarchies: int = 3, max_spans: int = 6,
+                   max_text: int = 40) -> tuple:
+    """``(document, context picks, temporary spans | None)``.
+
+    The raw material of one extended-axis join differential check: a
+    multihierarchical document, unbounded index draws the test folds
+    modulo the live node count into a context subset, and — half the
+    time — an extra properly-nesting span set to register as a
+    *temporary* hierarchy (the ``analyze-string`` shape: membership
+    joins must see lazily merged sub-indexes, not just built ones).
+    """
+    document = draw(multihierarchical_documents(
+        max_hierarchies=max_hierarchies, max_spans=max_spans,
+        max_text=max_text))
+    picks = draw(st.lists(st.integers(min_value=0, max_value=999),
+                          min_size=1, max_size=6))
+    temporary = draw(st.one_of(
+        st.none(), span_sets(document.text, max_spans=4)))
+    return document, picks, temporary
+
+
+# ---------------------------------------------------------------------------
 # update statements (the differential update fuzzer, DESIGN.md §9)
 # ---------------------------------------------------------------------------
 

@@ -294,18 +294,32 @@ EXPLAIN_GOLDENS = {
         'query: /descendant::line[xdescendant::w[string(.) = '
         '"singallice"]]\n'
         "rewrites:\n"
-        "  (none)\n"
+        "  - join-lowering: xdescendant:: step lowered to a "
+        "set-at-a-time containment join\n"
         "plan:\n"
         "  path anchor=root\n"
         "    step descendant::line [skip-leaves]\n"
         "      predicate [boolean]\n"
         "        path anchor=relative [unordered-result]\n"
-        "          step xdescendant::w [skip-leaves, unordered]\n"
+        "          interval-join xdescendant::w [kernel=containment, "
+        "skip-leaves, unordered]\n"
         "            predicate [boolean]\n"
         "              compare general '='\n"
         "                call string()\n"
         "                  context-item\n"
         "                const ('singallice')"
+    ),
+    "/descendant::line[overlapping::w]": (
+        "query: /descendant::line[overlapping::w]\n"
+        "rewrites:\n"
+        "  - join-lowering: overlapping:: step lowered to a "
+        "set-at-a-time stab join\n"
+        "  - join-lowering: [overlapping::w] predicate batched as a "
+        "semi-join existence probe\n"
+        "plan:\n"
+        "  path anchor=root\n"
+        "    step descendant::line [skip-leaves]\n"
+        "      predicate [semi-join overlapping::w]"
     ),
     "for $w in //w let $c := count(//line) return $c": (
         "query: for $w in //w let $c := count(//line) return $c\n"
