@@ -299,6 +299,49 @@ def _bench_store_timed(mhx: Path, mhxb: Path, probe: str,
     }
 
 
+def bench_durability(size: int, repeats: int) -> dict:
+    """S-STORE durability: per-commit cost of the fsync policies.
+
+    Times the same involution update batch (DESIGN.md §12) through a
+    :class:`DocumentStore` under each durability mode — ``off`` (rename
+    atomicity only), ``batch`` (deferred, coalesced ``sync()``), and
+    ``full`` (fsync file + directory every commit).  The ``speedup``
+    leaf is off/batch: ``batch`` is the mode CI gates (≤2× over
+    ``off``, ``benchmarks/test_store_durability.py``), so its ratio
+    rides the machine-independent regression wall.
+    """
+    import shutil
+    import tempfile
+
+    from repro.store import DocumentStore
+
+    corpus = corpus_at_size(size)
+    statements = [
+        'rename node /descendant::w[1] as "word"',
+        'rename node /descendant::word[1] as "w"',
+    ]
+    out: dict = {}
+    for mode in ("off", "batch", "full"):
+        root = Path(tempfile.mkdtemp(prefix=f"mhxq-bench-dur-{mode}-"))
+        try:
+            store = DocumentStore.init(root, durability=mode)
+            store.add("doc", corpus)
+
+            def commit() -> None:
+                for statement in statements:
+                    store.update("doc", statement)
+
+            commit()  # warm the snapshot + plan cache
+            out[f"{mode}-commit"] = median_ns(commit, repeats)
+            # (sync() itself is microseconds — too noisy for the wall)
+            if mode == "batch":
+                store.sync()
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    out["speedup"] = round(out["off-commit"] / out["batch-commit"], 2)
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(
@@ -362,6 +405,9 @@ def main(argv: list[str] | None = None) -> int:
                    "repeats": query_repeats,
                    "python": sys.version.split()[0]},
         "median_ns_per_coldload": bench_store(args.size, query_repeats),
+        "median_ns_per_commit": {
+            "durability": bench_durability(args.size, query_repeats),
+        },
     }
     Path(args.store_out).write_text(
         json.dumps(store_payload, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,86 @@
+"""S-STORE durability — the price of crash safety (DESIGN.md §12).
+
+The robustness claim of ISSUE 6: checksummed, durably-committed writes
+must not make the store unusable.  ``durability="batch"`` (no per-save
+fsync; dirty files coalesced into an explicit ``sync()``) commits
+within ``REPRO_BENCH_MAX_BATCH_OVERHEAD``× (default 2×) of
+``durability="off"`` on the largest bench corpus, and every mode must
+produce byte-identical container files — the fsync discipline changes
+*when* bytes are durable, never *which* bytes.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+from repro.api import Engine
+from repro.bench import SCALING_SIZES, corpus_at_size
+from repro.store import DocumentStore
+
+from conftest import record
+
+LARGEST = SCALING_SIZES[-1]
+
+MAX_BATCH_OVERHEAD = float(
+    os.environ.get("REPRO_BENCH_MAX_BATCH_OVERHEAD", "2.0"))
+
+#: an involution (word → w → word) so every timed commit does the same
+#: work against the same document state
+STATEMENTS = [
+    'rename node /descendant::w[1] as "word"',
+    'rename node /descendant::word[1] as "w"',
+]
+
+
+def median_of(function, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        gc.collect()
+        begin = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - begin)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def commit_time(root, mode: str, repeats: int = 7) -> float:
+    store = DocumentStore.init(root, durability=mode)
+    store.add("doc", corpus_at_size(LARGEST))
+
+    def commit() -> None:
+        for statement in STATEMENTS:
+            store.update("doc", statement)
+
+    commit()  # warm the snapshot + plan cache
+    elapsed = median_of(commit, repeats)
+    store.sync()
+    return elapsed
+
+
+def test_batch_durability_overhead_bounded(tmp_path):
+    off = commit_time(tmp_path / "off", "off")
+    batch = commit_time(tmp_path / "batch", "batch")
+    overhead = batch / off
+    record("S-STORE durability", "PASS" if overhead <=
+           MAX_BATCH_OVERHEAD else "FAIL",
+           f"n={LARGEST}: off {off * 1e3:.1f} ms, "
+           f"batch {batch * 1e3:.1f} ms ({overhead:.2f}x)")
+    assert overhead <= MAX_BATCH_OVERHEAD, (
+        f"durability='batch' commit is {overhead:.2f}x over 'off', "
+        f"above the {MAX_BATCH_OVERHEAD}x ceiling "
+        f"(off {off:.4f}s, batch {batch:.4f}s)")
+
+
+def test_durability_modes_write_identical_bytes(tmp_path):
+    engine = Engine(corpus_at_size(LARGEST))
+    engine.goddag.span_index()
+    payloads = {}
+    for mode in ("off", "full"):
+        path = tmp_path / f"{mode}.mhxb"
+        engine.save_mhxb(path, durability=mode)
+        payloads[mode] = path.read_bytes()
+    assert payloads["off"] == payloads["full"]
+    record("S-STORE durability parity", "PASS",
+           f"n={LARGEST}: fsync policy does not change file bytes")

@@ -175,12 +175,14 @@ class Engine:
 
     @classmethod
     def from_mhxb(cls, path: str | Path,
-                  options: QueryOptions | None = None) -> "Engine":
+                  options: QueryOptions | None = None,
+                  verify: bool = False) -> "Engine":
         """Cold-load a binary ``.mhxb`` container (mmap-backed; no XML
-        re-parse, no index rebuild — DESIGN.md §10)."""
+        re-parse, no index rebuild — DESIGN.md §10).  ``verify=True``
+        deep-scans every block checksum first (DESIGN.md §12)."""
         from repro.store.mhxb import load_engine
 
-        return load_engine(path, options=options)
+        return load_engine(path, options=options, verify=verify)
 
     # -- queries --------------------------------------------------------------
 
@@ -368,12 +370,16 @@ class Engine:
         """Write the document to a ``.mhx`` container."""
         save_mhx(self.document, path)
 
-    def save_mhxb(self, path: str | Path) -> int:
+    def save_mhxb(self, path: str | Path, *,
+                  durability: str = "off") -> int:
         """Write the full engine state to a binary ``.mhxb`` container
-        (DESIGN.md §10); returns the file size in bytes."""
+        (DESIGN.md §10); returns the file size in bytes.
+
+        ``durability="full"`` fsyncs the temp file and directory around
+        the atomic rename (DESIGN.md §12)."""
         from repro.store.mhxb import save_engine
 
-        return save_engine(self, path)
+        return save_engine(self, path, durability=durability)
 
 
 # ---------------------------------------------------------------------------

@@ -21,7 +21,10 @@ built-in Boethius document):
   by extension, a binary ``.mhxb``) container;
 * ``store`` — the concurrent document store (DESIGN.md §10):
   ``store init/add/get/query/update/compact`` manage a named catalog
-  of ``.mhxb``-persisted documents with MVCC snapshot reads.
+  of ``.mhxb``-persisted documents with MVCC snapshot reads;
+  ``store verify`` deep-scans every block checksum and ``store
+  recover`` reports what open-time crash recovery swept, adopted, or
+  quarantined (DESIGN.md §12).
 
 Examples::
 
@@ -127,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
         "store", help="the concurrent document store (DESIGN.md §10)")
     store_sub = p_store.add_subparsers(dest="store_command", required=True)
 
+    def add_durability_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--durability", choices=("full", "batch", "off"),
+                       default="full",
+                       help="fsync policy for this store session "
+                            "(DESIGN.md §12; default: full)")
+
     p_s_init = store_sub.add_parser("init", help="create an empty store")
     p_s_init.add_argument("store_dir", help="store directory")
 
@@ -134,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_s_add.add_argument("store_dir")
     p_s_add.add_argument("name", help="catalog name for the document")
     add_document_options(p_s_add)
+    add_durability_option(p_s_add)
 
     p_s_get = store_sub.add_parser(
         "get", help="show (and optionally export) a stored document")
@@ -160,12 +170,24 @@ def build_parser() -> argparse.ArgumentParser:
                                  "the batch is all-or-nothing")
     p_s_update.add_argument("--no-check", action="store_true",
                             help="skip the post-apply invariant checks")
+    add_durability_option(p_s_update)
 
     p_s_compact = store_sub.add_parser(
         "compact", help="rewrite .mhxb files from the live snapshots")
     p_s_compact.add_argument("store_dir")
     p_s_compact.add_argument("name", nargs="?", default=None,
                              help="document name (omit for all)")
+    add_durability_option(p_s_compact)
+
+    p_s_verify = store_sub.add_parser(
+        "verify", help="deep checksum scan of every stored document")
+    p_s_verify.add_argument("store_dir")
+    p_s_verify.add_argument("name", nargs="?", default=None,
+                            help="document name (omit for all)")
+
+    p_s_recover = store_sub.add_parser(
+        "recover", help="run crash recovery and report what it did")
+    p_s_recover.add_argument("store_dir")
     return parser
 
 
@@ -306,7 +328,8 @@ def _dispatch_store(args: argparse.Namespace) -> int:
         DocumentStore.init(args.store_dir)
         print(f"initialized empty document store at {args.store_dir}")
         return 0
-    store = DocumentStore(args.store_dir)
+    store = DocumentStore(args.store_dir,
+                          durability=getattr(args, "durability", "full"))
     if command == "add":
         if getattr(args, "sample", False):
             snapshot = store.add(args.name,
@@ -356,7 +379,29 @@ def _dispatch_store(args: argparse.Namespace) -> int:
     if command == "compact":
         sizes = store.compact(args.name)
         for name, size in sizes.items():
-            print(f"compacted {name:24} {size:>10} bytes")
+            if isinstance(size, int):
+                print(f"compacted {name:24} {size:>10} bytes")
+            else:
+                print(f"compacted {name:24} {size}")
+        return 0
+    if command == "verify":
+        statuses = store.verify(args.name)
+        corrupt = 0
+        for name, status in statuses.items():
+            print(f"{name:24} {status}")
+            if not status.startswith("ok"):
+                corrupt += 1
+        print(f"verified {len(statuses)} document(s), {corrupt} with "
+              f"problems")
+        return 1 if corrupt else 0
+    if command == "recover":
+        report = store.recovery
+        print(f"manifest loaded from {report['manifest']}")
+        for label in ("swept", "adopted", "quarantined"):
+            items = report[label]
+            print(f"{label}: {', '.join(items) if items else 'nothing'}")
+        for name, entry in store.quarantined.items():
+            print(f"quarantined {name!r}: {entry['reason']}")
         return 0
     raise ReproError(f"unknown store command {command!r}")
 

@@ -99,6 +99,30 @@ class FunctionError(QueryEvaluationError):
     """A built-in function was called with invalid arguments."""
 
 
+class StoreError(ReproError):
+    """A problem in the document store (catalog, manifest, recovery).
+
+    Raised, for example, when a requested document sits in the
+    manifest's ``"quarantined"`` section after recovery or a failed
+    integrity check.
+    """
+
+
+class IntegrityError(StoreError):
+    """A persisted ``.mhxb`` container failed a checksum.
+
+    Carries ``path`` (the offending file) and ``block`` (the array
+    block whose CRC mismatched, or ``None`` for a header checksum
+    failure) so callers can report — and quarantine — precisely.
+    """
+
+    def __init__(self, message: str, path=None,
+                 block: str | None = None) -> None:
+        self.path = path
+        self.block = block
+        super().__init__(message)
+
+
 class BaselineError(ReproError):
     """A problem in the fragmentation/milestone baseline encoders."""
 

@@ -12,23 +12,34 @@ Three pieces turn the single-document engine into a small database:
   boundaries) for an mmap-backed cold load that skips XML parsing and
   every sort;
 * :mod:`~repro.store.plancache` — the cross-document compiled-plan
-  cache keyed by query text + grammar version.
+  cache keyed by query text + grammar version;
+* :mod:`~repro.store.faultfs` — the injectable OS layer under every
+  durability-sensitive file operation, driving the crash-consistency
+  harness (DESIGN.md §12).
 """
 
-from repro.store.catalog import DocumentStore, fork_engine
+from repro.store.catalog import (
+    DURABILITY_MODES,
+    DocumentStore,
+    fork_engine,
+)
 from repro.store.mhxb import (
     MHXB_FORMAT,
+    MHXB_FORMAT_V1,
     load_engine,
     looks_like_mhxb,
     read_header,
     save_engine,
+    verify_blocks,
 )
 from repro.store.plancache import SharedPlanCache
 from repro.store.snapshot import Snapshot
 
 __all__ = [
+    "DURABILITY_MODES",
     "DocumentStore",
     "MHXB_FORMAT",
+    "MHXB_FORMAT_V1",
     "Snapshot",
     "SharedPlanCache",
     "fork_engine",
@@ -36,4 +47,5 @@ __all__ = [
     "looks_like_mhxb",
     "read_header",
     "save_engine",
+    "verify_blocks",
 ]

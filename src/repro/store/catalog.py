@@ -17,8 +17,20 @@ readers**, per store:
   text + grammar, shared by every catalog entry — a query compiled for
   one document is a cache hit for all of them.
 
-On disk a store is a directory: ``store.json`` (the manifest) plus one
-``.mhxb`` file per document, each written atomically.
+Crash safety (DESIGN.md §12) — on disk a store is a directory:
+``store.json`` (the generation-stamped manifest, atomically renamed
+into place with the previous generation kept hardlinked at
+``store.json.prev``) plus one checksummed ``.mhxb`` file per document.
+Every file mutation routes through the :mod:`~repro.store.faultfs` OS
+layer and follows write-temp → fsync → rename → fsync-directory under
+the store's ``durability`` policy (``"full"`` syncs every commit,
+``"batch"`` defers syncs to :meth:`DocumentStore.sync` / ``compact``,
+``"off"`` never syncs but stays rename-atomic).  Opening a store runs
+:meth:`DocumentStore.recover`: temp litter is swept, manifest entries
+are reconciled against the on-disk files (adopting the newer
+consistent state a crash may have left), and corrupt or missing
+documents are **quarantined** in the manifest instead of failing the
+open.
 """
 
 from __future__ import annotations
@@ -30,15 +42,26 @@ import threading
 from pathlib import Path
 
 from repro.api import Engine, UpdateResult, load_mhx
-from repro.errors import ReproError
+from repro.errors import ReproError, StoreError
 from repro.cmh import MultihierarchicalDocument
 from repro.core.runtime import QueryOptions
-from repro.store.mhxb import looks_like_mhxb, read_header, save_engine
+from repro.store import faultfs
+from repro.store.mhxb import (
+    looks_like_mhxb,
+    read_header,
+    save_engine,
+    verify_blocks,
+)
 from repro.store.plancache import SharedPlanCache
 from repro.store.snapshot import Snapshot
 
 STORE_FORMAT = "mhx-store-1"
 MANIFEST_NAME = "store.json"
+MANIFEST_PREV_NAME = "store.json.prev"
+
+#: durability policies: every-commit syncs / deferred coalesced syncs /
+#: rename-atomicity only
+DURABILITY_MODES = ("full", "batch", "off")
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
@@ -62,30 +85,56 @@ class DocumentStore:
 
     def __init__(self, root: str | Path,
                  options: QueryOptions | None = None,
-                 plan_cache_size: int = 512) -> None:
+                 plan_cache_size: int = 512,
+                 durability: str = "full",
+                 verify_cold_loads: bool = True) -> None:
+        if durability not in DURABILITY_MODES:
+            raise ReproError(
+                f"unknown durability policy {durability!r} "
+                f"(want one of {', '.join(DURABILITY_MODES)})")
         self.root = Path(root)
         self.options = options or QueryOptions()
         self.plans = SharedPlanCache(plan_cache_size)
+        self.durability = durability
+        self.verify_cold_loads = verify_cold_loads
         self._lock = threading.RLock()
         self._live: dict[str, Snapshot] = {}
+        self._dirty: set[Path] = set()
+        self._manifest = self._load_manifest()
+        self._manifest.setdefault("generation", 0)
+        self._manifest.setdefault("quarantined", {})
+        self.recovery = self.recover()
+
+    def _load_manifest(self) -> dict:
+        """Parse ``store.json``, falling back to the previous
+        generation (``store.json.prev``) when the current pointer is
+        unreadable or corrupt."""
         manifest_path = self.root / MANIFEST_NAME
+        prev_path = self.root / MANIFEST_PREV_NAME
         try:
             manifest = json.loads(
                 manifest_path.read_text(encoding="utf-8"))
-        except OSError as error:
-            raise ReproError(
-                f"{self.root} is not a document store ({error}); "
-                f"create one with DocumentStore.init / "
-                f"`mhxq store init`") from error
-        except json.JSONDecodeError as error:
-            raise ReproError(
-                f"corrupt store manifest {manifest_path}: "
-                f"{error}") from error
+            source = MANIFEST_NAME
+        except (OSError, json.JSONDecodeError) as error:
+            try:
+                manifest = json.loads(
+                    prev_path.read_text(encoding="utf-8"))
+                source = MANIFEST_PREV_NAME
+            except (OSError, json.JSONDecodeError):
+                if isinstance(error, json.JSONDecodeError):
+                    raise ReproError(
+                        f"corrupt store manifest {manifest_path}: "
+                        f"{error}") from error
+                raise ReproError(
+                    f"{self.root} is not a document store ({error}); "
+                    f"create one with DocumentStore.init / "
+                    f"`mhxq store init`") from error
         if manifest.get("format") != STORE_FORMAT:
             raise ReproError(
-                f"{manifest_path} is not an {STORE_FORMAT} manifest "
-                f"(format={manifest.get('format')!r})")
-        self._manifest = manifest
+                f"{self.root / source} is not an {STORE_FORMAT} "
+                f"manifest (format={manifest.get('format')!r})")
+        manifest["_loaded_from"] = source
+        return manifest
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -98,8 +147,132 @@ class DocumentStore:
             raise ReproError(f"{root} already holds a document store")
         root.mkdir(parents=True, exist_ok=True)
         _write_json(manifest_path,
-                    {"format": STORE_FORMAT, "documents": {}})
+                    {"format": STORE_FORMAT, "generation": 0,
+                     "documents": {}, "quarantined": {}},
+                    durability="full")
         return cls(root, **kwargs)
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self) -> dict:
+        """Reconcile the manifest with the directory; return a report.
+
+        Runs automatically at open.  Sweeps ``.tmp`` litter, adopts the
+        newer consistent state when a crash landed between a data-file
+        rename and the manifest write (the ``.mhxb`` header's version
+        is authoritative for committed files), re-adopts orphan
+        ``.mhxb`` files the manifest never learned about, and
+        quarantines documents whose files are missing or fail their
+        header checksum — the store opens regardless.
+        """
+        report: dict = {"swept": [], "adopted": [], "quarantined": [],
+                        "manifest": self._manifest.pop("_loaded_from",
+                                                       MANIFEST_NAME)}
+        with self._lock:
+            documents = self._manifest["documents"]
+            quarantined = self._manifest["quarantined"]
+            changed = report["manifest"] != MANIFEST_NAME
+            for litter in sorted(self.root.glob("*.tmp")):
+                litter.unlink(missing_ok=True)
+                report["swept"].append(litter.name)
+            for name, entry in list(documents.items()):
+                path = self.root / entry["file"]
+                if not path.exists():
+                    self._quarantine_entry(name, entry,
+                                           "file missing on disk")
+                    report["quarantined"].append(name)
+                    changed = True
+                    continue
+                try:
+                    header, _start = read_header(path)
+                except ReproError as error:
+                    self._quarantine_entry(name, entry, str(error))
+                    report["quarantined"].append(name)
+                    changed = True
+                    continue
+                if header["version"] != entry["version"]:
+                    entry["version"] = header["version"]
+                    report["adopted"].append(
+                        f"{name} (version {header['version']})")
+                    changed = True
+            referenced = ({entry["file"] for entry in documents.values()}
+                          | {entry["file"]
+                             for entry in quarantined.values()})
+            for path in sorted(self.root.glob("*.mhxb")):
+                if path.name in referenced:
+                    continue
+                name = path.name[:-len(".mhxb")]
+                try:
+                    header, _start = read_header(path)
+                except ReproError as error:
+                    quarantined[name] = {"file": path.name,
+                                         "version": None,
+                                         "reason": str(error)}
+                    report["quarantined"].append(name)
+                    changed = True
+                    continue
+                documents[name] = {"file": path.name,
+                                   "version": header["version"]}
+                report["adopted"].append(
+                    f"{name} (version {header['version']})")
+                changed = True
+            if changed:
+                self._save_manifest()
+        return report
+
+    def verify(self, name: str | None = None) -> dict[str, str]:
+        """Deep checksum scan; per-document status strings.
+
+        ``"ok (N blocks)"`` for every verified v2 container, a note for
+        v1 containers (no block checksums to check), ``"corrupt: ..."``
+        naming the failing block, and the quarantine reason for
+        already-quarantined documents.  Read-only: quarantining happens
+        at recovery or on a failed cold load, not here.
+        """
+        out: dict[str, str] = {}
+        with self._lock:
+            documents = self._manifest["documents"]
+            targets = [name] if name is not None else list(documents)
+            for target in targets:
+                entry = documents.get(target)
+                if entry is None:
+                    if target not in self._manifest["quarantined"]:
+                        raise ReproError(
+                            f"no document named {target!r}")
+                    continue
+                path = self.root / entry["file"]
+                try:
+                    header, data_start = read_header(path)
+                    checked = verify_blocks(path, header, data_start)
+                except ReproError as error:
+                    out[target] = f"corrupt: {error}"
+                else:
+                    out[target] = (f"ok ({checked} blocks)" if checked
+                                   else "ok (v1 container, no block "
+                                        "checksums)")
+            for qname, qentry in self._manifest["quarantined"].items():
+                if name in (None, qname):
+                    out[qname] = f"quarantined: {qentry['reason']}"
+        return out
+
+    @property
+    def quarantined(self) -> dict[str, dict]:
+        """The manifest's quarantine section (name → file/version/reason)."""
+        with self._lock:
+            return {name: dict(entry) for name, entry
+                    in self._manifest["quarantined"].items()}
+
+    def _quarantine_entry(self, name: str, entry: dict,
+                          reason: str) -> None:
+        """Move a catalog entry into the quarantine section (in memory;
+        callers persist the manifest)."""
+        self._manifest["documents"].pop(name, None)
+        self._live.pop(name, None)
+        self._manifest["quarantined"][name] = {
+            "file": entry["file"],
+            "version": entry.get("version"),
+            "reason": reason,
+        }
 
     # -- catalog -------------------------------------------------------------
 
@@ -130,7 +303,9 @@ class DocumentStore:
 
         Exactly one source: an in-memory document (cloned — the caller
         keeps ownership of theirs), a live engine (forked likewise), or
-        a ``.mhx``/``.mhxb`` file path.
+        a ``.mhx``/``.mhxb`` file path.  Registration is transactional:
+        if the manifest write fails, the data file is removed and the
+        in-memory catalog rolled back.
         """
         if not _NAME_RE.match(name):
             raise ReproError(
@@ -145,27 +320,28 @@ class DocumentStore:
             if name in self._manifest["documents"]:
                 raise ReproError(
                     f"document {name!r} already exists in this store")
+            if name in self._manifest["quarantined"]:
+                raise StoreError(
+                    f"document {name!r} is quarantined "
+                    f"({self._manifest['quarantined'][name]['reason']});"
+                    f" remove() it before re-adding")
+            target = self.root / f"{name}.mhxb"
             if path is not None and looks_like_mhxb(path):
                 # Register by byte copy: saves are deterministic, so
                 # re-serializing would reproduce the source bytes at
                 # the full pipeline cost the format exists to skip.
-                read_header(path)  # validate before the copy lands
-                target = self.root / f"{name}.mhxb"
+                verify_blocks(path)  # validate before the copy lands
                 temp = target.with_name(target.name + ".tmp")
                 shutil.copyfile(path, temp)
-                temp.replace(target)
+                faultfs.current().replace(temp, target)
                 try:
                     fresh = Engine.from_mhxb(target,
                                              options=self.options)
-                except ReproError:
+                    snapshot = Snapshot(name, fresh, self.plans)
+                    self._commit_entry(name, target.name, fresh.version)
+                except Exception:
                     target.unlink(missing_ok=True)
                     raise
-                snapshot = Snapshot(name, fresh, self.plans)
-                self._manifest["documents"][name] = {
-                    "file": target.name,
-                    "version": fresh.version,
-                }
-                self._save_manifest()
             else:
                 if path is not None:
                     fresh = Engine(load_mhx(path), options=self.options)
@@ -175,19 +351,25 @@ class DocumentStore:
                     fresh = Engine(document.clone(),
                                    options=self.options)
                 snapshot = Snapshot(name, fresh, self.plans)
-                self._persist(name, fresh)
+                try:
+                    self._persist(name, fresh)
+                except Exception:
+                    target.unlink(missing_ok=True)
+                    raise
             self._live[name] = snapshot
             return snapshot
 
     def remove(self, name: str) -> None:
-        """Drop a document from the catalog and delete its file."""
+        """Drop a document (or quarantined entry) and delete its file."""
         with self._lock:
             entry = self._manifest["documents"].pop(name, None)
+            if entry is None:
+                entry = self._manifest["quarantined"].pop(name, None)
             if entry is None:
                 raise ReproError(f"no document named {name!r}")
             self._live.pop(name, None)
             self._save_manifest()
-            (self.root / entry["file"]).unlink(missing_ok=True)
+            faultfs.current().unlink(self.root / entry["file"])
 
     # -- reads ---------------------------------------------------------------
 
@@ -195,7 +377,10 @@ class DocumentStore:
         """The current published snapshot (lock-free when warm).
 
         A cold catalog entry is mmap-loaded from its ``.mhxb`` file
-        under the writer lock (once), then served lock-free.
+        under the writer lock (once), then served lock-free.  Under the
+        default ``verify_cold_loads`` policy every block checksum is
+        scanned before the engine is built — a bit-flipped file is
+        quarantined and reported, never served.
         """
         snapshot = self._live.get(name)
         if snapshot is not None:
@@ -206,9 +391,23 @@ class DocumentStore:
                 return snapshot
             entry = self._manifest["documents"].get(name)
             if entry is None:
+                quarantine = self._manifest["quarantined"].get(name)
+                if quarantine is not None:
+                    raise StoreError(
+                        f"document {name!r} is quarantined: "
+                        f"{quarantine['reason']}")
                 raise ReproError(f"no document named {name!r}")
-            engine = Engine.from_mhxb(self.root / entry["file"],
-                                      options=self.options)
+            path = self.root / entry["file"]
+            try:
+                if self.verify_cold_loads:
+                    verify_blocks(path)
+                engine = Engine.from_mhxb(path, options=self.options)
+            except ReproError as error:
+                self._quarantine_entry(name, entry, str(error))
+                self._save_manifest()
+                raise StoreError(
+                    f"document {name!r} failed verification and was "
+                    f"quarantined: {error}") from error
             snapshot = Snapshot(name, engine, self.plans)
             self._live[name] = snapshot
             return snapshot
@@ -233,7 +432,9 @@ class DocumentStore:
         The whole batch is one transaction over one fork: readers on
         the old snapshot keep their version, readers arriving after
         publication see every statement applied, and nobody ever sees
-        a prefix.  Any failure discards the fork untouched.
+        a prefix.  Any failure — a bad statement *or* a failed persist
+        — discards the fork: the in-memory catalog rolls back and the
+        old snapshot stays published.
         """
         if isinstance(statements, str):
             statements = [statements]
@@ -250,39 +451,130 @@ class DocumentStore:
             self._live[name] = snapshot
         return results
 
-    def compact(self, name: str | None = None) -> dict[str, int]:
+    def compact(self, name: str | None = None) -> dict[str, int | str]:
         """Rewrite ``.mhxb`` files from the live snapshots.
 
         Persists any in-memory versions created with ``persist=False``
-        and normalizes the on-disk span-index order; returns the new
-        file size per document.
+        and normalizes the on-disk span-index order.  Per document the
+        result maps to the new file size, or — when one entry's file is
+        missing or corrupt and no live snapshot exists to rewrite it
+        from — a ``"skipped: ..."`` status; one bad document never
+        aborts the remaining ones.  Under ``durability="batch"`` the
+        deferred syncs are flushed afterwards.
         """
-        sizes: dict[str, int] = {}
+        sizes: dict[str, int | str] = {}
         targets = [name] if name is not None else self.names
         with self._lock:
             for target in targets:
-                snapshot = self.snapshot(target)
-                sizes[target] = self._persist(target, snapshot.engine)
+                try:
+                    snapshot = self.snapshot(target)
+                    sizes[target] = self._persist(target,
+                                                  snapshot.engine)
+                except ReproError as error:
+                    sizes[target] = f"skipped: {error}"
+            self.sync()
         return sizes
+
+    def sync(self) -> int:
+        """Flush deferred (``durability="batch"``) syncs; return the
+        number of files synced.  A no-op under the other policies."""
+        with self._lock:
+            dirty, self._dirty = self._dirty, set()
+            layer = faultfs.current()
+            synced = 0
+            for path in sorted(dirty):
+                if not path.exists():
+                    continue
+                with open(path, "rb") as handle:
+                    layer.fsync(handle)
+                synced += 1
+            if synced:
+                layer.fsync_dir(self.root)
+            return synced
 
     # -- persistence ---------------------------------------------------------
 
+    @property
+    def _file_durability(self) -> str:
+        return "full" if self.durability == "full" else "off"
+
     def _persist(self, name: str, engine: Engine) -> int:
+        """Write the ``.mhxb`` and commit the manifest entry.
+
+        Persist-then-publish is transactional: the data file lands
+        first (its header's version makes it recoverable on its own),
+        then the manifest entry; a failed manifest write rolls the
+        in-memory entry back so the catalog never claims a commit the
+        disk doesn't have.
+        """
         file_name = f"{name}.mhxb"
-        size = save_engine(engine, self.root / file_name)
-        self._manifest["documents"][name] = {
-            "file": file_name,
-            "version": engine.version,
-        }
-        self._save_manifest()
+        path = self.root / file_name
+        size = save_engine(engine, path,
+                           durability=self._file_durability)
+        if self.durability == "batch":
+            self._dirty.add(path)
+        self._commit_entry(name, file_name, engine.version)
         return size
 
+    def _commit_entry(self, name: str, file_name: str,
+                      version: int) -> None:
+        previous = self._manifest["documents"].get(name)
+        self._manifest["documents"][name] = {
+            "file": file_name,
+            "version": version,
+        }
+        try:
+            self._save_manifest()
+        except Exception:
+            if previous is None:
+                self._manifest["documents"].pop(name, None)
+            else:
+                self._manifest["documents"][name] = previous
+            self._live.pop(name, None)
+            raise
+
     def _save_manifest(self) -> None:
-        _write_json(self.root / MANIFEST_NAME, self._manifest)
+        """Write the next manifest generation behind the atomic pointer.
+
+        The current ``store.json`` is first hardlinked to
+        ``store.json.prev`` (the previous generation stays reachable
+        for bit-rot fallback), then the new generation renames into
+        place — the pointer flip is the single ``os.replace``.
+        """
+        manifest_path = self.root / MANIFEST_NAME
+        generation = self._manifest.get("generation", 0)
+        self._manifest["generation"] = generation + 1
+        try:
+            if manifest_path.exists():
+                try:
+                    faultfs.current().link_replace(
+                        manifest_path,
+                        self.root / MANIFEST_PREV_NAME)
+                except OSError:  # filesystem without hardlinks
+                    pass
+            _write_json(manifest_path, self._manifest,
+                        durability=("full" if self.durability == "full"
+                                    else "off"))
+        except BaseException:
+            self._manifest["generation"] = generation
+            raise
+        if self.durability == "batch":
+            self._dirty.add(manifest_path)
 
 
-def _write_json(path: Path, payload: dict) -> None:
+def _write_json(path: Path, payload: dict,
+                durability: str = "off") -> None:
+    layer = faultfs.current()
     temp = path.with_name(path.name + ".tmp")
-    temp.write_text(json.dumps(payload, ensure_ascii=False, indent=2)
-                    + "\n", encoding="utf-8")
-    temp.replace(path)
+    data = (json.dumps(payload, ensure_ascii=False, indent=2)
+            + "\n").encode("utf-8")
+    handle = layer.open_for_write(temp)
+    try:
+        layer.write(handle, data)
+        if durability == "full":
+            layer.fsync(handle)
+    finally:
+        handle.close()
+    layer.replace(temp, path)
+    if durability == "full":
+        layer.fsync_dir(path.parent)

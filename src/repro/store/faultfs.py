@@ -1,0 +1,188 @@
+"""The injectable OS layer under the store's durability paths.
+
+Every file-mutating syscall the persistence layer performs — opening a
+temp file, writing payload bytes, fsyncing a file or its directory,
+the publishing ``os.replace``, unlinks, and the manifest's
+previous-generation hardlink — goes through the module's *current*
+:class:`OsLayer` instead of calling :mod:`os` directly.  In production
+the default layer is a thin passthrough; tests swap in a
+:class:`FaultyOs` to drive the crash-consistency matrix (DESIGN.md
+§12):
+
+* **crash points** — every routed call is one numbered *op*; the layer
+  raises :class:`SimulatedCrash` at a chosen op index and at every op
+  after it, modelling a process kill: whatever bytes reached the
+  filesystem stay, everything later never happens;
+* **torn writes** — a crash landing on a ``write`` op can first flush
+  a prefix of the payload, modelling a partial page write;
+* **error injection** — named ops can raise :class:`OSError` *without*
+  killing the layer, modelling a transient failure (full disk, EIO on
+  fsync) that the caller must unwind from transactionally.
+
+:class:`SimulatedCrash` deliberately derives from ``BaseException``:
+the store's own error handling (per-document skip-and-report in
+``compact``, rollback in ``_persist``) catches ``Exception`` /
+``ReproError``, and a simulated kill must never be swallowed by the
+very code paths it is testing.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+
+class SimulatedCrash(BaseException):
+    """The process "died" at an injected crash point.
+
+    Not an :class:`Exception` on purpose — see the module docstring.
+    """
+
+    def __init__(self, op_index: int, op: str, target: str) -> None:
+        self.op_index = op_index
+        self.op = op
+        self.target = target
+        super().__init__(
+            f"simulated crash at op {op_index} ({op} {target})")
+
+
+class OsLayer:
+    """The real OS operations; the default (production) layer."""
+
+    def open_for_write(self, path: str | Path):
+        return open(path, "wb")
+
+    def write(self, handle, data: bytes) -> None:
+        handle.write(data)
+
+    def fsync(self, handle) -> None:
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def replace(self, source: str | Path, target: str | Path) -> None:
+        os.replace(source, target)
+
+    def fsync_dir(self, path: str | Path) -> None:
+        descriptor = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(descriptor)
+        finally:
+            os.close(descriptor)
+
+    def unlink(self, path: str | Path) -> None:
+        Path(path).unlink(missing_ok=True)
+
+    def link_replace(self, source: str | Path,
+                     target: str | Path) -> None:
+        """Hardlink ``source`` to ``target``, replacing ``target``.
+
+        The manifest writer uses this to keep the previous generation
+        reachable at ``store.json.prev`` without ever unlinking the
+        live pointer; a crash between the unlink and the link loses
+        only the (older) backup, never the current manifest.
+        """
+        Path(target).unlink(missing_ok=True)
+        os.link(source, target)
+
+
+class FaultyOs(OsLayer):
+    """An :class:`OsLayer` that counts ops and injects faults.
+
+    ``crash_at=None`` only counts (run the workload once to learn the
+    op schedule, then sweep ``crash_at`` over ``1..ops``).  ``torn``
+    makes a crash landing on a ``write`` op flush half the payload
+    first.  ``fail`` maps op names (``"write"``, ``"fsync"``,
+    ``"replace"``, ...) to exceptions raised *once* on that op's next
+    occurrence — the layer stays alive afterwards.  ``fail_at`` does
+    the same keyed by op *index* (1-based, from a counting run), for
+    targeting one specific occurrence — e.g. the manifest's publishing
+    ``replace`` rather than the data file's.
+    """
+
+    def __init__(self, crash_at: int | None = None, *,
+                 torn: bool = False,
+                 fail: dict[str, BaseException] | None = None,
+                 fail_at: dict[int, BaseException] | None = None) -> None:
+        self.crash_at = crash_at
+        self.torn = torn
+        self.fail = dict(fail or {})
+        self.fail_at = dict(fail_at or {})
+        self.ops = 0
+        self.dead = False
+        self.log: list[tuple[str, str]] = []
+
+    def _gate(self, op: str, target: str) -> bool:
+        """Count one op; return True when it should crash-after-torn.
+
+        Raises immediately for a clean crash or an injected error; the
+        torn-write case returns True so ``write`` can flush a prefix
+        before raising.
+        """
+        if self.dead:
+            raise SimulatedCrash(self.ops, op, target)
+        self.ops += 1
+        self.log.append((op, target))
+        if op in self.fail:
+            raise self.fail.pop(op)
+        if self.ops in self.fail_at:
+            raise self.fail_at.pop(self.ops)
+        if self.crash_at is not None and self.ops >= self.crash_at:
+            self.dead = True
+            if op == "write" and self.torn:
+                return True
+            raise SimulatedCrash(self.ops, op, target)
+        return False
+
+    def open_for_write(self, path):
+        self._gate("open", str(path))
+        return super().open_for_write(path)
+
+    def write(self, handle, data: bytes) -> None:
+        if self._gate("write", getattr(handle, "name", "?")):
+            super().write(handle, data[:len(data) // 2])
+            handle.flush()
+            raise SimulatedCrash(self.ops, "write-torn",
+                                 getattr(handle, "name", "?"))
+        super().write(handle, data)
+
+    def fsync(self, handle) -> None:
+        self._gate("fsync", getattr(handle, "name", "?"))
+        super().fsync(handle)
+
+    def replace(self, source, target) -> None:
+        self._gate("replace", str(target))
+        super().replace(source, target)
+
+    def fsync_dir(self, path) -> None:
+        self._gate("fsync_dir", str(path))
+        super().fsync_dir(path)
+
+    def unlink(self, path) -> None:
+        self._gate("unlink", str(path))
+        super().unlink(path)
+
+    def link_replace(self, source, target) -> None:
+        self._gate("link", str(target))
+        super().link_replace(source, target)
+
+
+_DEFAULT = OsLayer()
+_current = _DEFAULT
+
+
+def current() -> OsLayer:
+    """The active layer; persistence code calls this per operation."""
+    return _current
+
+
+@contextmanager
+def inject(layer: OsLayer):
+    """Install ``layer`` for the duration of a ``with`` block."""
+    global _current
+    previous = _current
+    _current = layer
+    try:
+        yield layer
+    finally:
+        _current = previous

@@ -16,9 +16,24 @@ build, partition sort, span-index argsorts.  ``.mhxb`` persists the
 * a JSON header with everything non-numeric: name table, attributes,
   comments/PIs, DTD sources, the document version.
 
-File layout::
+File layout (format v2)::
+
+    b"MHXB2\\0" | u64 header length | u32 header CRC32 | header JSON
+               | pad | array blocks
+
+and v1 (still readable)::
 
     b"MHXB1\\0" | u64 header length | header JSON | pad | array blocks
+
+v2 adds integrity checks (DESIGN.md §12): the u32 after the header
+length is the CRC32 of the header JSON bytes, verified by every
+``read_header``; each array-directory entry carries the CRC32 and byte
+length of its block, verified lazily — ``verify_blocks`` (and the
+store's eager cold-load policy) scans every block, while plain loads
+stay zero-copy.  Writes are atomic (temp + rename through the
+:mod:`~repro.store.faultfs` OS layer) and, under ``durability="full"``,
+crash-durable: the temp file is fsynced before the rename and the
+directory after it.
 
 Every array block is 64-byte aligned and loaded through
 ``np.memmap(..., mode="r")``, so a cold load touches only the pages a
@@ -31,13 +46,14 @@ lazily from the same arrays on first access.
 from __future__ import annotations
 
 import json
-import os
+import zlib
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import IntegrityError, ReproError
+from repro.store import faultfs
 from repro.cmh import ConcurrentMarkupHierarchy, MultihierarchicalDocument
 from repro.cmh.document import Hierarchy
 from repro.markup import dom
@@ -52,7 +68,10 @@ from repro.core.goddag.nodes import (
 from repro.core.goddag.partition import Partition
 
 MAGIC = b"MHXB1\x00"
-MHXB_FORMAT = "mhxb-1"
+MAGIC_V2 = b"MHXB2\x00"
+MHXB_FORMAT_V1 = "mhxb-1"
+MHXB_FORMAT = "mhxb-2"
+_FORMATS = {MAGIC: MHXB_FORMAT_V1, MAGIC_V2: MHXB_FORMAT}
 _ALIGN = 64
 
 #: node kind codes in the component tables
@@ -64,10 +83,10 @@ def _align(offset: int) -> int:
 
 
 def looks_like_mhxb(path: str | Path) -> bool:
-    """True when the file starts with the ``.mhxb`` magic bytes."""
+    """True when the file starts with ``.mhxb`` magic bytes (v1 or v2)."""
     try:
         with open(path, "rb") as handle:
-            return handle.read(len(MAGIC)) == MAGIC
+            return handle.read(len(MAGIC)) in _FORMATS
     except OSError:
         return False
 
@@ -77,12 +96,19 @@ def looks_like_mhxb(path: str | Path) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def save_engine(engine, path: str | Path) -> int:
+def save_engine(engine, path: str | Path, *,
+                durability: str = "off",
+                format_version: int = 2) -> int:
     """Serialize an engine's full state to ``path``; return the size.
 
     The write is atomic (temp file + rename) and deterministic: saving
     the same logical state twice — or saving a freshly cold-loaded
-    engine — produces byte-identical files.
+    engine — produces byte-identical files.  ``durability="full"``
+    additionally fsyncs the temp file before the rename and the
+    directory after it, so the commit survives a power cut;
+    ``"off"`` (the default for direct library use — the store applies
+    its own policy) leaves flushing to the OS.  ``format_version=1``
+    writes the legacy checksum-free layout for compatibility tests.
     """
     goddag = engine.goddag
     if not goddag.hierarchy_names:
@@ -156,8 +182,11 @@ def save_engine(engine, path: str | Path) -> int:
     dtds = None
     if document.cmh is not None:
         dtds = document.cmh.sources()
+    if format_version not in (1, 2):
+        raise ReproError(
+            f"unknown .mhxb format version {format_version!r}")
     header = {
-        "format": MHXB_FORMAT,
+        "format": MHXB_FORMAT if format_version == 2 else MHXB_FORMAT_V1,
         "root": goddag.root.root_name,
         "version": goddag.version,
         "text_chars": len(goddag.text),
@@ -165,7 +194,8 @@ def save_engine(engine, path: str | Path) -> int:
         "hierarchies": hierarchy_meta,
         "dtds": dtds,
     }
-    return _pack(path, header, arrays)
+    return _pack(path, header, arrays, durability=durability,
+                 format_version=format_version)
 
 
 def _save_component(goddag, component, document, prefix: str,
@@ -274,39 +304,62 @@ def _save_span_index(arrays, sub_starts, sub_ends, sub_ranks,
     arrays["index/e_ranks"] = ranks[e_order]
 
 
-def _pack(path: str | Path, header: dict,
-          arrays: dict[str, np.ndarray]) -> int:
+def _pack(path: str | Path, header: dict, arrays: dict[str, np.ndarray],
+          *, durability: str = "off", format_version: int = 2) -> int:
+    if durability not in ("full", "off"):
+        raise ReproError(
+            f"unknown .mhxb durability {durability!r} "
+            f"(want 'full' or 'off')")
     directory: dict[str, dict] = {}
     offset = 0
     blocks: list[tuple[int, bytes]] = []
     for key, array in arrays.items():
         array = np.ascontiguousarray(array)
         offset = _align(offset)
+        payload = array.tobytes()
         directory[key] = {
             "dtype": array.dtype.str,
             "shape": list(array.shape),
             "offset": offset,
         }
-        blocks.append((offset, array.tobytes()))
+        if format_version == 2:
+            directory[key]["nbytes"] = len(payload)
+            directory[key]["crc32"] = zlib.crc32(payload)
+        blocks.append((offset, payload))
         offset += array.nbytes
     header["arrays"] = directory
     header_bytes = json.dumps(header, ensure_ascii=False).encode("utf-8")
-    data_start = _align(len(MAGIC) + 8 + len(header_bytes))
+    if format_version == 2:
+        magic, preamble = MAGIC_V2, len(MAGIC_V2) + 8 + 4
+    else:
+        magic, preamble = MAGIC, len(MAGIC) + 8
+    data_start = _align(preamble + len(header_bytes))
     path = Path(path)
     temp = path.with_name(path.name + ".tmp")
-    with open(temp, "wb") as handle:
-        handle.write(MAGIC)
-        handle.write(len(header_bytes).to_bytes(8, "little"))
-        handle.write(header_bytes)
-        handle.write(b"\x00" * (data_start - len(MAGIC) - 8
-                                - len(header_bytes)))
+    layer = faultfs.current()
+    handle = layer.open_for_write(temp)
+    try:
+        layer.write(handle, magic)
+        layer.write(handle, len(header_bytes).to_bytes(8, "little"))
+        if format_version == 2:
+            layer.write(handle, zlib.crc32(header_bytes)
+                        .to_bytes(4, "little"))
+        layer.write(handle, header_bytes)
+        layer.write(handle, b"\x00" * (data_start - preamble
+                                       - len(header_bytes)))
         cursor = 0
         for block_offset, payload in blocks:
-            handle.write(b"\x00" * (block_offset - cursor))
-            handle.write(payload)
+            layer.write(handle,
+                        b"\x00" * (block_offset - cursor) + payload)
             cursor = block_offset + len(payload)
         size = handle.tell()
-    os.replace(temp, path)
+        if durability == "full":
+            layer.fsync(handle)
+    finally:
+        handle.close()
+    layer.replace(temp, path)
+    if durability == "full":
+        layer.fsync_dir(path.parent)
     return size
 
 
@@ -316,11 +369,17 @@ def _pack(path: str | Path, header: dict,
 
 
 def read_header(path: str | Path) -> tuple[dict, int]:
-    """The parsed JSON header and the data-section start offset."""
+    """The parsed JSON header and the data-section start offset.
+
+    Dispatches on the magic: v2 containers carry a CRC32 of the header
+    JSON (verified here — a torn or bit-rotted header is caught before
+    a single array block is trusted); v1 containers parse checksum-free
+    for backward compatibility.
+    """
     try:
         with open(path, "rb") as handle:
             magic = handle.read(len(MAGIC))
-            if magic != MAGIC:
+            if magic not in _FORMATS:
                 if magic[:1] == b"{":
                     raise ReproError(
                         f"{path} looks like a JSON .mhx container, not "
@@ -330,18 +389,65 @@ def read_header(path: str | Path) -> tuple[dict, int]:
                     f"{path} is not a .mhxb container (bad magic "
                     f"{magic!r})")
             header_len = int.from_bytes(handle.read(8), "little")
-            header = json.loads(handle.read(header_len).decode("utf-8"))
+            preamble = len(magic) + 8
+            expected_crc = None
+            if magic == MAGIC_V2:
+                expected_crc = int.from_bytes(handle.read(4), "little")
+                preamble += 4
+            header_bytes = handle.read(header_len)
+            if expected_crc is not None and \
+                    zlib.crc32(header_bytes) != expected_crc:
+                raise IntegrityError(
+                    f"{path} has a corrupt .mhxb header: CRC32 "
+                    f"mismatch (stored {expected_crc:#010x}, computed "
+                    f"{zlib.crc32(header_bytes):#010x})", path=path)
+            header = json.loads(header_bytes.decode("utf-8"))
     except OSError as error:
         raise ReproError(
             f"cannot read .mhxb file {path}: {error}") from error
     except (ValueError, UnicodeDecodeError) as error:
         raise ReproError(
             f"{path} has a corrupt .mhxb header: {error}") from error
-    if header.get("format") != MHXB_FORMAT:
+    if header.get("format") != _FORMATS[magic]:
         raise ReproError(
-            f"{path} is not an {MHXB_FORMAT} container "
-            f"(format={header.get('format')!r})")
-    return header, _align(len(MAGIC) + 8 + header_len)
+            f"{path} is not an {MHXB_FORMAT_V1}/{MHXB_FORMAT} "
+            f"container (format={header.get('format')!r})")
+    return header, _align(preamble + header_len)
+
+
+def verify_blocks(path: str | Path, header: dict | None = None,
+                  data_start: int | None = None) -> int:
+    """Deep-scan every array block against its stored CRC32.
+
+    Returns the number of blocks verified.  Raises
+    :class:`~repro.errors.IntegrityError` naming the first mismatching
+    block.  v1 containers carry no block checksums: the header is
+    validated (structurally) and 0 is returned — callers that demand
+    verifiability should re-save to v2.
+    """
+    if header is None:
+        header, data_start = read_header(path)
+    if header["format"] == MHXB_FORMAT_V1:
+        return 0
+    checked = 0
+    with open(path, "rb") as handle:
+        for key, entry in header["arrays"].items():
+            nbytes = entry["nbytes"]
+            handle.seek(data_start + entry["offset"])
+            payload = handle.read(nbytes)
+            if len(payload) != nbytes:
+                raise IntegrityError(
+                    f"{path}: block {key!r} is truncated "
+                    f"({len(payload)} of {nbytes} bytes)",
+                    path=path, block=key)
+            if zlib.crc32(payload) != entry["crc32"]:
+                raise IntegrityError(
+                    f"{path}: CRC32 mismatch in block {key!r} "
+                    f"(stored {entry['crc32']:#010x}, computed "
+                    f"{zlib.crc32(payload):#010x})",
+                    path=path, block=key)
+            checked += 1
+    return checked
 
 
 def _map_arrays(path: Path, header: dict,
@@ -358,18 +464,25 @@ def _map_arrays(path: Path, header: dict,
     return arrays
 
 
-def load_engine(path: str | Path, options=None, use_pipeline: bool = True):
+def load_engine(path: str | Path, options=None, use_pipeline: bool = True,
+                verify: bool = False):
     """Cold-load an :class:`~repro.api.Engine` from a ``.mhxb`` file.
 
     Reconstructs the KyGODDAG — components, partition, span index,
     order keys — straight from the memory-mapped arrays; no XML parse,
     no alignment pass, no sort.  The DOM document materializes lazily
     on first access (updates, serialization).
+
+    ``verify=True`` deep-scans every block checksum before any array is
+    trusted (the store's cold-load policy); the default keeps the load
+    lazy/zero-copy, with the header CRC still checked.
     """
     from repro.api import Engine
 
     path = Path(path)
     header, data_start = read_header(path)
+    if verify:
+        verify_blocks(path, header, data_start)
     arrays = _map_arrays(path, header, data_start)
     text = bytes(arrays["text"]).decode("utf-8")
     names: list[str] = header["names"]

@@ -1,9 +1,10 @@
-"""Tests for the ``.mhxb`` binary container (DESIGN.md §10).
+"""Tests for the ``.mhxb`` binary container (DESIGN.md §10, §12).
 
 Round-trip fidelity (byte-identical re-serialization, identical query
 results against the ``.mhx`` JSON path), cold-load reconstruction
-invariants, lazy DOM materialization, and the wrong-format error
-behavior of both loaders.
+invariants, lazy DOM materialization, the wrong-format error behavior
+of both loaders, block/header checksum detection, and v1→v2 format
+compatibility.
 """
 
 from __future__ import annotations
@@ -13,14 +14,18 @@ import json
 import pytest
 
 from repro.api import Engine, load_mhx, save_mhx
-from repro.errors import GoddagError, ReproError
+from repro.errors import GoddagError, IntegrityError, ReproError
 from repro.cmh import MultihierarchicalDocument
 from repro.corpus.boethius import boethius_document
 from repro.store.mhxb import (
     MAGIC,
+    MAGIC_V2,
+    MHXB_FORMAT,
+    MHXB_FORMAT_V1,
     looks_like_mhxb,
     read_header,
     save_engine,
+    verify_blocks,
 )
 
 PROBE_QUERIES = [
@@ -207,6 +212,118 @@ class TestFormatErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(ReproError, match="cannot read"):
             read_header(tmp_path / "absent.mhxb")
+
+
+class TestChecksums:
+    """Format v2 integrity (DESIGN.md §12): every array block and the
+    header carry CRC32s, and a single flipped bit anywhere in any
+    block is detected and named."""
+
+    def test_verify_counts_every_block(self, engine, tmp_path):
+        path = tmp_path / "doc.mhxb"
+        engine.save_mhxb(path)
+        header, data_start = read_header(path)
+        assert verify_blocks(path) == len(header["arrays"])
+        assert header["format"] == MHXB_FORMAT
+        assert path.read_bytes()[:len(MAGIC_V2)] == MAGIC_V2
+
+    def test_bit_flip_in_every_block_is_detected_and_named(
+            self, engine, tmp_path):
+        """Satellite: corrupt each block in turn; ``verify_blocks``
+        must raise an :class:`IntegrityError` naming exactly the
+        corrupted block."""
+        pristine = tmp_path / "doc.mhxb"
+        engine.save_mhxb(pristine)
+        header, data_start = read_header(pristine)
+        payload = pristine.read_bytes()
+        for name, entry in header["arrays"].items():
+            if entry["nbytes"] == 0:
+                continue  # empty blocks have no bytes to flip
+            mutated = bytearray(payload)
+            mutated[data_start + entry["offset"]] ^= 0x01
+            victim = tmp_path / "victim.mhxb"
+            victim.write_bytes(mutated)
+            with pytest.raises(IntegrityError,
+                               match="CRC32 mismatch") as info:
+                verify_blocks(victim)
+            assert info.value.block == name
+            assert name in str(info.value)
+            # the loader's eager-verify path reports the same failure
+            with pytest.raises(IntegrityError):
+                Engine.from_mhxb(victim, verify=True)
+
+    def test_last_byte_of_last_block_is_covered(self, engine, tmp_path):
+        path = tmp_path / "doc.mhxb"
+        engine.save_mhxb(path)
+        header, data_start = read_header(path)
+        last_name, last = max(header["arrays"].items(),
+                              key=lambda item: item[1]["offset"])
+        payload = bytearray(path.read_bytes())
+        payload[data_start + last["offset"] + last["nbytes"] - 1] ^= 0x80
+        path.write_bytes(payload)
+        with pytest.raises(IntegrityError) as info:
+            verify_blocks(path)
+        assert info.value.block == last_name
+
+    def test_header_corruption_is_detected(self, engine, tmp_path):
+        path = tmp_path / "doc.mhxb"
+        engine.save_mhxb(path)
+        payload = bytearray(path.read_bytes())
+        # flip a bit inside the JSON header (past magic+len+crc)
+        payload[len(MAGIC_V2) + 8 + 4 + 5] ^= 0x01
+        path.write_bytes(payload)
+        with pytest.raises(IntegrityError,
+                           match="CRC32 mismatch"):
+            read_header(path)
+
+    def test_truncated_block_is_detected(self, engine, tmp_path):
+        path = tmp_path / "doc.mhxb"
+        engine.save_mhxb(path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[:-16])
+        with pytest.raises(IntegrityError, match="truncated"):
+            verify_blocks(path)
+
+    def test_unverified_load_still_works(self, engine, tmp_path):
+        """``verify=False`` (the default) keeps the mmap cold load
+        lazy — no full-file read at open time."""
+        path = tmp_path / "doc.mhxb"
+        engine.save_mhxb(path)
+        restored = Engine.from_mhxb(path)
+        _assert_same_results(engine, restored)
+
+
+class TestV1Compatibility:
+    """Old ``mhxb-1`` containers (no checksums) remain readable, and a
+    re-save upgrades them to v2."""
+
+    def test_v1_round_trip_and_upgrade(self, engine, tmp_path):
+        old = tmp_path / "old.mhxb"
+        save_engine(engine, old, format_version=1)
+        assert old.read_bytes()[:len(MAGIC)] == MAGIC
+        header, _start = read_header(old)
+        assert header["format"] == MHXB_FORMAT_V1
+        assert "crc32" not in next(iter(header["arrays"].values()))
+        restored = Engine.from_mhxb(old)
+        _assert_same_results(engine, restored)
+        # v1 has no checksums: verify is a no-op, not a failure
+        assert verify_blocks(old) == 0
+        # a re-save writes the current (v2) format
+        upgraded = tmp_path / "new.mhxb"
+        restored.save_mhxb(upgraded)
+        assert upgraded.read_bytes()[:len(MAGIC_V2)] == MAGIC_V2
+        assert verify_blocks(upgraded) > 0
+        _assert_same_results(engine, Engine.from_mhxb(upgraded))
+
+    def test_v1_eager_verify_does_not_fail(self, engine, tmp_path):
+        old = tmp_path / "old.mhxb"
+        save_engine(engine, old, format_version=1)
+        restored = Engine.from_mhxb(old, verify=True)
+        assert restored.query("count(//w)").serialize() == "6"
+
+    def test_unknown_format_version_rejected(self, engine, tmp_path):
+        with pytest.raises(ReproError, match="format version"):
+            save_engine(engine, tmp_path / "x.mhxb", format_version=3)
 
 
 class TestFrozenEngine:
