@@ -13,9 +13,11 @@ store cold-load path (S-STORE: ``.mhxb`` mmap load vs XML re-parse +
 index build, DESIGN.md §10) into ``BENCH_store.json``, and the
 extended-axis interval-join workload (S-JOINS: batched sorted-array
 joins vs per-node span arithmetic, DESIGN.md §11) into
-``BENCH_joins.json``.  The CI bench-regression wall
-(``benchmarks/check_regression.py``) diffs fresh runs against all five
-checked-in files.
+``BENCH_joins.json``, and the sharded-corpus scatter-gather workload
+(S-SHARD: serial vs pooled ``collection()`` dispatch and manifest
+shard pruning, DESIGN.md §13) into ``BENCH_shard.json``.  The CI
+bench-regression wall (``benchmarks/check_regression.py``) diffs fresh
+runs against all six checked-in files.
 
 Usage::
 
@@ -23,7 +25,9 @@ Usage::
         [--out BENCH_axes.json] [--queries-out BENCH_queries.json] \
         [--updates-out BENCH_updates.json] \
         [--store-out BENCH_store.json] \
-        [--joins-out BENCH_joins.json] [--size 6400]
+        [--joins-out BENCH_joins.json] \
+        [--shard-out BENCH_shard.json] [--size 6400] \
+        [--shard-size 64000] [--workers 4]
 
 ``--quick`` cuts the repeat counts for CI smoke runs; the checked-in
 files are produced by a full run on a quiet machine.
@@ -302,13 +306,26 @@ def _bench_store_timed(mhx: Path, mhxb: Path, probe: str,
 def bench_durability(size: int, repeats: int) -> dict:
     """S-STORE durability: per-commit cost of the fsync policies.
 
-    Times the same involution update batch (DESIGN.md §12) through a
-    :class:`DocumentStore` under each durability mode — ``off`` (rename
-    atomicity only), ``batch`` (deferred, coalesced ``sync()``), and
-    ``full`` (fsync file + directory every commit).  The ``speedup``
-    leaf is off/batch: ``batch`` is the mode CI gates (≤2× over
-    ``off``, ``benchmarks/test_store_durability.py``), so its ratio
-    rides the machine-independent regression wall.
+    Times a ``compact("doc")`` cycle — serialize, atomic rename,
+    manifest commit, plus whatever fsyncs the policy demands — under
+    each durability mode: ``off`` (rename atomicity only), ``batch``
+    (deferred syncs coalesced by the cycle's trailing ``sync()``, and
+    the manifest fast path that skips rewriting an unchanged core),
+    and ``full`` (fsync file + directory inline on every write).
+
+    An earlier incarnation timed ``store.update()`` instead, and the
+    numbers inverted (off slower than full): ``update`` forks the
+    engine before persisting, so every sample was dominated by a DOM
+    clone + GODDAG rebuild that dwarfed the I/O under test and left
+    the policy deltas inside scheduler noise.  ``compact`` hits
+    ``_persist`` with no fork, so the sample *is* the commit path.
+    The ``speedup`` leaf is full/batch — what sync coalescing buys
+    over fsync-per-write.  Both sides of that ratio are fsync-bound,
+    so runner-to-runner fsync variance largely cancels and the leaf
+    can ride the regression wall; off/batch would shrink on any
+    slow-fsync runner and flake it
+    (``benchmarks/test_store_durability.py`` gates the policies
+    directly).
     """
     import shutil
     import tempfile
@@ -316,11 +333,10 @@ def bench_durability(size: int, repeats: int) -> dict:
     from repro.store import DocumentStore
 
     corpus = corpus_at_size(size)
-    statements = [
-        'rename node /descendant::w[1] as "word"',
-        'rename node /descendant::word[1] as "w"',
-    ]
     out: dict = {}
+    # commit-path samples are cheap without the fork: double the
+    # repeats to pull the median clear of fsync scheduling noise
+    commit_repeats = repeats * 2 + 1
     for mode in ("off", "batch", "full"):
         root = Path(tempfile.mkdtemp(prefix=f"mhxq-bench-dur-{mode}-"))
         try:
@@ -328,17 +344,115 @@ def bench_durability(size: int, repeats: int) -> dict:
             store.add("doc", corpus)
 
             def commit() -> None:
-                for statement in statements:
-                    store.update("doc", statement)
+                store.compact("doc")
 
-            commit()  # warm the snapshot + plan cache
-            out[f"{mode}-commit"] = median_ns(commit, repeats)
-            # (sync() itself is microseconds — too noisy for the wall)
-            if mode == "batch":
-                store.sync()
+            commit()  # warm the snapshot + serializer caches
+            out[f"{mode}-commit"] = median_ns(commit, commit_repeats)
         finally:
             shutil.rmtree(root, ignore_errors=True)
-    out["speedup"] = round(out["off-commit"] / out["batch-commit"], 2)
+    out["speedup"] = round(out["full-commit"] / out["batch-commit"], 2)
+    return out
+
+
+#: The S-SHARD pruning corpus fuses a small heavily-damaged head onto a
+#: large pristine body: ``dmg`` cardinality is zero outside the head, so
+#: a damage-anchored query prunes all body shards from the manifest
+#: statistics alone.
+SHARD_COUNT = 8
+
+
+def _shard_corpus(n_words: int):
+    """Damaged head + clean body, fused into one corpus document."""
+    from repro.corpus.generator import GeneratorConfig, generate_document
+    from repro.store import fuse_documents
+
+    head = generate_document(GeneratorConfig(
+        n_words=max(n_words // 16, 200), seed=BENCH_SEED,
+        damage_rate=0.3, restoration_rate=0.2))
+    body = generate_document(GeneratorConfig(
+        n_words=n_words, seed=BENCH_SEED + 1,
+        damage_rate=0.0, restoration_rate=0.0))
+    return fuse_documents([head, body])
+
+
+def bench_shard(n_words: int, repeats: int, workers: int) -> dict:
+    """S-SHARD: scatter-gather ``collection()`` over a sharded corpus.
+
+    Three comparisons on one corpus (DESIGN.md §13):
+
+    * ``count-w-overlap-line`` — a shard-local semi-join over every
+      word, serial in-process vs the ``workers``-way pool vs the same
+      query on one unsharded engine.  The serial/pool ratio is
+      recorded as ``parallel-ratio``, deliberately *not* ``speedup``:
+      parallel gain is only physical with ≥ ``workers`` cores, so a
+      single-core baseline would set a regression-wall floor that says
+      nothing about the code.  The config records ``cpus`` and
+      ``benchmarks/test_shard_scaling.py`` gates the ratio CPU-aware.
+    * ``scatter-w-in-dmg`` — a node-returning scatter (okey merge +
+      serialization in the sample), pruned vs unpruned.
+    * ``prune-dmg-semijoin`` — manifest pruning: the damage-anchored
+      query only dispatches to shards whose ``dmg`` cardinality is
+      non-zero, skipping the full word scan everywhere else.  Its
+      ``speedup`` (unpruned/pruned) is work-reduction, measurable on
+      any machine.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.api import Engine
+    from repro.store import DocumentStore
+
+    corpus = _shard_corpus(n_words)
+    root = Path(tempfile.mkdtemp(prefix="mhxq-bench-shard-"))
+    out: dict = {"config": {
+        "n_words": n_words, "shards": SHARD_COUNT, "workers": workers,
+        "cpus": len(os.sched_getaffinity(0)),
+    }}
+    overlap = 'count(collection("c")/descendant::w[overlapping::line])'
+    scatter = 'collection("c")/descendant::dmg/xdescendant::w'
+    prune = 'count(collection("c")/descendant::w[overlapping::dmg])'
+    try:
+        store = DocumentStore.init(root / "catalog")
+        stats = store.add_corpus("c", corpus, shards=SHARD_COUNT)
+        unsharded = Engine(corpus)
+        unsharded.goddag.span_index()
+        oracle = "count(/descendant::w[overlapping::line])"
+        for text in (overlap, scatter, prune):  # warm engines + plans
+            store.cquery(text)
+        unsharded.query(oracle)
+        pool_warm = store.cquery(overlap, workers=workers)
+        serial = median_ns(lambda: store.cquery(overlap), repeats)
+        pooled = median_ns(
+            lambda: store.cquery(overlap, workers=workers), repeats)
+        out["count-w-overlap-line"] = {
+            "serial-1worker": serial,
+            f"pool-{workers}workers": pooled,
+            "unsharded-engine": median_ns(
+                lambda: unsharded.query(oracle), repeats),
+            "parallel-ratio": round(serial / pooled, 2),
+        }
+        out["scatter-w-in-dmg"] = {
+            "pruned": median_ns(lambda: store.cquery(scatter), repeats),
+            "unpruned": median_ns(
+                lambda: store.cquery(scatter, prune=False), repeats),
+        }
+        pruned_result = store.cquery(prune)
+        out["prune-dmg-semijoin"] = {
+            "shards-pruned": pruned_result.shards_pruned,
+            "shards-total": pruned_result.shards_total,
+            "pruned": median_ns(lambda: store.cquery(prune), repeats),
+            "unpruned": median_ns(
+                lambda: store.cquery(prune, prune=False), repeats),
+        }
+        out["prune-dmg-semijoin"]["speedup"] = round(
+            out["prune-dmg-semijoin"]["unpruned"]
+            / out["prune-dmg-semijoin"]["pruned"], 2)
+        out["config"]["corpus_words"] = stats.words
+        assert pool_warm.workers == workers
+        store.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
     return out
 
 
@@ -354,13 +468,28 @@ def main(argv: list[str] | None = None) -> int:
         Path(__file__).resolve().parent.parent / "BENCH_store.json"))
     parser.add_argument("--joins-out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_joins.json"))
+    parser.add_argument("--shard-out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_shard.json"))
     parser.add_argument("--size", type=int, default=SCALING_SIZES[-1])
+    parser.add_argument("--shard-size", type=int, default=None,
+                        help="corpus words for the shard series "
+                             "(default 64000, or 4000 with --quick)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool width for the shard series")
+    parser.add_argument("--shard-only", action="store_true",
+                        help="emit only the S-SHARD series (the "
+                             "nightly shard-scale worker sweep)")
     parser.add_argument("--quick", action="store_true",
                         help="fewer repeats (CI smoke run)")
     args = parser.parse_args(argv)
     repeats = 5 if args.quick else 41
     build_repeats = 3 if args.quick else 11
     query_repeats = 3 if args.quick else 9
+    shard_size = args.shard_size or (4000 if args.quick else 64000)
+    shard_repeats = 3 if args.quick else 7
+    if args.shard_only:
+        emit_shard(args, shard_size, shard_repeats)
+        return 0
     payload = {
         "schema": "repro-bench/1",
         "series": "standard-axes-rewrite",
@@ -423,7 +552,23 @@ def main(argv: list[str] | None = None) -> int:
     Path(args.joins_out).write_text(
         json.dumps(joins_payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(joins_payload, indent=2, sort_keys=True))
+    emit_shard(args, shard_size, shard_repeats)
     return 0
+
+
+def emit_shard(args, shard_size: int, shard_repeats: int) -> None:
+    shard_series = bench_shard(shard_size, shard_repeats, args.workers)
+    shard_payload = {
+        "schema": "repro-bench/1",
+        "series": "sharded-corpus-scatter-gather",
+        "config": {**shard_series.pop("config"), "seed": BENCH_SEED,
+                   "repeats": shard_repeats,
+                   "python": sys.version.split()[0]},
+        "median_ns_per_cquery": shard_series,
+    }
+    Path(args.shard_out).write_text(
+        json.dumps(shard_payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(shard_payload, indent=2, sort_keys=True))
 
 
 if __name__ == "__main__":

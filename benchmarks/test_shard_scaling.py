@@ -1,0 +1,131 @@
+"""S-SHARD — scatter-gather scaling over a sharded corpus (DESIGN.md §13).
+
+The perf claims of ISSUE 7, gated live rather than against checked-in
+numbers:
+
+* **Pruning** is work reduction, so it holds on any machine: a
+  damage-anchored semi-join over a corpus whose damage is confined to
+  one shard must run ``REPRO_BENCH_MIN_PRUNE_SPEEDUP``× (default 5×)
+  faster with manifest pruning than with every shard dispatched.
+* **Parallelism** is only physical with enough cores: the 4-worker
+  pool must beat serial in-process dispatch by
+  ``REPRO_BENCH_MIN_SHARD_SPEEDUP``× (default 2.5×) on a ≥64k-word
+  corpus — skipped below 4 usable CPUs, where the pool can only add
+  IPC overhead (``BENCH_shard.json`` records the honest single-core
+  number for the regression wall instead).
+
+Both series reuse one session-scoped sharded store; the corpus is the
+``emit_bench.bench_shard`` shape — heavily damaged head fused onto a
+pristine body — so ``dmg`` cardinality is zero in every body shard.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+import pytest
+
+from repro.store import DocumentStore
+
+from conftest import record
+from emit_bench import SHARD_COUNT, _shard_corpus
+
+WORKERS = 4
+
+MIN_PRUNE_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_PRUNE_SPEEDUP", "5.0"))
+MIN_SHARD_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_SHARD_SPEEDUP", "2.5"))
+
+#: words in the scaling corpora: the parallel gate wants the ≥64k-word
+#: headline corpus, but only multi-core runners pay for it; the
+#: pruning corpus is sized so the per-shard scan dwarfs the fixed
+#: per-``cquery`` cost (classification + manifest checks) that would
+#: otherwise dilute the measured ratio.
+PARALLEL_WORDS = 64000
+PRUNE_WORDS = 48000
+#: the cuts are size-balanced, so the ideal pruning ratio *is* the
+#: shard count — 12 ways leaves headroom over the 5x floor while the
+#: damaged head (words/16) still fits inside shard 0
+PRUNE_SHARDS = 12
+
+PRUNE_QUERY = 'count(collection("c")/descendant::w[overlapping::dmg])'
+SCAN_QUERY = 'count(collection("c")/descendant::w[overlapping::line])'
+
+
+def usable_cpus() -> int:
+    return len(os.sched_getaffinity(0))
+
+
+def median_of(function, repeats: int = 5) -> float:
+    samples = []
+    for _ in range(repeats):
+        gc.collect()
+        begin = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - begin)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def sharded_store(root, n_words: int,
+                  shards: int = SHARD_COUNT) -> DocumentStore:
+    store = DocumentStore.init(root)
+    store.add_corpus("c", _shard_corpus(n_words), shards=shards)
+    return store
+
+
+def test_manifest_pruning_speedup(tmp_path):
+    store = sharded_store(tmp_path / "catalog", PRUNE_WORDS,
+                          shards=PRUNE_SHARDS)
+    try:
+        store.cquery(PRUNE_QUERY)  # warm shard engines + plan cache
+        store.cquery(PRUNE_QUERY, prune=False)
+        shape = store.cquery(PRUNE_QUERY)
+        assert shape.shards_pruned > 0, (
+            "corpus shape regression: damage leaked into every shard, "
+            "nothing to prune")
+        pruned = median_of(lambda: store.cquery(PRUNE_QUERY))
+        unpruned = median_of(
+            lambda: store.cquery(PRUNE_QUERY, prune=False))
+    finally:
+        store.close()
+    speedup = unpruned / pruned
+    record("S-SHARD pruning",
+           "PASS" if speedup >= MIN_PRUNE_SPEEDUP else "FAIL",
+           f"n={PRUNE_WORDS}: {shape.shards_pruned}/{shape.shards_total}"
+           f" shards pruned, {unpruned * 1e3:.1f} ms -> "
+           f"{pruned * 1e3:.1f} ms ({speedup:.1f}x)")
+    assert speedup >= MIN_PRUNE_SPEEDUP, (
+        f"manifest pruning gained only {speedup:.2f}x, below the "
+        f"{MIN_PRUNE_SPEEDUP}x floor (pruned {pruned:.4f}s, "
+        f"unpruned {unpruned:.4f}s)")
+
+
+@pytest.mark.skipif(
+    usable_cpus() < WORKERS,
+    reason=f"parallel speedup needs >= {WORKERS} usable CPUs "
+           f"(have {usable_cpus()}); BENCH_shard.json records the "
+           "single-core number")
+def test_worker_pool_speedup(tmp_path):
+    store = sharded_store(tmp_path / "catalog", PARALLEL_WORDS)
+    try:
+        store.cquery(SCAN_QUERY)  # warm engines in-process...
+        store.cquery(SCAN_QUERY, workers=WORKERS)  # ...and in the pool
+        serial = median_of(lambda: store.cquery(SCAN_QUERY))
+        pooled = median_of(
+            lambda: store.cquery(SCAN_QUERY, workers=WORKERS))
+    finally:
+        store.close()
+    speedup = serial / pooled
+    record("S-SHARD parallel",
+           "PASS" if speedup >= MIN_SHARD_SPEEDUP else "FAIL",
+           f"n={PARALLEL_WORDS}, {WORKERS} workers on "
+           f"{usable_cpus()} CPUs: {serial * 1e3:.1f} ms -> "
+           f"{pooled * 1e3:.1f} ms ({speedup:.1f}x)")
+    assert speedup >= MIN_SHARD_SPEEDUP, (
+        f"{WORKERS}-worker pool gained only {speedup:.2f}x over "
+        f"serial, below the {MIN_SHARD_SPEEDUP}x floor "
+        f"(serial {serial:.4f}s, pooled {pooled:.4f}s)")

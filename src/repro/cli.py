@@ -24,7 +24,11 @@ built-in Boethius document):
   of ``.mhxb``-persisted documents with MVCC snapshot reads;
   ``store verify`` deep-scans every block checksum and ``store
   recover`` reports what open-time crash recovery swept, adopted, or
-  quarantined (DESIGN.md §12).
+  quarantined (DESIGN.md §12); ``store shard`` partitions a large
+  document into a corpus of per-shard ``.mhxb`` files and ``store
+  cquery`` runs ``collection("name")`` queries over it with
+  scatter-gather parallelism (``--workers``) and manifest-statistics
+  shard pruning (DESIGN.md §13).
 
 Examples::
 
@@ -34,6 +38,9 @@ Examples::
     mhxq store init ./catalog
     mhxq store add ./catalog boethius --sample
     mhxq store query ./catalog boethius 'count(/descendant::w)'
+    mhxq store shard ./catalog corpus --generate 64000 --shards 8
+    mhxq store cquery ./catalog 'count(collection("corpus")//w)' \
+        --workers 4
 """
 
 from __future__ import annotations
@@ -188,6 +195,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_s_recover = store_sub.add_parser(
         "recover", help="run crash recovery and report what it did")
     p_s_recover.add_argument("store_dir")
+
+    p_s_shard = store_sub.add_parser(
+        "shard", help="partition a document into a sharded corpus")
+    p_s_shard.add_argument("store_dir")
+    p_s_shard.add_argument("name", help="catalog name for the corpus")
+    add_document_options(p_s_shard)
+    p_s_shard.add_argument("--generate", type=int, metavar="N_WORDS",
+                           help="shard a seeded synthetic manuscript "
+                                "of N_WORDS words instead of a file")
+    p_s_shard.add_argument("--shards", type=int, default=4,
+                           help="target shard count (default: 4; the "
+                                "markup may offer fewer valid cuts)")
+    add_durability_option(p_s_shard)
+
+    p_s_cquery = store_sub.add_parser(
+        "cquery", help="scatter-gather a collection(\"name\") query "
+                       "over a sharded corpus")
+    p_s_cquery.add_argument("store_dir")
+    p_s_cquery.add_argument("expression", help="the query text, or @file")
+    p_s_cquery.add_argument("--workers", type=int, default=1,
+                            help="worker processes (1 = in-process "
+                                 "serial scatter; default: 1)")
+    p_s_cquery.add_argument("--no-prune", action="store_true",
+                            help="dispatch to every shard, ignoring "
+                                 "the manifest pruning statistics")
+    p_s_cquery.add_argument("--stats", action="store_true",
+                            help="print the execution shape (mode, "
+                                 "shards pruned/executed) to stderr")
     return parser
 
 
@@ -394,6 +429,43 @@ def _dispatch_store(args: argparse.Namespace) -> int:
         print(f"verified {len(statuses)} document(s), {corrupt} with "
               f"problems")
         return 1 if corrupt else 0
+    if command == "shard":
+        if args.generate is not None:
+            from repro.corpus.generator import (
+                GeneratorConfig,
+                generate_document,
+            )
+
+            document = generate_document(
+                GeneratorConfig(n_words=args.generate, seed=0))
+        else:
+            document = _load_document(args)
+        stats = store.add_corpus(args.name, document,
+                                 shards=args.shards)
+        print(f"sharded {args.name!r} into {len(stats.shards)} shards "
+              f"({stats.words} words, "
+              f"{len(stats.hierarchy_names)} hierarchies)")
+        for index, shard in enumerate(stats.shards):
+            print(f"  shard {index:4} [{shard.lo},{shard.hi}) "
+                  f"{shard.words} words, "
+                  f"{len(shard.cards)} element names")
+        return 0
+    if command == "cquery":
+        expression = _read_expression(args.expression)
+        result = store.cquery(expression, workers=args.workers,
+                              prune=not args.no_prune)
+        print("".join(result.items))
+        if args.stats:
+            shape = (f"mode={result.mode} "
+                     f"shards={result.shards_executed}/"
+                     f"{result.shards_total} "
+                     f"(pruned {result.shards_pruned}) "
+                     f"workers={result.workers}")
+            if result.reason:
+                shape += f" reason={result.reason}"
+            print(shape, file=sys.stderr)
+        store.close()
+        return 0
     if command == "recover":
         report = store.recovery
         print(f"manifest loaded from {report['manifest']}")

@@ -37,6 +37,7 @@ from repro.core.goddag.joins import (
     exists_axis_batch,
     join_axis_batch,
 )
+from repro.core.goddag.okeys import corpus_sort_order, merge_shard_okeys
 from repro.core.goddag.render import describe, serialize_node, to_dot
 from repro.core.goddag.stats import GoddagStats, collect
 from repro.core.goddag.temp import TemporaryHierarchyManager
@@ -59,6 +60,8 @@ __all__ = [
     "evaluate_axis_batch",
     "exists_axis_batch",
     "join_axis_batch",
+    "corpus_sort_order",
+    "merge_shard_okeys",
     "serialize_node",
     "to_dot",
     "describe",

@@ -1,0 +1,76 @@
+"""Cross-shard document order over packed int64 order keys.
+
+One KyGODDAG's Definition 3 order packs into a single int64
+(``goddag.py``): tier in bits 61-62, hierarchy rank in bits 45-60,
+preorder/offset payload below.  That order is **hierarchy-major**: all
+of hierarchy A's nodes sort before all of hierarchy B's whenever A
+registered first.  A sharded corpus therefore cannot merge shard
+results by plain concatenation — shard 0's *physical* nodes must
+interleave **after** every shard's *structural* nodes, exactly as they
+would in the unsharded document.
+
+The corpus order implemented here is the unsharded document's order,
+reconstructed from per-shard keys:
+
+1. **hierarchy band** first — bits 45-63 of the okey (tier + rank).
+   Shards are built with identical hierarchy registration order, so
+   rank ``r`` names the same hierarchy in every shard.
+2. **shard index** second — within one hierarchy, every node of shard
+   *i* precedes every node of shard *i+1* (shards partition the text
+   left to right).
+3. **intra-shard payload** last — bits 0-44 (preorder + attribute
+   minor, or leaf start offset), already correct within one shard.
+
+``corpus_sort_order`` turns ``(shard, okey)`` pairs into the argsort
+permutation realising that order; the gather side applies it to the
+concatenated per-shard result columns (DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bits below the hierarchy band (rank starts at bit 45).
+BAND_SHIFT = 45
+_PAYLOAD_MASK = (1 << BAND_SHIFT) - 1
+
+
+def split_band(okeys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split packed okeys into (hierarchy band, intra-shard payload)."""
+    keys = np.asarray(okeys, dtype=np.int64)
+    return keys >> BAND_SHIFT, keys & _PAYLOAD_MASK
+
+
+def corpus_sort_order(shards: np.ndarray, okeys: np.ndarray) -> np.ndarray:
+    """Argsort permutation for corpus document order.
+
+    ``shards[i]`` is the shard index that produced result row ``i``;
+    ``okeys[i]`` its packed in-shard order key.  The returned int64
+    permutation sorts rows hierarchy-band-major, then shard, then
+    in-shard payload — i.e. the order the unsharded document would
+    have produced.  The sort is stable, so rows a single shard emitted
+    at equal keys (attributes of one element) keep their shard order.
+    """
+    band, payload = split_band(okeys)
+    return np.lexsort((payload, np.asarray(shards, dtype=np.int64), band))
+
+
+def merge_shard_okeys(per_shard: list[np.ndarray],
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge per-shard okey columns into one corpus-ordered column.
+
+    Returns ``(order, shards, okeys)`` where ``shards``/``okeys`` are
+    the concatenated inputs and ``order`` is the permutation from
+    :func:`corpus_sort_order`.  Callers carrying parallel columns
+    (serialized items, positions) concatenate them the same way and
+    apply ``order`` once.
+    """
+    if not per_shard:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    okeys = np.concatenate(
+        [np.asarray(part, dtype=np.int64) for part in per_shard])
+    shards = np.concatenate(
+        [np.full(len(part), index, dtype=np.int64)
+         for index, part in enumerate(per_shard)])
+    return corpus_sort_order(shards, okeys), shards, okeys

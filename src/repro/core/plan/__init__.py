@@ -45,8 +45,9 @@ __all__ = [
 #: :class:`~repro.store.plancache.SharedPlanCache` — key on it next to
 #: :data:`repro.core.lang.GRAMMAR_VERSION` so a rule change orphans
 #: stale plans instead of serving them.  Bumped by PR 5 (extended-axis
-#: steps and cross-hierarchy predicates lower to interval joins).
-PLAN_VERSION = 2
+#: steps and cross-hierarchy predicates lower to interval joins);
+#: bumped by PR 7 (``collection()`` lowers to a CollectionOp leaf).
+PLAN_VERSION = 3
 
 
 class CompiledQuery:

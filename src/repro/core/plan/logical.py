@@ -17,6 +17,7 @@ Operator glossary (DESIGN.md §8):
                  sorted-array join over the span-index columns (§11)
 ``expr-step``    a non-axis path step, evaluated once per input node
 ``filter``       predicates over an arbitrary item sequence
+``collection``   the roots of a sharded corpus, resolved at run time
 ``flwor``        the FLWOR pipeline (streaming unless it orders)
 ``quantified``   some/every
 ``union``/``intersect``/``except``  node-set algebra by order key
@@ -282,6 +283,25 @@ class FuncOp(Plan):
 
     def _label(self) -> str:
         return f"call {self.name}()"
+
+
+@dataclass
+class CollectionOp(Plan):
+    """``collection("name")``: the roots of a sharded corpus.
+
+    A leaf operator — the planner cannot know the shard layout, so the
+    executor resolves it at run time through the ``collection``
+    function slot in the frame registry.  Single-document engines have
+    no such slot and report the familiar unknown-function error; the
+    store's corpus executor injects a resolver that either fans the
+    enclosing plan out across shards (scatter-gather) or evaluates it
+    against a fused whole-corpus engine (DESIGN.md §13).
+    """
+
+    name: str
+
+    def _label(self) -> str:
+        return f"collection({self.name!r})"
 
 
 @dataclass

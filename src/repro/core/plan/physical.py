@@ -450,6 +450,21 @@ def _compile_func(op: L.FuncOp) -> Runner:
     return run
 
 
+def _compile_collection(op: L.CollectionOp) -> Runner:
+    name = op.name
+
+    def run(frame: Frame) -> list:
+        resolver = frame.functions.get("collection")
+        if resolver is None:
+            raise QueryEvaluationError(
+                f"collection({name!r}): no corpus executor bound — "
+                "collection() is only available through a DocumentStore "
+                "corpus query")
+        return resolver(frame, [[name]])
+
+    return run
+
+
 def _compile_construct(op: L.ConstructOp) -> Runner:
     attributes = [
         (attr_name, [part if isinstance(part, str) else compile_plan(part)
@@ -1447,6 +1462,7 @@ _COMPILERS = {
     L.IfOp: _compile_if,
     L.QuantOp: _compile_quant,
     L.FuncOp: _compile_func,
+    L.CollectionOp: _compile_collection,
     L.ConstructOp: _compile_construct,
     L.UpdatePrimOp: _compile_update,
     L.FilterOp: _compile_filter,

@@ -97,6 +97,10 @@ def _plan(expr: ast.Expr, ordered: bool, notes: list[str]) -> L.Plan:
                           [_plan_predicate(p, notes)
                            for p in expr.predicates])
     if isinstance(expr, ast.FunctionCall):
+        if (expr.name == "collection" and len(expr.args) == 1
+                and isinstance(expr.args[0], ast.Literal)
+                and isinstance(expr.args[0].value, str)):
+            return L.CollectionOp(expr.args[0].value)
         args_ordered = expr.name not in _ORDER_INSENSITIVE_FUNCTIONS
         return L.FuncOp(expr.name, [_plan(a, args_ordered, notes)
                                     for a in expr.args])

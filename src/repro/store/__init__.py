@@ -15,13 +15,27 @@ Three pieces turn the single-document engine into a small database:
   cache keyed by query text + grammar version;
 * :mod:`~repro.store.faultfs` — the injectable OS layer under every
   durability-sensitive file operation, driving the crash-consistency
-  harness (DESIGN.md §12).
+  harness (DESIGN.md §12);
+* :mod:`~repro.store.sharding` / :mod:`~repro.store.pool` — sharded
+  corpora: a large document partitioned at cross-hierarchy fragment
+  boundaries into per-shard ``.mhxb`` files, queried through
+  ``collection("name")`` with scatter-gather execution over a
+  persistent fork pool and manifest-statistics shard pruning
+  (DESIGN.md §13).
 """
 
 from repro.store.catalog import (
     DURABILITY_MODES,
     DocumentStore,
     fork_engine,
+)
+from repro.store.pool import CorpusResult, ShardWorkerPool
+from repro.store.sharding import (
+    CorpusStats,
+    ShardStats,
+    fuse_documents,
+    shard_document,
+    valid_cuts,
 )
 from repro.store.mhxb import (
     MHXB_FORMAT,
@@ -36,8 +50,15 @@ from repro.store.plancache import SharedPlanCache
 from repro.store.snapshot import Snapshot
 
 __all__ = [
+    "CorpusResult",
+    "CorpusStats",
     "DURABILITY_MODES",
     "DocumentStore",
+    "ShardStats",
+    "ShardWorkerPool",
+    "fuse_documents",
+    "shard_document",
+    "valid_cuts",
     "MHXB_FORMAT",
     "MHXB_FORMAT_V1",
     "Snapshot",

@@ -44,7 +44,9 @@ from pathlib import Path
 from repro.api import Engine, UpdateResult, load_mhx
 from repro.errors import ReproError, StoreError
 from repro.cmh import MultihierarchicalDocument
+from repro.core.plan.distribute import classify, find_collections
 from repro.core.runtime import QueryOptions
+from repro.core.runtime.serializer import serialize_item
 from repro.store import faultfs
 from repro.store.mhxb import (
     looks_like_mhxb,
@@ -53,6 +55,13 @@ from repro.store.mhxb import (
     verify_blocks,
 )
 from repro.store.plancache import SharedPlanCache
+from repro.store.pool import (
+    CorpusResult,
+    ShardWorkerPool,
+    gather,
+    run_shard,
+)
+from repro.store.sharding import CorpusStats, fuse_documents, shard_document
 from repro.store.snapshot import Snapshot
 
 STORE_FORMAT = "mhx-store-1"
@@ -100,9 +109,18 @@ class DocumentStore:
         self._lock = threading.RLock()
         self._live: dict[str, Snapshot] = {}
         self._dirty: set[Path] = set()
+        #: the last persisted manifest payload sans generation — the
+        #: batch-durability fast path skips rewriting when unchanged
+        self._manifest_core: str | None = None
+        #: parent-side shard engines (serial execution + fused builds)
+        self._shard_engines: dict[str, Engine] = {}
+        #: fused whole-corpus engines, keyed by corpus name
+        self._fused: dict[str, Engine] = {}
+        self._pools: dict[int, ShardWorkerPool] = {}
         self._manifest = self._load_manifest()
         self._manifest.setdefault("generation", 0)
         self._manifest.setdefault("quarantined", {})
+        self._manifest.setdefault("corpora", {})
         self.recovery = self.recover()
 
     def _load_manifest(self) -> dict:
@@ -195,9 +213,34 @@ class DocumentStore:
                     report["adopted"].append(
                         f"{name} (version {header['version']})")
                     changed = True
+            corpora = self._manifest["corpora"]
+            for name, entry in list(corpora.items()):
+                for file_name in entry["files"]:
+                    path = self.root / file_name
+                    reason = None
+                    if not path.exists():
+                        reason = f"shard {file_name} missing on disk"
+                    else:
+                        try:
+                            read_header(path)
+                        except ReproError as error:
+                            reason = str(error)
+                    if reason is not None:
+                        corpora.pop(name, None)
+                        quarantined[name] = {"file": entry["files"][0],
+                                             "files": entry["files"],
+                                             "version": None,
+                                             "reason": reason}
+                        report["quarantined"].append(name)
+                        changed = True
+                        break
             referenced = ({entry["file"] for entry in documents.values()}
                           | {entry["file"]
-                             for entry in quarantined.values()})
+                             for entry in quarantined.values()}
+                          | {file_name for entry in corpora.values()
+                             for file_name in entry["files"]}
+                          | {file_name for entry in quarantined.values()
+                             for file_name in entry.get("files", [])})
             for path in sorted(self.root.glob("*.mhxb")):
                 if path.name in referenced:
                     continue
@@ -369,7 +412,230 @@ class DocumentStore:
                 raise ReproError(f"no document named {name!r}")
             self._live.pop(name, None)
             self._save_manifest()
-            faultfs.current().unlink(self.root / entry["file"])
+            for file_name in entry.get("files", []) or [entry["file"]]:
+                faultfs.current().unlink(self.root / file_name)
+
+    # -- corpora -------------------------------------------------------------
+
+    @property
+    def corpora(self) -> list[str]:
+        """Registered corpus names, in registration order."""
+        with self._lock:
+            return list(self._manifest["corpora"])
+
+    def corpus_stats(self, name: str) -> CorpusStats:
+        """The persisted shard statistics of one corpus."""
+        with self._lock:
+            entry = self._corpus_entry(name)
+            return CorpusStats.from_json(entry["stats"])
+
+    def _corpus_entry(self, name: str) -> dict:
+        entry = self._manifest["corpora"].get(name)
+        if entry is None:
+            quarantine = self._manifest["quarantined"].get(name)
+            if quarantine is not None:
+                raise StoreError(
+                    f"corpus {name!r} is quarantined: "
+                    f"{quarantine['reason']}")
+            raise ReproError(f"no corpus named {name!r}")
+        return entry
+
+    def add_corpus(self, name: str,
+                   document: MultihierarchicalDocument, *,
+                   shards: int) -> CorpusStats:
+        """Partition ``document`` into a sharded corpus (DESIGN.md §13).
+
+        The document is cut at size-balanced fragment boundaries valid
+        in **every** hierarchy (:func:`repro.store.sharding.
+        shard_document`), each shard persisted as its own checksummed
+        ``.mhxb`` file, and the manifest entry records the per-shard
+        statistics (word counts, span bounds, per-name cardinalities)
+        that :meth:`cquery` uses for shard pruning.  Registration is
+        transactional like :meth:`add`: a failed manifest write removes
+        the shard files and rolls the entry back.  The markup may offer
+        fewer valid cuts than requested — the persisted stats say how
+        many shards the corpus actually got.
+        """
+        if not _NAME_RE.match(name):
+            raise ReproError(
+                f"invalid corpus name {name!r} (want "
+                f"[A-Za-z0-9][A-Za-z0-9._-]*, at most 64 characters)")
+        with self._lock:
+            for section in ("documents", "corpora"):
+                if name in self._manifest[section]:
+                    raise ReproError(
+                        f"{name!r} already exists in this store "
+                        f"({section[:-1]})")
+            if name in self._manifest["quarantined"]:
+                raise StoreError(
+                    f"{name!r} is quarantined "
+                    f"({self._manifest['quarantined'][name]['reason']});"
+                    f" remove() it before re-adding")
+            parts, stats = shard_document(document, shards)
+            files: list[str] = []
+            try:
+                for index, part in enumerate(parts):
+                    file_name = f"{name}.shard{index:04d}.mhxb"
+                    engine = Engine(part, options=self.options)
+                    save_engine(engine, self.root / file_name,
+                                durability=self._file_durability)
+                    if self.durability == "batch":
+                        self._dirty.add(self.root / file_name)
+                    files.append(file_name)
+                self._manifest["corpora"][name] = {
+                    "files": files,
+                    "stats": stats.to_json(),
+                }
+                try:
+                    self._save_manifest()
+                except Exception:
+                    self._manifest["corpora"].pop(name, None)
+                    raise
+            except Exception:
+                for file_name in files:
+                    (self.root / file_name).unlink(missing_ok=True)
+                raise
+            return stats
+
+    def remove_corpus(self, name: str) -> None:
+        """Drop a corpus and delete its shard files."""
+        with self._lock:
+            entry = self._manifest["corpora"].pop(name, None)
+            if entry is None:
+                raise ReproError(f"no corpus named {name!r}")
+            for file_name in entry["files"]:
+                self._shard_engines.pop(file_name, None)
+            self._fused.pop(name, None)
+            self._save_manifest()
+            for file_name in entry["files"]:
+                faultfs.current().unlink(self.root / file_name)
+
+    def _shard_engine(self, file_name: str) -> Engine:
+        """Parent-side memmapped engine for one shard file (cached)."""
+        engine = self._shard_engines.get(file_name)
+        if engine is None:
+            engine = Engine.from_mhxb(self.root / file_name,
+                                      options=self.options)
+            self._shard_engines[file_name] = engine
+        return engine
+
+    def _fused_engine(self, name: str, files: list[str]) -> Engine:
+        """The whole-corpus fallback engine (cached per corpus)."""
+        engine = self._fused.get(name)
+        if engine is None:
+            documents = [self._shard_engine(file_name).document
+                         for file_name in files]
+            engine = Engine(fuse_documents(documents),
+                            options=self.options)
+            self._fused[name] = engine
+        return engine
+
+    def _pool(self, workers: int) -> ShardWorkerPool:
+        pool = self._pools.get(workers)
+        if pool is None:
+            pool = ShardWorkerPool(workers)
+            self._pools[workers] = pool
+        return pool
+
+    def cquery(self, text: str, *, workers: int = 1,
+               prune: bool = True,
+               _crash_shard: int | None = None) -> CorpusResult:
+        """Evaluate a ``collection("name")`` query over a corpus.
+
+        The compiled plan is classified
+        (:mod:`repro.core.plan.distribute`): scatterable plans fan out
+        one task per shard — pruned against the manifest statistics
+        first — either in-process (``workers=1``) or over the
+        persistent fork pool, and the gather side merges positions +
+        packed okeys back into corpus document order; non-distributable
+        plans fall back to one fused whole-corpus engine
+        (``CorpusResult.mode == "fused"``, ``reason`` says why).
+
+        ``_crash_shard`` is the fault-injection hook: the worker
+        executing that shard index dies via ``os._exit`` mid-query,
+        the way an OOM kill would (tests only).
+        """
+        compiled, _hit = self.plans.get(text, self.options)
+        names = sorted(set(find_collections(compiled.plan)))
+        if not names:
+            raise ReproError(
+                "cquery() needs a collection(\"name\") reference; "
+                "use query() for single documents")
+        with self._lock:
+            entries = {name: self._corpus_entry(name) for name in names}
+        if len(names) > 1:
+            raise StoreError(
+                f"cquery() supports one corpus per query, got "
+                f"{', '.join(names)}")
+        name = names[0]
+        entry = entries[name]
+        files = entry["files"]
+        stats = CorpusStats.from_json(entry["stats"])
+        verdict = classify(compiled.plan, root_name=stats.root_name,
+                           name_hierarchies=stats.name_hierarchies)
+        if verdict.mode == "fused":
+            return self._run_fused(name, files, compiled,
+                                   reason=verdict.reason,
+                                   shards_total=len(files))
+        survivors = list(range(len(files)))
+        if prune and verdict.required_names:
+            survivors = [
+                index for index in survivors
+                if all(stats.shards[index].cards.get(required, 0)
+                       for required in verdict.required_names)]
+        payloads: list[tuple]
+        if workers > 1 and survivors:
+            tasks = [(str(self.root / files[index]), text, verdict.mode,
+                      self.options, index == _crash_shard)
+                     for index in survivors]
+            payloads = self._pool(workers).run(tasks)
+        else:
+            payloads = []
+            for index in survivors:
+                engine = self._shard_engine(files[index])
+                try:
+                    payloads.append(run_shard(engine, self.plans, text,
+                                              verdict.mode))
+                except ReproError as error:
+                    raise StoreError(
+                        f"corpus query failed on shard "
+                        f"{files[index]!r}: {error}") from error
+        items = gather(verdict.mode, payloads,
+                       aggregate=verdict.aggregate)
+        result = CorpusResult(
+            items=items, mode=verdict.mode,
+            shards_total=len(files),
+            shards_pruned=len(files) - len(survivors),
+            shards_executed=len(survivors),
+            workers=workers if survivors else 0)
+        if verdict.mode == "aggregate":
+            result.value = items[0]
+            result.items = [serialize_item(items[0])]
+        return result
+
+    def _run_fused(self, name: str, files: list[str], compiled, *,
+                   reason: str, shards_total: int) -> CorpusResult:
+        engine = self._fused_engine(name, files)
+
+        def resolver(frame, _args):
+            return [frame.goddag.root]
+
+        items = engine._evaluate_guarded(
+            compiled.text,
+            lambda: compiled.execute(
+                engine.goddag, options=engine.options,
+                functions={"collection": resolver}))
+        return CorpusResult(
+            items=[serialize_item(item) for item in items],
+            mode="fused", reason=reason, shards_total=shards_total,
+            shards_executed=shards_total, workers=1)
+
+    def close(self) -> None:
+        """Shut down the corpus worker pools (idempotent)."""
+        with self._lock:
+            pools, self._pools = list(self._pools.values()), {}
+        for pool in pools:
+            pool.close()
 
     # -- reads ---------------------------------------------------------------
 
@@ -540,8 +806,21 @@ class DocumentStore:
         ``store.json.prev`` (the previous generation stays reachable
         for bit-rot fallback), then the new generation renames into
         place — the pointer flip is the single ``os.replace``.
+
+        Under ``durability="batch"`` a rewrite whose payload (sans
+        generation counter) matches the last one written is skipped
+        entirely: ``compact``/``sync`` cycles re-commit unchanged
+        entries, and deferring their manifest churn is exactly what
+        the batch policy promises.  ``"full"`` always rewrites — every
+        committed generation must be its own fsynced file.
         """
         manifest_path = self.root / MANIFEST_NAME
+        core = json.dumps(
+            {key: value for key, value in self._manifest.items()
+             if key != "generation"},
+            ensure_ascii=False, sort_keys=True)
+        if self.durability == "batch" and core == self._manifest_core:
+            return
         generation = self._manifest.get("generation", 0)
         self._manifest["generation"] = generation + 1
         try:
@@ -557,7 +836,9 @@ class DocumentStore:
                                     else "off"))
         except BaseException:
             self._manifest["generation"] = generation
+            self._manifest_core = None  # disk state now uncertain
             raise
+        self._manifest_core = core
         if self.durability == "batch":
             self._dirty.add(manifest_path)
 

@@ -1,0 +1,324 @@
+"""Partitioning a multihierarchical document into corpus shards.
+
+A shard is a contiguous slice ``[lo, hi)`` of the base text together
+with, per hierarchy, the elements wholly contained in that slice.  A
+cut position is *valid* when no element in **any** hierarchy strictly
+straddles it — with concurrent markup the hierarchies tile the text
+differently (verse lines vs physical lines), so valid cuts are the
+positions where every hierarchy happens to close simultaneously.
+Text nodes may be split by a cut (the fused fallback re-merges them
+with ``normalize()``); elements never are, which is what lets a shard
+engine answer containment/stab queries locally (DESIGN.md §13).
+
+Cut selection is set-at-a-time: candidate positions are probed with
+two ``np.searchsorted`` passes over the sorted element start/end
+columns (a cut ``p`` is valid iff no span has ``start < p < end``),
+then the size-balanced subset nearest the ``i·len/n`` targets is kept.
+
+Every shard carries :class:`ShardStats` — word/char counts, the text
+span, and per-element-name cardinalities — which the corpus manifest
+persists for shard pruning: a query whose path spine requires name
+``w`` never dispatches to a shard whose ``cards["w"]`` is zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cmh.document import Hierarchy, MultihierarchicalDocument
+from repro.errors import StoreError
+from repro.markup import dom
+
+
+@dataclass
+class ShardStats:
+    """Pruning statistics for one shard (persisted in the manifest)."""
+
+    lo: int
+    hi: int
+    words: int
+    cards: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def chars(self) -> int:
+        return self.hi - self.lo
+
+    def to_json(self) -> dict:
+        return {"lo": self.lo, "hi": self.hi, "words": self.words,
+                "cards": dict(sorted(self.cards.items()))}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ShardStats":
+        return cls(lo=int(payload["lo"]), hi=int(payload["hi"]),
+                   words=int(payload["words"]),
+                   cards={str(k): int(v)
+                          for k, v in payload.get("cards", {}).items()})
+
+
+@dataclass
+class CorpusStats:
+    """Corpus-wide statistics derived from the per-shard stats."""
+
+    root_name: str
+    hierarchy_names: list[str]
+    #: element name -> hierarchies it appears in (FLWOR concat-merge is
+    #: only order-safe when the outer for-sequence stays in one
+    #: hierarchy; see plan distribution)
+    name_hierarchies: dict[str, list[str]]
+    shards: list[ShardStats]
+
+    @property
+    def words(self) -> int:
+        return sum(shard.words for shard in self.shards)
+
+    def to_json(self) -> dict:
+        return {
+            "root": self.root_name,
+            "hierarchies": list(self.hierarchy_names),
+            "name_hierarchies": {
+                name: sorted(hierarchies)
+                for name, hierarchies in
+                sorted(self.name_hierarchies.items())},
+            "shards": [shard.to_json() for shard in self.shards],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CorpusStats":
+        return cls(
+            root_name=str(payload["root"]),
+            hierarchy_names=[str(n) for n in payload["hierarchies"]],
+            name_hierarchies={
+                str(name): [str(h) for h in hierarchies]
+                for name, hierarchies in
+                payload.get("name_hierarchies", {}).items()},
+            shards=[ShardStats.from_json(s) for s in payload["shards"]])
+
+
+# ---------------------------------------------------------------------------
+# cut selection
+# ---------------------------------------------------------------------------
+
+
+def _element_spans(document: MultihierarchicalDocument,
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """(starts, ends) of every non-root element across all hierarchies."""
+    starts: list[int] = []
+    ends: list[int] = []
+    lengths = _subtree_lengths(document)
+    for hierarchy in document.hierarchies.values():
+        cursor = 0
+        stack: list[dom.Node] = list(reversed(hierarchy.root.children))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, dom.Text):
+                cursor += len(node.data)
+            elif isinstance(node, dom.Element):
+                # Preorder: the subtree's text nodes advance the cursor
+                # before the next sibling is popped, so ``cursor`` here
+                # is exactly this element's start offset.  Zero-length
+                # elements are skipped: they cannot strictly contain
+                # any position, and counting their collapsed span would
+                # unbalance the open/closed tally at exactly their
+                # offset (masking a real straddler there).
+                if lengths[id(node)]:
+                    starts.append(cursor)
+                    ends.append(cursor + lengths[id(node)])
+                stack.extend(reversed(node.children))
+    return (np.asarray(sorted(starts), dtype=np.int64),
+            np.asarray(sorted(ends), dtype=np.int64))
+
+
+def _subtree_lengths(document: MultihierarchicalDocument) -> dict[int, int]:
+    """``id(node) -> total text length`` for every parent node."""
+    lengths: dict[int, int] = {}
+
+    def measure(node: dom.Node) -> int:
+        if isinstance(node, dom.Text):
+            return len(node.data)
+        if isinstance(node, dom.ParentNode):
+            total = sum(measure(child) for child in node.children)
+            lengths[id(node)] = total
+            return total
+        return 0
+
+    for hierarchy in document.hierarchies.values():
+        measure(hierarchy.root)
+    return lengths
+
+
+def valid_cuts(document: MultihierarchicalDocument) -> np.ndarray:
+    """All interior positions where no element of any hierarchy is open.
+
+    Candidates are the distinct element boundaries (an arbitrary text
+    offset would just split a word); a candidate ``p`` survives iff
+    ``#{start < p} == #{end <= p}`` — i.e. no element span strictly
+    contains it.
+    """
+    starts, ends = _element_spans(document)
+    total = len(document.text)
+    candidates = np.unique(np.concatenate((starts, ends)))
+    candidates = candidates[(candidates > 0) & (candidates < total)]
+    if not len(candidates):
+        return candidates
+    open_before = np.searchsorted(starts, candidates, side="left")
+    closed_before = np.searchsorted(ends, candidates, side="right")
+    return candidates[open_before == closed_before]
+
+
+def choose_cuts(document: MultihierarchicalDocument,
+                n_shards: int) -> list[int]:
+    """Size-balanced valid cuts for an ``n_shards``-way partition.
+
+    Picks, for each target ``i·len/n``, the nearest valid cut; returns
+    the deduplicated ascending list (possibly shorter than
+    ``n_shards - 1`` when the markup offers fewer distinct cuts).
+    """
+    if n_shards < 1:
+        raise StoreError(f"shard count must be >= 1, got {n_shards}")
+    if n_shards == 1:
+        return []
+    cuts = valid_cuts(document)
+    if not len(cuts):
+        return []
+    total = len(document.text)
+    targets = np.arange(1, n_shards) * (total / n_shards)
+    picks = np.searchsorted(cuts, targets)
+    chosen: set[int] = set()
+    for target, pick in zip(targets, picks):
+        best = None
+        for index in (pick - 1, pick):
+            if 0 <= index < len(cuts):
+                position = int(cuts[index])
+                if best is None or (abs(position - target)
+                                    < abs(best - target)):
+                    best = position
+        if best is not None:
+            chosen.add(best)
+    return sorted(chosen)
+
+
+# ---------------------------------------------------------------------------
+# shard construction
+# ---------------------------------------------------------------------------
+
+
+def _slice_hierarchy(hierarchy: Hierarchy, lo: int, hi: int, total: int,
+                     lengths: dict[int, int]) -> dom.Document:
+    """The hierarchy's encoding restricted to text span ``[lo, hi)``."""
+    document = dom.Document()
+    root = dom.Element(hierarchy.root.name, hierarchy.root.attributes)
+    document.append(root)
+    cursor = 0
+    for child in hierarchy.root.children:
+        if isinstance(child, dom.Text):
+            start, end = cursor, cursor + len(child.data)
+            cursor = end
+            piece_lo, piece_hi = max(start, lo), min(end, hi)
+            if piece_lo < piece_hi:
+                root.append(dom.Text(
+                    child.data[piece_lo - start:piece_hi - start]))
+            continue
+        length = lengths.get(id(child), 0)
+        start, end = cursor, cursor + length
+        cursor = end
+        if start == end:
+            # Empty elements / comments / PIs: attach to the shard whose
+            # span contains their position (the last shard takes the
+            # document-final position).
+            owns = (lo <= start < hi) or (start == total and hi == total)
+            if owns:
+                root.append(child.clone())
+            continue
+        if end <= lo or start >= hi:
+            continue
+        if start < lo or end > hi:
+            raise StoreError(
+                f"element <{child.name}> spans [{start}, {end}) across "
+                f"the shard cut at [{lo}, {hi}) — cut selection must "
+                "only produce element-boundary positions")
+        root.append(child.clone())
+    return document
+
+
+def shard_document(document: MultihierarchicalDocument, n_shards: int,
+                   ) -> tuple[list[MultihierarchicalDocument], CorpusStats]:
+    """Partition ``document`` into up to ``n_shards`` shard documents.
+
+    Each shard is a full :class:`MultihierarchicalDocument` over its
+    text slice, hierarchies in the original registration order (the
+    order is what keeps packed okeys comparable across shards).
+    Alignment is re-verified per shard on construction, so a slicing
+    bug fails loudly here rather than corrupting query results.
+    """
+    if not document.hierarchies:
+        raise StoreError("cannot shard a document with no hierarchies")
+    cuts = choose_cuts(document, n_shards)
+    total = len(document.text)
+    bounds = [0, *cuts, total]
+    lengths = _subtree_lengths(document)
+    shards: list[MultihierarchicalDocument] = []
+    stats: list[ShardStats] = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        shard = MultihierarchicalDocument(document.text[lo:hi])
+        for name, hierarchy in document.hierarchies.items():
+            sliced = _slice_hierarchy(hierarchy, lo, hi, total, lengths)
+            shard.add_hierarchy(Hierarchy(name, sliced))
+        shards.append(shard)
+        stats.append(ShardStats(
+            lo=lo, hi=hi, words=len(shard.text.split()),
+            cards=_cardinalities(shard)))
+    name_hierarchies: dict[str, set[str]] = {}
+    for shard in shards:
+        for name, hierarchy in shard.hierarchies.items():
+            for node in hierarchy.root.iter_elements():
+                name_hierarchies.setdefault(node.name, set()).add(name)
+    corpus = CorpusStats(
+        root_name=document.root_name,
+        hierarchy_names=document.hierarchy_names,
+        name_hierarchies={name: sorted(hierarchies)
+                          for name, hierarchies in name_hierarchies.items()},
+        shards=stats)
+    return shards, corpus
+
+
+def _cardinalities(document: MultihierarchicalDocument) -> dict[str, int]:
+    cards: dict[str, int] = {}
+    for hierarchy in document.hierarchies.values():
+        for node in hierarchy.root.iter_elements():
+            cards[node.name] = cards.get(node.name, 0) + 1
+    return cards
+
+
+# ---------------------------------------------------------------------------
+# fused reconstruction
+# ---------------------------------------------------------------------------
+
+
+def fuse_documents(shards: list[MultihierarchicalDocument],
+                   ) -> MultihierarchicalDocument:
+    """Reassemble shard documents into one whole-corpus document.
+
+    The inverse of :func:`shard_document` up to text-node merging:
+    cloned shard children are concatenated under a fresh root per
+    hierarchy and ``normalize()`` re-merges the text nodes the cuts
+    split, so the fused document serializes byte-identically to the
+    original.  The non-distributable query fallback evaluates here.
+    """
+    if not shards:
+        raise StoreError("cannot fuse an empty shard list")
+    text = "".join(shard.text for shard in shards)
+    fused = MultihierarchicalDocument(text)
+    first = shards[0]
+    for name in first.hierarchy_names:
+        shard_root = first[name].root
+        document = dom.Document()
+        root = dom.Element(shard_root.name, shard_root.attributes)
+        document.append(root)
+        for shard in shards:
+            for child in shard[name].root.children:
+                root.append(child.clone())
+        root.normalize()
+        fused.add_hierarchy(Hierarchy(name, document))
+    return fused

@@ -1,0 +1,157 @@
+"""Tests for the scatter-gather plan classifier (DESIGN.md §13).
+
+The classifier is pure static analysis over the logical plan, so each
+case is: compile the query text, classify, assert the routing verdict
+(and, for fused fallbacks, that the reason names the actual blocker —
+the reasons surface in ``cquery``'s execution stats and in debugging).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.plan import compile_query
+from repro.core.plan.distribute import (
+    Distribution,
+    classify,
+    find_collections,
+)
+
+#: The corpus statistics shape of the synthetic manuscripts: ``w`` only
+#: in the structural hierarchy, ``line`` only in the physical one.
+NAME_HIERARCHIES = {
+    "w": ["structural"], "vline": ["structural"],
+    "line": ["physical"], "page": ["physical"],
+    "dmg": ["damage"], "res": ["restoration"],
+    "shared": ["damage", "restoration"],
+}
+
+
+def verdict(text: str) -> Distribution:
+    compiled = compile_query(text)
+    return classify(compiled.plan, root_name="r",
+                    name_hierarchies=NAME_HIERARCHIES)
+
+
+class TestFindCollections:
+    def test_finds_nested_references(self):
+        compiled = compile_query(
+            'for $w in collection("a")/descendant::w '
+            'return collection("b")/descendant::line')
+        assert sorted(find_collections(compiled.plan)) == ["a", "b"]
+
+    def test_none_without_collection(self):
+        compiled = compile_query("/descendant::w")
+        assert find_collections(compiled.plan) == []
+
+
+class TestScatter:
+    @pytest.mark.parametrize("text", [
+        'collection("c")/descendant::w',
+        'collection("c")/child::vline/child::w',
+        'collection("c")/descendant::w/ancestor::vline',
+        'collection("c")/descendant::dmg/xdescendant::w',
+        'collection("c")/descendant::w/overlapping::line',
+        'collection("c")/descendant::w[overlapping::dmg]',
+        'collection("c")/descendant::vline/child::w[1]',
+        'collection("c")/descendant::w/attribute::id',
+    ])
+    def test_scatterable(self, text):
+        result = verdict(text)
+        assert result.mode == "scatter", result.reason
+        assert result.collection == "c"
+
+    def test_required_names_spine_and_semi_joins(self):
+        result = verdict(
+            'collection("c")/descendant::vline/child::w'
+            '[overlapping::dmg]')
+        assert result.mode == "scatter"
+        assert result.required_names == ["vline", "w", "dmg"]
+
+
+class TestAggregate:
+    @pytest.mark.parametrize("function,fold", [
+        ("count", "count"), ("exists", "exists"), ("empty", "empty"),
+    ])
+    def test_aggregates_fold(self, function, fold):
+        result = verdict(f'{function}(collection("c")/descendant::w)')
+        assert result.mode == "aggregate"
+        assert result.aggregate == fold
+        assert result.required_names == ["w"]
+
+    def test_aggregate_over_non_scatterable_path_fuses(self):
+        result = verdict(
+            'count(collection("c")/descendant::w/following::w)')
+        assert result.mode == "fused"
+        assert "following" in result.reason
+
+
+class TestConcat:
+    def test_single_hierarchy_flwor_concats(self):
+        result = verdict('for $w in collection("c")/descendant::w '
+                         'return string($w)')
+        assert result.mode == "concat"
+        assert result.required_names == ["w"]
+
+    def test_where_and_let_clauses_stay_local(self):
+        result = verdict(
+            'for $w in collection("c")/descendant::w '
+            'let $s := string($w) '
+            'where exists($w/overlapping::line) return $s')
+        assert result.mode == "concat"
+
+    def test_multi_hierarchy_name_fuses(self):
+        result = verdict('for $n in collection("c")/descendant::shared '
+                         'return string($n)')
+        assert result.mode == "fused"
+        assert "2 hierarchies" in result.reason
+
+    def test_positional_binding_fuses(self):
+        result = verdict(
+            'for $w at $i in collection("c")/descendant::w '
+            'return $i')
+        assert result.mode == "fused"
+        assert "positional" in result.reason
+
+
+class TestFused:
+    @pytest.mark.parametrize("text,fragment", [
+        # cross-shard axes
+        ('collection("c")/descendant::w/following::w', "following"),
+        ('collection("c")/descendant::w/preceding-sibling::w',
+         "preceding-sibling"),
+        ('collection("c")/descendant::dmg/xfollowing::res',
+         "xfollowing"),
+        ('collection("c")/descendant::w[xpreceding::dmg]',
+         "xpreceding"),
+        # shard roots and split text leak local state
+        ('collection("c")', "top-level"),
+        # a corpus-global position, not a per-parent one
+        ('collection("c")/descendant::w[2]', "positional"),
+        ('collection("c")/descendant::r', "corpus root"),
+        ('collection("c")/ancestor-or-self::*', "wildcard"),
+        ('collection("c")/descendant::text()', "text()"),
+        # focus against the corpus-root context
+        ('collection("c")/descendant::w[position() > 2]',
+         "position()"),
+        # nested/multiple collections
+        ('for $w in collection("a")/descendant::w '
+         'return collection("b")/descendant::line',
+         "2 collection() references"),
+        # non-path top level
+        ('string(collection("c")/descendant::w)', "top-level"),
+    ])
+    def test_fused_with_reason(self, text, fragment):
+        result = verdict(text)
+        assert result.mode == "fused", result.mode
+        assert fragment in result.reason, result.reason
+
+    def test_downward_wildcard_stays_scatterable(self):
+        assert verdict('collection("c")/descendant::w/child::*'
+                       ).mode == "scatter"
+
+    def test_node_test_mid_chain_screened_by_downward_step(self):
+        # the // expansion: descendant-or-self::node()/child::w
+        result = verdict('collection("c")'
+                         '/descendant-or-self::node()/child::w')
+        assert result.mode == "scatter", result.reason

@@ -1,0 +1,127 @@
+"""Cross-shard document-order differential suite (DESIGN.md §13).
+
+The property: for any multihierarchical document, any shard count, and
+any query in the matrix, ``collection()`` results over the sharded
+corpus are **byte-identical** to the same query over the unsharded
+document (the oracle) — regardless of which routing mode the classifier
+picks (scatter / aggregate / concat / fused) and regardless of whether
+execution is serial in-process or over the worker pool.  The matrix
+includes extended-axis steps whose witnesses sit right at shard
+boundaries (overlap and containment kernels) and steps that *reach
+across* boundaries (the fused fallback).
+
+Two generators feed it: hypothesis documents (adversarial tiny markup
+— empty hierarchies, spans touching the text edges, names shared
+across hierarchies) and the seeded synthetic manuscripts (realistic
+singallice overlap at every shard cut).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Engine
+from repro.errors import ReproError
+from repro.core.runtime.serializer import serialize_item
+from repro.corpus.generator import GeneratorConfig, generate_document
+from repro.store import DocumentStore
+
+from tests.strategies import multihierarchical_documents
+
+#: (corpus query, oracle query) — the ``collection("c")`` anchor on the
+#: left replaces the root anchor on the right.
+QUERY_MATRIX = [
+    # scatterable paths (per-shard + okey merge)
+    ('collection("c")/descendant::w', "/descendant::w"),
+    ('collection("c")/descendant::line/child::w',
+     "/descendant::line/child::w"),
+    ('collection("c")/descendant::w/ancestor::line',
+     "/descendant::w/ancestor::line"),
+    # extended axes: witnesses can hug the shard cuts
+    ('collection("c")/descendant::dmg/xdescendant::w',
+     "/descendant::dmg/xdescendant::w"),
+    ('collection("c")/descendant::w/overlapping::line',
+     "/descendant::w/overlapping::line"),
+    ('collection("c")/descendant::w[overlapping::dmg]',
+     "/descendant::w[overlapping::dmg]"),
+    # aggregates (per-shard fold)
+    ('count(collection("c")/descendant::w)', "count(/descendant::w)"),
+    ('exists(collection("c")/descendant::res)',
+     "exists(/descendant::res)"),
+    # FLWOR concat
+    ('for $w in collection("c")/descendant::w return string($w)',
+     "for $w in /descendant::w return string($w)"),
+    # cross-boundary reaches (the fused fallback)
+    ('collection("c")/descendant::w/following::w',
+     "/descendant::w/following::w"),
+    ('collection("c")/descendant::dmg/xfollowing::res',
+     "/descendant::dmg/xfollowing::res"),
+    ('collection("c")/descendant::res/xpreceding::w',
+     "/descendant::res/xpreceding::w"),
+]
+
+
+def assert_sharded_matches_oracle(document, shards: int,
+                                  pairs, workers: int = 1) -> None:
+    oracle = Engine(document)
+    root = Path(tempfile.mkdtemp(prefix="mhxq-prop-corpus-"))
+    store = DocumentStore.init(root / "catalog")
+    try:
+        store.add_corpus("c", document, shards=shards)
+        for corpus_text, oracle_text in pairs:
+            expected = [serialize_item(item)
+                        for item in oracle.query(oracle_text)]
+            result = store.cquery(corpus_text, workers=workers)
+            assert result.items == expected, (
+                corpus_text, result.mode, shards)
+    finally:
+        store.close()
+        shutil.rmtree(root, ignore_errors=True)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large,
+                                 HealthCheck.filter_too_much])
+@given(document=multihierarchical_documents(max_hierarchies=3,
+                                            max_spans=8, max_text=60),
+       shards=st.integers(min_value=1, max_value=6),
+       picks=st.lists(st.integers(0, len(QUERY_MATRIX) - 1),
+                      min_size=1, max_size=4, unique=True))
+def test_random_documents_any_boundary(document, shards, picks):
+    try:
+        pairs = [QUERY_MATRIX[index] for index in picks]
+        assert_sharded_matches_oracle(document, shards, pairs)
+    except ReproError as error:
+        # documents whose markup offers no hierarchies are rejected
+        # loudly, not silently mis-sharded
+        assert "no hierarchies" in str(error)
+        raise AssertionError from error  # pragma: no cover
+
+
+@pytest.mark.parametrize("n_words,seed,shards", [
+    (200, 1, 2), (200, 2, 5), (600, 3, 4), (600, 4, 8),
+])
+def test_synthetic_manuscripts_full_matrix(n_words, seed, shards):
+    document = generate_document(GeneratorConfig(
+        n_words=n_words, seed=seed, hyphenation_rate=0.5,
+        damage_rate=0.15, restoration_rate=0.15,
+        boundary_cross_rate=0.8))
+    assert_sharded_matches_oracle(document, shards, QUERY_MATRIX)
+
+
+def test_pool_execution_matches_oracle():
+    document = generate_document(GeneratorConfig(n_words=400, seed=9))
+    assert_sharded_matches_oracle(document, 4, QUERY_MATRIX[:6],
+                                  workers=2)
+
+
+def test_degenerate_single_shard():
+    document = generate_document(GeneratorConfig(n_words=120, seed=5))
+    assert_sharded_matches_oracle(document, 1, QUERY_MATRIX)

@@ -1,0 +1,188 @@
+"""Tests for corpus sharding (DESIGN.md §13).
+
+Cut selection (cuts valid in *every* hierarchy, size-balanced pick),
+shard construction (per-shard documents stay aligned, elements never
+split), the pruning statistics, and the fused reconstruction being a
+byte-identical inverse of sharding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.cmh import Hierarchy, MultihierarchicalDocument
+from repro.corpus.boethius import boethius_document
+from repro.corpus.generator import GeneratorConfig, generate_document
+from repro.store import fuse_documents, shard_document, valid_cuts
+from repro.store.sharding import CorpusStats, ShardStats, choose_cuts
+
+
+def corpus(n_words: int = 400, seed: int = 7) -> MultihierarchicalDocument:
+    return generate_document(GeneratorConfig(n_words=n_words, seed=seed))
+
+
+class TestValidCuts:
+    def test_no_element_straddles_any_cut(self):
+        document = corpus()
+        cuts = valid_cuts(document)
+        assert len(cuts)
+        for hierarchy in document.hierarchies.values():
+            for lo, hi in _element_spans(hierarchy, document.text):
+                inside = cuts[(cuts > lo) & (cuts < hi)]
+                assert not len(inside), (lo, hi, inside[:3])
+
+    def test_cuts_are_interior(self):
+        document = corpus()
+        cuts = valid_cuts(document)
+        assert np.all(cuts > 0)
+        assert np.all(cuts < len(document.text))
+
+    def test_overlap_free_document_cuts_at_word_boundaries(self):
+        text = "ab cd ef"
+        document = MultihierarchicalDocument(text)
+        source = "<r><w>ab</w> <w>cd</w> <w>ef</w></r>"
+        document.add_hierarchy(Hierarchy("only", _parse(source)))
+        cuts = valid_cuts(document)
+        # every word boundary (starts 3 and 6, ends 2 and 5) is valid
+        assert set(cuts.tolist()) == {2, 3, 5, 6}
+
+    def test_straddling_span_blocks_cut(self):
+        text = "ab cd ef"
+        document = MultihierarchicalDocument(text)
+        document.add_hierarchy(Hierarchy(
+            "words", _parse("<r><w>ab</w> <w>cd</w> <w>ef</w></r>")))
+        document.add_hierarchy(Hierarchy(
+            "span", _parse("<r>a<dmg>b cd e</dmg>f</r>")))
+        cuts = valid_cuts(document)
+        # the dmg span [1, 7) swallows every word boundary
+        assert not len(cuts)
+
+
+class TestChooseCuts:
+    def test_balanced_partition(self):
+        document = corpus(800)
+        cuts = choose_cuts(document, 4)
+        assert len(cuts) == 3
+        bounds = [0, *cuts, len(document.text)]
+        sizes = [hi - lo for lo, hi in zip(bounds, bounds[1:])]
+        target = len(document.text) / 4
+        for size in sizes:
+            assert abs(size - target) < target * 0.5
+
+    def test_single_shard_no_cuts(self):
+        assert choose_cuts(corpus(), 1) == []
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(StoreError, match="shard count"):
+            choose_cuts(corpus(), 0)
+
+    def test_more_shards_than_cuts_degrades(self):
+        text = "ab cd"
+        document = MultihierarchicalDocument(text)
+        document.add_hierarchy(Hierarchy(
+            "words", _parse("<r><w>ab</w> <w>cd</w></r>")))
+        cuts = choose_cuts(document, 10)
+        assert len(cuts) <= 2  # only positions 2 and 3 are valid
+
+
+class TestShardDocument:
+    def test_shards_align_and_cover_text(self):
+        document = corpus(800)
+        shards, stats = shard_document(document, 4)
+        assert len(shards) == len(stats.shards) == 4
+        assert "".join(shard.text for shard in shards) == document.text
+        for shard in shards:  # add_hierarchy verified alignment already
+            assert shard.hierarchy_names == document.hierarchy_names
+
+    def test_stats_bounds_and_cards(self):
+        document = corpus()
+        shards, stats = shard_document(document, 4)
+        assert stats.root_name == document.root_name
+        assert stats.words == sum(s.words for s in stats.shards)
+        for shard, stat in zip(shards, stats.shards):
+            assert stat.chars == len(shard.text)
+            counted: dict[str, int] = {}
+            for hierarchy in shard.hierarchies.values():
+                for node in hierarchy.root.iter_elements():
+                    counted[node.name] = counted.get(node.name, 0) + 1
+            assert counted == stat.cards
+
+    def test_element_totals_preserved(self):
+        document = corpus()
+        shards, stats = shard_document(document, 6)
+        for name, hierarchy in document.hierarchies.items():
+            total = sum(1 for _ in hierarchy.root.iter_elements())
+            sharded = sum(
+                1 for shard in shards
+                for _ in shard[name].root.iter_elements())
+            assert sharded == total, name
+
+    def test_no_hierarchies_rejected(self):
+        with pytest.raises(StoreError, match="no hierarchies"):
+            shard_document(MultihierarchicalDocument("abc"), 2)
+
+    def test_boethius_shards(self):
+        document = boethius_document(validate=False)
+        shards, stats = shard_document(document, 2)
+        assert len(shards) >= 1
+        assert fuse_documents(shards).text == document.text
+
+
+class TestFuse:
+    def test_fuse_is_inverse_of_shard(self):
+        document = corpus()
+        shards, _stats = shard_document(document, 5)
+        fused = fuse_documents(shards)
+        assert fused.text == document.text
+        for name in document.hierarchy_names:
+            assert fused[name].to_xml() == document[name].to_xml()
+
+    def test_fuse_empty_rejected(self):
+        with pytest.raises(StoreError, match="empty shard list"):
+            fuse_documents([])
+
+
+class TestStatsJson:
+    def test_round_trip(self):
+        _shards, stats = shard_document(corpus(), 3)
+        restored = CorpusStats.from_json(stats.to_json())
+        assert restored.to_json() == stats.to_json()
+        assert restored.root_name == stats.root_name
+        assert restored.name_hierarchies == stats.name_hierarchies
+        assert [s.to_json() for s in restored.shards] \
+            == [s.to_json() for s in stats.shards]
+
+    def test_shard_stats_fields(self):
+        stat = ShardStats(lo=3, hi=9, words=2, cards={"w": 2})
+        assert stat.chars == 6
+        assert ShardStats.from_json(stat.to_json()).to_json() \
+            == stat.to_json()
+
+
+def _parse(source: str):
+    from repro.markup.parser import parse
+
+    return parse(source)
+
+
+def _element_spans(hierarchy: Hierarchy, text: str):
+    """(start, end) character spans of every element, via leaf walk."""
+    spans = []
+
+    def walk(node, cursor):
+        from repro.markup import dom
+
+        start = cursor
+        for child in node.children:
+            if isinstance(child, dom.Text):
+                cursor += len(child.data)
+            elif isinstance(child, dom.Element):
+                cursor = walk(child, cursor)
+        if node is not hierarchy.root:
+            spans.append((start, cursor))
+        return cursor
+
+    walk(hierarchy.root, 0)
+    return spans
