@@ -15,9 +15,12 @@ extended-axis interval-join workload (S-JOINS: batched sorted-array
 joins vs per-node span arithmetic, DESIGN.md §11) into
 ``BENCH_joins.json``, and the sharded-corpus scatter-gather workload
 (S-SHARD: serial vs pooled ``collection()`` dispatch and manifest
-shard pruning, DESIGN.md §13) into ``BENCH_shard.json``.  The CI
-bench-regression wall (``benchmarks/check_regression.py``) diffs fresh
-runs against all six checked-in files.
+shard pruning, DESIGN.md §13) into ``BENCH_shard.json``, and the
+query-service HTTP workload (S-SERVE: per-request latency percentiles
+and fixed-concurrency throughput, DESIGN.md §14) into
+``BENCH_serve.json``.  The CI bench-regression wall
+(``benchmarks/check_regression.py``) diffs fresh runs against all
+seven checked-in files.
 
 Usage::
 
@@ -26,7 +29,8 @@ Usage::
         [--updates-out BENCH_updates.json] \
         [--store-out BENCH_store.json] \
         [--joins-out BENCH_joins.json] \
-        [--shard-out BENCH_shard.json] [--size 6400] \
+        [--shard-out BENCH_shard.json] \
+        [--serve-out BENCH_serve.json] [--size 6400] \
         [--shard-size 64000] [--workers 4]
 
 ``--quick`` cuts the repeat counts for CI smoke runs; the checked-in
@@ -456,6 +460,111 @@ def bench_shard(n_words: int, repeats: int, workers: int) -> dict:
     return out
 
 
+#: The S-SERVE workload: per-request latency percentiles over the
+#: query service's HTTP boundary.  Each probe dominates its own layer —
+#: ``point-count`` the admission/dispatch overhead, ``overlap-count``
+#: the span-index read path, ``paginated-page`` and ``streamed-page``
+#: full-result serialization through the pagination and chunked paths.
+SERVE_PROBES = (
+    ("point-count", "/query?name=doc&q=count(/descendant::w)"),
+    ("overlap-count",
+     "/query?name=doc&q=count(/descendant::w[overlapping::line])"),
+    ("paginated-page", "/query?name=doc&q=/descendant::w&limit=25"),
+    ("streamed-page",
+     "/query?name=doc&q=/descendant::w&stream=1&limit=200"),
+)
+
+
+def _percentiles(samples: list[int]) -> dict[str, int]:
+    import math
+
+    samples = sorted(samples)
+
+    def at(q: float) -> int:
+        index = max(0, math.ceil(q * len(samples)) - 1)
+        return samples[index]
+
+    return {"p50": at(0.50), "p95": at(0.95), "p99": at(0.99)}
+
+
+def bench_serve(size: int, requests: int, concurrency: int) -> dict:
+    """S-SERVE: query-service latency + throughput (DESIGN.md §14).
+
+    One embedded server over the bench corpus; a keep-alive client
+    per series records per-request wall times for the percentile
+    leaves, then ``concurrency`` clients hammer the point query for
+    the aggregate-throughput leaf.  Throughput is recorded as
+    ``ns-per-request`` (a *time* leaf, lower = better) so the wall's
+    time semantics apply directly — raw requests/second would read a
+    faster machine as a regression.
+    """
+    import http.client
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.server import ServerConfig, ServerHandle
+    from repro.store import DocumentStore
+
+    corpus = corpus_at_size(size)
+    root = Path(tempfile.mkdtemp(prefix="mhxq-bench-serve-"))
+    out: dict = {"config": {
+        "n_words": size, "requests": requests,
+        "concurrency": concurrency,
+    }}
+    try:
+        store = DocumentStore.init(root / "catalog")
+        store.add("doc", corpus)
+        with ServerHandle(store, ServerConfig()) as handle:
+            def series(path: str) -> dict[str, int]:
+                connection = http.client.HTTPConnection(
+                    handle.host, handle.port, timeout=120)
+                samples = []
+                for round_index in range(requests + 3):
+                    begin = time.perf_counter_ns()
+                    connection.request("GET", path)
+                    connection.getresponse().read()
+                    if round_index >= 3:  # 3 warm-up rounds
+                        samples.append(
+                            time.perf_counter_ns() - begin)
+                connection.close()
+                return _percentiles(samples)
+
+            for label, path in SERVE_PROBES:
+                out[label] = series(path)
+
+            per_client = max(requests // 2, 10)
+            point = SERVE_PROBES[0][1]
+            barrier = threading.Barrier(concurrency + 1)
+
+            def client() -> None:
+                connection = http.client.HTTPConnection(
+                    handle.host, handle.port, timeout=120)
+                connection.request("GET", point)  # warm, then sync
+                connection.getresponse().read()
+                barrier.wait()
+                for _request in range(per_client):
+                    connection.request("GET", point)
+                    connection.getresponse().read()
+                connection.close()
+
+            workers = [threading.Thread(target=client)
+                       for _client in range(concurrency)]
+            for worker in workers:
+                worker.start()
+            barrier.wait()
+            begin = time.perf_counter_ns()
+            for worker in workers:
+                worker.join()
+            elapsed = time.perf_counter_ns() - begin
+            out["throughput"] = {"ns-per-request": int(
+                elapsed / (concurrency * per_client))}
+        store.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(
@@ -470,6 +579,8 @@ def main(argv: list[str] | None = None) -> int:
         Path(__file__).resolve().parent.parent / "BENCH_joins.json"))
     parser.add_argument("--shard-out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_shard.json"))
+    parser.add_argument("--serve-out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_serve.json"))
     parser.add_argument("--size", type=int, default=SCALING_SIZES[-1])
     parser.add_argument("--shard-size", type=int, default=None,
                         help="corpus words for the shard series "
@@ -479,6 +590,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shard-only", action="store_true",
                         help="emit only the S-SHARD series (the "
                              "nightly shard-scale worker sweep)")
+    parser.add_argument("--serve-only", action="store_true",
+                        help="emit only the S-SERVE series (the "
+                             "query-service latency/throughput run)")
     parser.add_argument("--quick", action="store_true",
                         help="fewer repeats (CI smoke run)")
     args = parser.parse_args(argv)
@@ -489,6 +603,9 @@ def main(argv: list[str] | None = None) -> int:
     shard_repeats = 3 if args.quick else 7
     if args.shard_only:
         emit_shard(args, shard_size, shard_repeats)
+        return 0
+    if args.serve_only:
+        emit_serve(args)
         return 0
     payload = {
         "schema": "repro-bench/1",
@@ -553,7 +670,24 @@ def main(argv: list[str] | None = None) -> int:
         json.dumps(joins_payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(joins_payload, indent=2, sort_keys=True))
     emit_shard(args, shard_size, shard_repeats)
+    emit_serve(args)
     return 0
+
+
+def emit_serve(args) -> None:
+    serve_requests = 30 if args.quick else 200
+    serve_series = bench_serve(args.size, serve_requests,
+                               concurrency=4)
+    serve_payload = {
+        "schema": "repro-bench/1",
+        "series": "query-service-latency",
+        "config": {**serve_series.pop("config"), "seed": BENCH_SEED,
+                   "python": sys.version.split()[0]},
+        "median_ns_per_request": serve_series,
+    }
+    Path(args.serve_out).write_text(
+        json.dumps(serve_payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(serve_payload, indent=2, sort_keys=True))
 
 
 def emit_shard(args, shard_size: int, shard_repeats: int) -> None:

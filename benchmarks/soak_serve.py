@@ -1,0 +1,207 @@
+"""Nightly soak: sustained mixed load against the query service.
+
+Runs an embedded server over a sharded corpus plus a writable
+document, then drives it with a fleet of keep-alive clients — document
+reads, corpus scatter-gather reads, streamed pages, and a single
+writer cycling updates — for ``--seconds`` of wall time.  The run
+fails on any non-2xx response (4xx are the chaos pack's business; a
+soak issues only well-formed requests) and on unbounded memory growth:
+RSS is sampled after warm-up and at the end, and the growth must stay
+under ``--rss-growth-mb``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/soak_serve.py [--seconds 300] \
+        [--clients 4] [--words 16000] [--shards 8] \
+        [--rss-growth-mb 256]
+
+Exit status 1 on any error or RSS blow-up; a JSON summary goes to
+stdout either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.corpus.generator import GeneratorConfig, generate_document  # noqa: E402
+from repro.server import ServerConfig, ServerHandle  # noqa: E402
+from repro.store import DocumentStore  # noqa: E402
+
+_PAGE_SIZE = None
+
+
+def rss_bytes() -> int:
+    """Resident set size of this process (server + clients)."""
+    global _PAGE_SIZE
+    if _PAGE_SIZE is None:
+        import resource
+
+        _PAGE_SIZE = resource.getpagesize()
+    fields = Path("/proc/self/statm").read_text().split()
+    return int(fields[1]) * _PAGE_SIZE
+
+
+READ_PATHS = [
+    "/query?name=doc&q=count(/descendant::w)",
+    "/query?name=doc&q=count(/descendant::line[overlapping::w])",
+    "/query?name=doc&q=/descendant::w&limit=25",
+    "/query?name=doc&q=/descendant::w&stream=1&limit=100",
+    '/cquery?q=count(collection("corpus")//w)',
+    '/cquery?q=collection("corpus")//lb&limit=10',
+    "/statz",
+    "/healthz",
+]
+
+#: the PR-4 churn cycle: a closed loop, so the document never drifts
+WRITE_CYCLE = [
+    'rename node /descendant::w[1] as "wx"',
+    'rename node /descendant::wx[1] as "w"',
+    'insert node <note>soak</note> after /descendant::w[2]',
+    "delete node /descendant::note[1]",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seconds", type=float, default=300.0)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--words", type=int, default=16000)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--rss-growth-mb", type=float, default=256.0)
+    args = parser.parse_args(argv)
+
+    root = Path(tempfile.mkdtemp(prefix="mhxq-soak-serve-"))
+    errors: list[str] = []
+    counts = {"reads": 0, "writes": 0}
+    lock = threading.Lock()
+    #: set just before the client fleet starts, so ``--seconds`` is
+    #: pure load time and excludes corpus construction and warm-up
+    deadline = time.monotonic()
+    try:
+        store = DocumentStore.init(root / "catalog")
+        store.add("doc", generate_document(
+            GeneratorConfig(n_words=min(args.words, 4000), seed=0)))
+        store.add_corpus("corpus", generate_document(
+            GeneratorConfig(n_words=args.words, seed=1)),
+            shards=args.shards)
+        with ServerHandle(store, ServerConfig()) as handle:
+            def fail(note: str) -> None:
+                with lock:
+                    if len(errors) < 20:
+                        errors.append(note)
+
+            def reader(identity: int) -> None:
+                connection = http.client.HTTPConnection(
+                    handle.host, handle.port, timeout=120)
+                index = identity
+                while time.monotonic() < deadline and not errors:
+                    path = READ_PATHS[index % len(READ_PATHS)]
+                    index += 1
+                    try:
+                        connection.request("GET", path)
+                        reply = connection.getresponse()
+                        reply.read()
+                    except OSError as error:
+                        fail(f"reader {identity} {path}: {error!r}")
+                        return
+                    if reply.status != 200:
+                        fail(f"reader {identity} {path}: "
+                             f"{reply.status}")
+                        return
+                    with lock:
+                        counts["reads"] += 1
+                connection.close()
+
+            def writer() -> None:
+                connection = http.client.HTTPConnection(
+                    handle.host, handle.port, timeout=120)
+                index = 0
+                while time.monotonic() < deadline and not errors:
+                    statement = WRITE_CYCLE[index % len(WRITE_CYCLE)]
+                    index += 1
+                    body = json.dumps({
+                        "name": "doc",
+                        "statements": [statement]}).encode("utf-8")
+                    try:
+                        connection.request("POST", "/update",
+                                           body=body)
+                        reply = connection.getresponse()
+                        reply.read()
+                    except OSError as error:
+                        fail(f"writer: {error!r}")
+                        return
+                    if reply.status != 200:
+                        fail(f"writer: {reply.status}")
+                        return
+                    with lock:
+                        counts["writes"] += 1
+                    time.sleep(0.01)  # writes persist; don't thrash
+                connection.close()
+
+            # warm every path once before the RSS baseline
+            probe = http.client.HTTPConnection(
+                handle.host, handle.port, timeout=120)
+            for path in READ_PATHS:
+                probe.request("GET", path)
+                reply = probe.getresponse()
+                reply.read()
+                if reply.status != 200:
+                    fail(f"warmup {path}: {reply.status}")
+            probe.close()
+            rss_before = rss_bytes()
+            deadline = time.monotonic() + args.seconds
+            threads = [threading.Thread(target=writer)]
+            threads += [threading.Thread(target=reader,
+                                         args=(identity,))
+                        for identity in range(args.clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            rss_after = rss_bytes()
+            stats = handle.get_json("/statz")[1]
+        store.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    growth_mb = (rss_after - rss_before) / (1 << 20)
+    summary = {
+        "seconds": args.seconds,
+        "clients": args.clients,
+        "reads": counts["reads"],
+        "writes": counts["writes"],
+        "responses": stats["responses"],
+        "rss_before_mb": round(rss_before / (1 << 20), 1),
+        "rss_after_mb": round(rss_after / (1 << 20), 1),
+        "rss_growth_mb": round(growth_mb, 1),
+        "errors": errors,
+    }
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if errors:
+        print(f"soak: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    if growth_mb > args.rss_growth_mb:
+        print(f"soak: RSS grew {growth_mb:.1f} MiB, over the "
+              f"{args.rss_growth_mb} MiB bound", file=sys.stderr)
+        return 1
+    non_ok = {status: count
+              for status, count in stats["responses"].items()
+              if not status.startswith("2")}
+    if non_ok:
+        print(f"soak: non-2xx responses {non_ok}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

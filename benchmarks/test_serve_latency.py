@@ -1,0 +1,155 @@
+"""S-SERVE — query-service latency over the HTTP boundary.
+
+The tentpole claim of ISSUE 8 (DESIGN.md §14): serving a query over
+HTTP — parse, admission, thread-pool dispatch, snapshot pin, JSON
+envelope — adds bounded overhead on top of the direct
+``snapshot.query()`` call, and a fixed-concurrency client fleet
+completes a mixed probe workload with zero errors.  Shared CI runners
+damp the floor through ``REPRO_BENCH_MAX_SERVE_OVERHEAD_MS``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.bench import SCALING_SIZES, corpus_at_size
+from repro.server import ServerConfig, ServerHandle
+from repro.store import DocumentStore
+
+from conftest import record
+
+LARGEST = SCALING_SIZES[-1]
+
+#: per-request overhead budget for the whole HTTP layer (milliseconds)
+MAX_OVERHEAD_MS = float(
+    os.environ.get("REPRO_BENCH_MAX_SERVE_OVERHEAD_MS", "25.0"))
+
+POINT = "count(/descendant::w)"
+SCAN = "count(/descendant::w[overlapping::line])"
+CONCURRENCY = 4
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "40"))
+
+
+def median_ms(function, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - begin)
+    samples.sort()
+    return samples[len(samples) // 2] * 1e3
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-bench")
+    store = DocumentStore.init(root / "catalog")
+    store.add("doc", corpus_at_size(LARGEST))
+    with ServerHandle(store, ServerConfig()) as handle:
+        yield handle, store
+    store.close()
+
+
+def http_get(handle: ServerHandle, connection, path: str) -> bytes:
+    connection.request("GET", path)
+    reply = connection.getresponse()
+    body = reply.read()
+    assert reply.status == 200, body
+    return body
+
+
+def test_http_results_match_direct_store(served):
+    """Parity first: the HTTP envelope carries exactly the items the
+    pinned snapshot produces."""
+    handle, store = served
+    snapshot = store.snapshot("doc")
+    connection = http.client.HTTPConnection(handle.host, handle.port,
+                                            timeout=120)
+    for probe in (POINT, SCAN):
+        body = http_get(handle, connection,
+                        f"/query?name=doc&q={probe}")
+        payload = json.loads(body)
+        assert payload["items"] == snapshot.query(probe).strings()
+        assert payload["snapshot_version"] == snapshot.version
+    connection.close()
+    record("S-SERVE parity", "PASS",
+           f"n={LARGEST}: HTTP envelope matches snapshot.query() on "
+           f"2 probes")
+
+
+def test_http_overhead_bounded(served):
+    handle, store = served
+    snapshot = store.snapshot("doc")
+    connection = http.client.HTTPConnection(handle.host, handle.port,
+                                            timeout=120)
+    path = f"/query?name=doc&q={POINT}"
+    http_get(handle, connection, path)  # warm plans + connection
+    snapshot.query(POINT)
+    http_ms = median_ms(
+        lambda: http_get(handle, connection, path), REQUESTS)
+    direct_ms = median_ms(lambda: snapshot.query(POINT), REQUESTS)
+    connection.close()
+    overhead = http_ms - direct_ms
+    record("S-SERVE overhead",
+           "PASS" if overhead <= MAX_OVERHEAD_MS else "FAIL",
+           f"n={LARGEST}: direct {direct_ms:.2f} ms, http "
+           f"{http_ms:.2f} ms (+{overhead:.2f} ms)")
+    assert overhead <= MAX_OVERHEAD_MS, (
+        f"HTTP layer adds {overhead:.2f} ms per request, over the "
+        f"{MAX_OVERHEAD_MS} ms budget "
+        f"(direct {direct_ms:.2f} ms, http {http_ms:.2f} ms)")
+
+
+def test_fixed_concurrency_fleet_zero_errors(served):
+    """The load-generator shape of BENCH_serve.json's throughput leaf:
+    a fixed-concurrency fleet, every response a 200, counters clean."""
+    handle, _store = served
+    errors: list[str] = []
+    completed: list[int] = []
+    lock = threading.Lock()
+    paths = [f"/query?name=doc&q={POINT}",
+             f"/query?name=doc&q={SCAN}",
+             "/query?name=doc&q=/descendant::w&limit=10",
+             "/statz"]
+
+    def client(identity: int) -> None:
+        connection = http.client.HTTPConnection(
+            handle.host, handle.port, timeout=120)
+        try:
+            for index in range(REQUESTS):
+                path = paths[(identity + index) % len(paths)]
+                connection.request("GET", path)
+                reply = connection.getresponse()
+                reply.read()
+                if reply.status != 200:
+                    with lock:
+                        errors.append(f"{path}: {reply.status}")
+                    return
+            with lock:
+                completed.append(identity)
+        finally:
+            connection.close()
+
+    workers = [threading.Thread(target=client, args=(identity,))
+               for identity in range(CONCURRENCY)]
+    begin = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=300)
+    elapsed = time.perf_counter() - begin
+    assert not errors, errors[:3]
+    assert sorted(completed) == list(range(CONCURRENCY))
+    stats = handle.get_json("/statz")[1]
+    assert stats["inflight"] == 0
+    assert stats["queued"] == 0
+    total = CONCURRENCY * REQUESTS
+    record("S-SERVE fleet", "PASS",
+           f"{CONCURRENCY} clients x {REQUESTS} requests in "
+           f"{elapsed:.2f} s ({total / elapsed:.0f} req/s), 0 errors")

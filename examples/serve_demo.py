@@ -1,0 +1,100 @@
+"""The query service on the Boethius sample (DESIGN.md §14).
+
+Embeds the asyncio HTTP/JSON server (``repro.server``) over a
+document store via ``ServerHandle``, then exercises the surface a
+deployment would: paginated document queries, a chunk-streamed result,
+a write batch that bumps the published snapshot version, a sharded
+corpus query through ``/cquery``, per-tenant accounting in ``/statz``,
+and a graceful drain.
+
+The daemon form of the same server is ``mhxq serve --root STORE``.
+
+Run:  python examples/serve_demo.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.corpus.boethius import boethius_document
+from repro.corpus.generator import GeneratorConfig, generate_document
+from repro.server import ServerConfig, ServerHandle
+from repro.store import DocumentStore
+
+
+def main() -> None:
+    root = Path(tempfile.mkdtemp(prefix="mhxq-serve-demo-"))
+    store = DocumentStore.init(root / "catalog")
+    store.add("boe", boethius_document(validate=False))
+    store.add_corpus(
+        "corpus",
+        generate_document(GeneratorConfig(n_words=1200, seed=7)),
+        shards=4)
+
+    with ServerHandle(store, ServerConfig()) as handle:
+        print(f"serving on {handle.base_url}\n")
+
+        # -- paginated document query ---------------------------------
+        status, page = handle.get_json(
+            "/query?name=boe&q=/descendant::w&limit=3")
+        print(f"GET /query limit=3 -> {status}")
+        print(f"  total={page['total']} items={page['items']} "
+              f"next={page['next']}")
+        status, page = handle.get_json(
+            f"/query?name=boe&q=/descendant::w"
+            f"&offset={page['next']}&limit=3")
+        print(f"  next page: items={page['items']}\n")
+
+        # -- streamed (chunked NDJSON) result -------------------------
+        status, _headers, body = handle.request(
+            "GET", "/query?name=boe&q=/descendant::w&stream=1")
+        lines = [json.loads(line)
+                 for line in body.decode("utf-8").splitlines()]
+        print(f"GET /query stream=1 -> {status} "
+              f"(NDJSON, one item per chunk)")
+        print(f"  meta={lines[0]}")
+        print(f"  first items: {lines[1:4]}\n")
+
+        # -- a write batch bumps the published version ----------------
+        before = store.snapshot("boe").version
+        status, result = handle.post_json("/update", {
+            "name": "boe",
+            "statements": [
+                'insert node <note>served</note> '
+                'after /descendant::w[1]',
+            ]})
+        print(f"POST /update -> {status}; version "
+              f"{before} -> {result['version']}")
+        status, page = handle.get_json(
+            "/query?name=boe&q=count(/descendant::note)")
+        print(f"  notes now: {page['items']} at snapshot_version="
+              f"{page['snapshot_version']}\n")
+
+        # -- corpus scatter-gather through the PR-7 shard pool --------
+        status, reply = handle.get_json(
+            '/cquery?q=count(collection("corpus")//w)')
+        print(f"GET /cquery -> {status}; {reply['items']} words, "
+              f"mode={reply['mode']}, shards "
+              f"{reply['shards_executed']}/{reply['shards_total']}\n")
+
+        # -- per-tenant accounting ------------------------------------
+        handle.get_json("/query?name=boe&q=count(//w)",
+                        headers={"X-Tenant": "alice"})
+        handle.get_json("/query?name=boe&q=count(//line)",
+                        headers={"X-Tenant": "bob"})
+        status, stats = handle.get_json("/statz")
+        print(f"GET /statz -> served={stats['served']} "
+              f"plan_cache={stats['plan_cache']}")
+        for tenant, row in sorted(stats["tenants"].items()):
+            print(f"  tenant {tenant}: {row}")
+
+        # -- graceful drain -------------------------------------------
+        handle.drain()
+        print("\ndrained: listener closed, all admitted work done")
+
+    store.close()
+    print("store closed")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,7 +28,12 @@ built-in Boethius document):
   document into a corpus of per-shard ``.mhxb`` files and ``store
   cquery`` runs ``collection("name")`` queries over it with
   scatter-gather parallelism (``--workers``) and manifest-statistics
-  shard pruning (DESIGN.md §13).
+  shard pruning (DESIGN.md §13);
+* ``serve`` — the async multi-tenant HTTP/JSON query service over a
+  document store (DESIGN.md §14): ``mhxq serve --root STORE``
+  exposes ``/query``, ``/update``, ``/cquery``, ``/explain``,
+  ``/healthz`` and ``/statz`` with admission control, per-tenant
+  quotas, pagination/streaming, and graceful SIGTERM drain.
 
 Examples::
 
@@ -223,6 +228,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_s_cquery.add_argument("--stats", action="store_true",
                             help="print the execution shape (mode, "
                                  "shards pruned/executed) to stderr")
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a document store over HTTP/JSON "
+                      "(DESIGN.md §14)")
+    p_serve.add_argument("--root", required=True, metavar="STORE",
+                         help="the document-store directory to serve")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="bind port (default: 0 = ephemeral; the "
+                              "bound address is printed on startup)")
+    p_serve.add_argument("--max-inflight", type=int, default=0,
+                         help="concurrent query executions "
+                              "(default: 0 = CPU count)")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="admitted requests allowed to wait for "
+                              "an execution slot (default: 64)")
+    p_serve.add_argument("--tenant-qps", type=float, default=0.0,
+                         help="per-tenant sustained queries/second "
+                              "(default: 0 = quotas disabled)")
+    p_serve.add_argument("--body-limit", type=int, default=1 << 20,
+                         help="request body bound in bytes "
+                              "(default: 1 MiB)")
+    p_serve.add_argument("--access-log", metavar="FILE",
+                         help="append structured JSON access-log "
+                              "lines here ('-' for stderr)")
     return parser
 
 
@@ -287,6 +318,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if command == "store":
         return _dispatch_store(args)
+    if command == "serve":
+        return _dispatch_serve(args)
 
     if command in ("query", "xpath"):
         engine = _open_engine(args)
@@ -353,6 +386,28 @@ def _dispatch(args: argparse.Namespace) -> int:
                                            primary=args.primary)))
         return 0
     raise ReproError(f"unknown command {command!r}")
+
+
+def _dispatch_serve(args: argparse.Namespace) -> int:
+    from repro.server import run_server
+
+    access_log = None
+    log_file = None
+    if args.access_log == "-":
+        access_log = sys.stderr
+    elif args.access_log:
+        log_file = open(args.access_log, "a", encoding="utf-8")
+        access_log = log_file
+    try:
+        return run_server(args.root, host=args.host, port=args.port,
+                          max_inflight=args.max_inflight,
+                          max_queue=args.max_queue,
+                          tenant_qps=args.tenant_qps,
+                          body_limit=args.body_limit,
+                          access_log=access_log)
+    finally:
+        if log_file is not None:
+            log_file.close()
 
 
 def _dispatch_store(args: argparse.Namespace) -> int:

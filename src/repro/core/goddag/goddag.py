@@ -64,17 +64,26 @@ class _HierarchyComponent:
         self._name_index: dict[str, "_NameEntry"] | None = None
 
     def node_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        """``(nodes, subtree_ends)`` as parallel arrays, preorder order."""
-        if self._nodes_arr is None:
+        """``(nodes, subtree_ends)`` as parallel arrays, preorder order.
+
+        Reads capture both fields locally so a concurrent
+        :meth:`release_arrays` (retired-version hygiene) can never be
+        observed half-way; the fill is idempotent, so racing rebuilds
+        are wasted work, not wrong answers.
+        """
+        arr = self._nodes_arr
+        ends = self._subtree_ends_arr
+        if arr is None or ends is None:
             count = len(self.nodes)
             arr = np.empty(count, dtype=object)
             for position, node in enumerate(self.nodes):
                 arr[position] = node
-            self._nodes_arr = arr
-            self._subtree_ends_arr = np.fromiter(
+            ends = np.fromiter(
                 (node.subtree_end for node in self.nodes),
                 dtype=np.int64, count=count)
-        return self._nodes_arr, self._subtree_ends_arr
+            self._nodes_arr = arr
+            self._subtree_ends_arr = ends
+        return arr, ends
 
     def name_entry(self, name: str) -> "_NameEntry | None":
         """The per-name element index entry (DESIGN.md §8).
@@ -83,19 +92,39 @@ class _HierarchyComponent:
         subtree-end arrays: a named ``descendant``/``following``/
         ``preceding`` step over this hierarchy is then one bisect plus
         a slice of the name's own (usually tiny) list instead of a scan
-        of the whole component.  Built lazily once — components are
+        of the whole component.  Built lazily (and captured locally,
+        against a concurrent :meth:`release_arrays`) — components are
         immutable after registration.
         """
-        if self._name_index is None:
+        index = self._name_index
+        if index is None:
             grouped: dict[str, list] = {}
             for node in self.nodes:
                 if isinstance(node, GElement):
                     grouped.setdefault(node.name, []).append(node)
-            self._name_index = {
+            index = {
                 name_: _NameEntry(members) for name_, members in
                 grouped.items()
             }
-        return self._name_index.get(name)
+            self._name_index = index
+        return index.get(name)
+
+    def release_arrays(self) -> None:
+        """Drop the lazy numpy caches so this component can be freed.
+
+        NumPy object arrays take no part in cyclic garbage collection
+        (``ndarray`` has no traversal support), so a retired KyGODDAG
+        that still carries them is immortal: goddag -> component ->
+        object array -> node -> ``node.goddag`` closes a reference
+        cycle the collector cannot see through.  Dropping the arrays
+        leaves only ordinary Python containers in the cycle, which the
+        collector handles.  All three caches are idempotent lazy
+        fills, so a still-pinned reader that needs one again simply
+        rebuilds it.
+        """
+        self._nodes_arr = None
+        self._subtree_ends_arr = None
+        self._name_index = None
 
 
 class _NameEntry:
@@ -565,10 +594,28 @@ class KyGoddag:
         """
         from repro.core.goddag.index import SpanIndex
 
-        if self._index is None:
-            self._index = SpanIndex(self)
+        index = self._index
+        if index is None:
+            index = SpanIndex(self)
+            self._index = index
             self.index_full_builds += 1
-        return self._index
+        return index
+
+    def release_caches(self) -> None:
+        """Shed the caches that would make a retired version immortal.
+
+        The span index and the per-component node arrays hold KyGODDAG
+        nodes inside numpy object arrays, which the cyclic garbage
+        collector cannot traverse; through ``node.goddag`` they pin
+        this whole structure forever once it leaves the catalog (the
+        MVCC single-writer path retires one version per update).  The
+        store calls this on every version it unpublishes.  Readers
+        still pinned to this version stay correct: every released
+        cache is a lazily rebuilt idempotent fill.
+        """
+        self._index = None
+        for component in self._components.values():
+            component.release_arrays()
 
 
 class _ComponentBuilder:

@@ -1,0 +1,46 @@
+"""Async multi-tenant query service over a DocumentStore."""
+
+from repro.server.http import (
+    HttpError,
+    Request,
+    chunk,
+    error_response,
+    json_bytes,
+    read_request,
+    response,
+    stream_head,
+)
+from repro.server.quota import TenantQuotas, TokenBucket
+from repro.server.service import (
+    Outcome,
+    QueryServer,
+    QueryService,
+    ServerConfig,
+    ServerHandle,
+    ServerStats,
+    map_error,
+    run_server,
+    serve_async,
+)
+
+__all__ = [
+    "HttpError",
+    "Outcome",
+    "QueryServer",
+    "QueryService",
+    "Request",
+    "ServerConfig",
+    "ServerHandle",
+    "ServerStats",
+    "TenantQuotas",
+    "TokenBucket",
+    "chunk",
+    "error_response",
+    "json_bytes",
+    "map_error",
+    "read_request",
+    "response",
+    "run_server",
+    "serve_async",
+    "stream_head",
+]

@@ -1,0 +1,225 @@
+"""A small HTTP/1.1 layer over asyncio streams (stdlib only).
+
+Just enough protocol for the query service (DESIGN.md §14): request
+parsing with hard limits (bounded request line, header block, and
+body), keep-alive connection reuse, deterministic JSON response
+encoding, and chunked transfer framing for streamed result sets.
+Anything the parser rejects surfaces as an :class:`HttpError` carrying
+its status code — the connection loop turns it into a JSON error
+response, never a stack trace, so malformed input can never produce a
+500.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+CRLF = b"\r\n"
+
+#: stream-reader limit: bounds the request line and each header line
+MAX_LINE_BYTES = 8192
+#: total header block bound (line count × a generous line budget)
+MAX_HEADER_COUNT = 100
+
+#: the status codes the service actually speaks
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+JSON_TYPE = "application/json"
+NDJSON_TYPE = "application/x-ndjson"
+
+
+class HttpError(Exception):
+    """A request rejection carrying its HTTP status.
+
+    ``close`` marks errors after which the connection cannot be
+    resynchronized (unread body bytes, oversized headers) — the
+    response goes out with ``Connection: close`` and the loop hangs
+    up.  ``retry_after`` renders as a ``Retry-After`` header (the 429
+    admission/quota paths).
+    """
+
+    def __init__(self, status: int, message: str, *,
+                 retry_after: int | None = None,
+                 close: bool = False) -> None:
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+        self.close = close
+        super().__init__(message)
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    params: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+    #: the client asked to drop the connection after this exchange
+    close: bool = field(default=False)
+
+    @property
+    def tenant(self) -> str:
+        """The quota principal (``X-Tenant`` header, default public)."""
+        return self.headers.get("x-tenant", "public")
+
+    def json(self) -> dict:
+        """The body decoded as a JSON object (400 on anything else)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise HttpError(400, f"invalid JSON body: {error}") from error
+        if not isinstance(payload, dict):
+            raise HttpError(
+                400, "invalid JSON body: expected an object, got "
+                     f"{type(payload).__name__}")
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader, *,
+                       body_limit: int) -> Request | None:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean end-of-stream between requests (the
+    keep-alive peer hung up) and raises
+    :class:`asyncio.IncompleteReadError` when the peer disconnects
+    mid-request — the caller treats both as a disconnect, not an
+    error response.  Protocol violations raise :class:`HttpError`.
+    """
+    try:
+        line = await reader.readline()
+    except ValueError as error:  # StreamReader limit overrun
+        raise HttpError(431, "request line too long",
+                        close=True) from error
+    if not line:
+        return None
+    try:
+        text = line.decode("ascii").strip()
+    except UnicodeDecodeError as error:
+        raise HttpError(400, "malformed request line",
+                        close=True) from error
+    parts = text.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {text!r}",
+                        close=True)
+    method, target, version = parts
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            raw = await reader.readline()
+        except ValueError as error:
+            raise HttpError(431, "header line too long",
+                            close=True) from error
+        if raw in (CRLF, b"\n"):
+            break
+        if not raw:
+            raise asyncio.IncompleteReadError(raw, None)
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise HttpError(431, "too many header fields", close=True)
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep or not name.strip() or name[0].isspace():
+            raise HttpError(400, f"malformed header line {raw!r}",
+                            close=True)
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise HttpError(400, "chunked request bodies are not supported",
+                        close=True)
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+        if length < 0:
+            raise ValueError(length_text)
+    except ValueError as error:
+        raise HttpError(400, f"bad Content-Length {length_text!r}",
+                        close=True) from error
+    if length > body_limit:
+        raise HttpError(
+            413, f"request body of {length} bytes exceeds the "
+                 f"{body_limit}-byte limit", close=True)
+    if length:
+        body = await reader.readexactly(length)
+    split = urlsplit(target)
+    params = dict(parse_qsl(split.query, keep_blank_values=True))
+    wants_close = (headers.get("connection", "").lower() == "close"
+                   or version == "HTTP/1.0")
+    return Request(method=method, path=split.path or "/",
+                   params=params, headers=headers, body=body,
+                   close=wants_close)
+
+
+# -- responses ---------------------------------------------------------------
+
+
+def json_bytes(payload) -> bytes:
+    """Deterministic JSON encoding: sorted keys, compact separators.
+
+    Every response body goes through this one function so identical
+    payloads are identical *bytes* — the property the concurrency
+    pack's replay comparison stands on.
+    """
+    return (json.dumps(payload, sort_keys=True, ensure_ascii=False,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def response(status: int, body: bytes, *,
+             content_type: str = JSON_TYPE,
+             extra_headers: tuple[tuple[str, str], ...] = (),
+             close: bool = False) -> bytes:
+    """One complete ``Content-Length``-framed response."""
+    head = [f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}"]
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    head.append(f"Connection: {'close' if close else 'keep-alive'}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+def error_response(error: HttpError) -> bytes:
+    """The JSON rendering of an :class:`HttpError`."""
+    extra: tuple[tuple[str, str], ...] = ()
+    if error.retry_after is not None:
+        extra = (("Retry-After", str(error.retry_after)),)
+    return response(error.status,
+                    json_bytes({"error": error.message}),
+                    extra_headers=extra, close=error.close)
+
+
+def stream_head(status: int = 200, *,
+                content_type: str = NDJSON_TYPE,
+                extra_headers: tuple[tuple[str, str], ...] = ()
+                ) -> bytes:
+    """Response head opening a chunked transfer."""
+    head = [f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            "Transfer-Encoding: chunked",
+            "Connection: keep-alive"]
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii")
+
+
+def chunk(data: bytes) -> bytes:
+    """One chunk of a chunked transfer (hex length framing)."""
+    return f"{len(data):x}".encode("ascii") + CRLF + data + CRLF
+
+
+#: the terminal zero-length chunk
+LAST_CHUNK = b"0\r\n\r\n"

@@ -1,0 +1,86 @@
+"""Per-tenant token-bucket quotas (DESIGN.md §14).
+
+Each tenant (the ``X-Tenant`` request header) gets one bucket holding
+up to ``burst`` tokens, refilled continuously at ``qps`` tokens per
+second.  A request consumes one token; an empty bucket yields the
+seconds until the next token, which the service renders as a 429 with
+``Retry-After``.  The clock is injectable so the chaos tests can step
+time deterministically.
+
+Buckets are touched only on the server's event-loop thread, so there
+is no locking — the same single-mutator discipline the rest of the
+service's counters follow.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+
+class TokenBucket:
+    """One tenant's bucket: ``burst`` capacity, ``rate`` tokens/s."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = now
+
+    def consume(self, now: float) -> float:
+        """Take one token; ``0.0`` when admitted, else seconds to wait."""
+        elapsed = max(0.0, now - self.stamp)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class TenantQuotas:
+    """The bucket table: one :class:`TokenBucket` per tenant seen.
+
+    ``qps <= 0`` disables quotas entirely (every request admitted,
+    ``tokens()`` reports no tenants).  ``burst`` defaults to two
+    seconds of rate — enough to absorb a small volley without letting
+    one tenant monopolize the admission queue.
+    """
+
+    def __init__(self, qps: float, burst: float | None = None,
+                 clock=time.monotonic) -> None:
+        self.qps = qps
+        self.burst = burst if burst is not None else max(2.0 * qps, 1.0)
+        self.clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.qps > 0
+
+    def admit(self, tenant: str) -> int:
+        """``0`` when admitted; else whole seconds for ``Retry-After``."""
+        if not self.enabled:
+            return 0
+        now = self.clock()
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.qps, self.burst, now)
+            self._buckets[tenant] = bucket
+        wait = bucket.consume(now)
+        if wait <= 0.0:
+            return 0
+        return max(1, math.ceil(wait))
+
+    def tokens(self) -> dict[str, float]:
+        """Current token balances per tenant (the ``/statz`` view)."""
+        now = self.clock()
+        out: dict[str, float] = {}
+        for tenant, bucket in self._buckets.items():
+            elapsed = max(0.0, now - bucket.stamp)
+            balance = min(bucket.burst,
+                          bucket.tokens + elapsed * bucket.rate)
+            out[tenant] = round(balance, 3)
+        return out

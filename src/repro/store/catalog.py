@@ -89,6 +89,21 @@ def fork_engine(engine: Engine) -> Engine:
     return forked
 
 
+def retire_engine(engine: Engine | None) -> None:
+    """Make an engine that is leaving the catalog collectable.
+
+    A KyGODDAG's numpy object-array caches hide its reference cycles
+    from the garbage collector (``ndarray`` supports no traversal —
+    see :meth:`KyGoddag.release_caches`), so every version the store
+    unpublishes would otherwise stay resident forever and a steady
+    update load would grow without bound.  Readers still pinned to the
+    retired version are unaffected: every released cache is a lazily
+    rebuilt idempotent fill.
+    """
+    if engine is not None:
+        engine.goddag.release_caches()
+
+
 class DocumentStore:
     """A directory-backed catalog of documents with MVCC snapshots."""
 
@@ -310,7 +325,9 @@ class DocumentStore:
         """Move a catalog entry into the quarantine section (in memory;
         callers persist the manifest)."""
         self._manifest["documents"].pop(name, None)
-        self._live.pop(name, None)
+        dropped = self._live.pop(name, None)
+        if dropped is not None:
+            retire_engine(dropped.engine)
         self._manifest["quarantined"][name] = {
             "file": entry["file"],
             "version": entry.get("version"),
@@ -410,7 +427,9 @@ class DocumentStore:
                 entry = self._manifest["quarantined"].pop(name, None)
             if entry is None:
                 raise ReproError(f"no document named {name!r}")
-            self._live.pop(name, None)
+            dropped = self._live.pop(name, None)
+            if dropped is not None:
+                retire_engine(dropped.engine)
             self._save_manifest()
             for file_name in entry.get("files", []) or [entry["file"]]:
                 faultfs.current().unlink(self.root / file_name)
@@ -504,8 +523,8 @@ class DocumentStore:
             if entry is None:
                 raise ReproError(f"no corpus named {name!r}")
             for file_name in entry["files"]:
-                self._shard_engines.pop(file_name, None)
-            self._fused.pop(name, None)
+                retire_engine(self._shard_engines.pop(file_name, None))
+            retire_engine(self._fused.pop(name, None))
             self._save_manifest()
             for file_name in entry["files"]:
                 faultfs.current().unlink(self.root / file_name)
@@ -631,9 +650,21 @@ class DocumentStore:
             shards_executed=shards_total, workers=1)
 
     def close(self) -> None:
-        """Shut down the corpus worker pools (idempotent)."""
+        """Shut down worker pools and shed engine caches (idempotent).
+
+        Retiring every cached engine's object arrays lets a closed
+        store's whole graph be garbage collected — long-running hosts
+        (test suites, the query service) open many stores per process.
+        The store stays usable afterwards; shed caches rebuild lazily.
+        """
         with self._lock:
             pools, self._pools = list(self._pools.values()), {}
+            for snapshot in self._live.values():
+                retire_engine(snapshot.engine)
+            for engine in self._shard_engines.values():
+                retire_engine(engine)
+            for engine in self._fused.values():
+                retire_engine(engine)
         for pool in pools:
             pool.close()
 
@@ -709,12 +740,17 @@ class DocumentStore:
         with self._lock:
             current = self.snapshot(name)
             working = fork_engine(current.engine)
-            results = [working.update(statement, check=check)
-                       for statement in statements]
-            snapshot = Snapshot(name, working, self.plans)
-            if persist:
-                self._persist(name, working)
+            try:
+                results = [working.update(statement, check=check)
+                           for statement in statements]
+                snapshot = Snapshot(name, working, self.plans)
+                if persist:
+                    self._persist(name, working)
+            except BaseException:
+                retire_engine(working)  # the discarded fork
+                raise
             self._live[name] = snapshot
+            retire_engine(current.engine)  # the unpublished version
         return results
 
     def compact(self, name: str | None = None) -> dict[str, int | str]:
@@ -796,7 +832,9 @@ class DocumentStore:
                 self._manifest["documents"].pop(name, None)
             else:
                 self._manifest["documents"][name] = previous
-            self._live.pop(name, None)
+            dropped = self._live.pop(name, None)
+            if dropped is not None:
+                retire_engine(dropped.engine)
             raise
 
     def _save_manifest(self) -> None:

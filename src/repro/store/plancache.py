@@ -64,6 +64,12 @@ class SharedPlanCache:
                 self._plans.popitem(last=False)
         return compiled, False
 
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (the server's ``/statz`` view)."""
+        with self._lock:
+            return {"capacity": self.capacity, "hits": self.hits,
+                    "misses": self.misses, "size": len(self._plans)}
+
     def clear(self) -> None:
         with self._lock:
             self._plans.clear()
