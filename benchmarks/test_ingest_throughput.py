@@ -1,0 +1,90 @@
+"""S-INGEST — streaming bulk ingest vs the DOM pipeline.
+
+The tentpole claim of ISSUE 9 (DESIGN.md §15): ``stream_save`` — the
+one-pass event-driven builder that emits node tables, okeys, SpanIndex
+permutations and partition multisets directly in ``.mhxb`` form —
+ingests the largest bench corpus ≥ 2× faster (words/sec) than the DOM
+pipeline (parse → ``MultihierarchicalDocument`` → ``KyGoddag.build``
+→ ``save_engine``), while producing byte-identical output.  Shared CI
+runners damp the floor through ``REPRO_BENCH_MIN_INGEST_SPEEDUP``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+import pytest
+
+from repro.api import Engine
+from repro.bench import SCALING_SIZES, corpus_at_size
+from repro.cmh import MultihierarchicalDocument
+from repro.markup.streaming import stream_save
+from repro.store.mhxb import save_engine
+
+from conftest import record
+
+LARGEST = SCALING_SIZES[-1]
+
+MIN_INGEST_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_INGEST_SPEEDUP", "2.0"))
+
+
+def median_of(function, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        gc.collect()  # the DOM side churns ~10^5 nodes; decouple runs
+        begin = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - begin)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+@pytest.fixture(scope="module")
+def inputs(tmp_path_factory):
+    root = tmp_path_factory.mktemp("ingest")
+    corpus = corpus_at_size(LARGEST)
+    sources = {name: hierarchy.to_xml() for name, hierarchy
+               in corpus.hierarchies.items()}
+    return root, corpus.text, sources
+
+
+def _stream(root, text, sources) -> None:
+    stream_save(text, sources, root / "stream.mhxb")
+
+
+def _dom(root, text, sources) -> None:
+    document = MultihierarchicalDocument.from_xml(text, sources)
+    save_engine(Engine(document), root / "dom.mhxb")
+
+
+def test_streaming_output_byte_identical(inputs):
+    root, text, sources = inputs
+    _stream(root, text, sources)
+    _dom(root, text, sources)
+    assert (root / "stream.mhxb").read_bytes() == \
+        (root / "dom.mhxb").read_bytes()
+    record("S-INGEST parity", "PASS",
+           f"n={LARGEST}: streamed .mhxb byte-identical to the DOM "
+           f"pipeline ({(root / 'stream.mhxb').stat().st_size} bytes)")
+
+
+def test_streaming_ingest_beats_dom_pipeline(inputs):
+    root, text, sources = inputs
+    words = len(text.split())
+    _stream(root, text, sources)  # warm interning + pack caches
+    _dom(root, text, sources)
+    streaming = median_of(lambda: _stream(root, text, sources),
+                          repeats=7)
+    dom = median_of(lambda: _dom(root, text, sources), repeats=3)
+    speedup = dom / streaming
+    record("S-INGEST throughput", "PASS" if speedup >=
+           MIN_INGEST_SPEEDUP else "FAIL",
+           f"n={LARGEST}: dom {words / dom:.0f} w/s, "
+           f"streaming {words / streaming:.0f} w/s ({speedup:.1f}x)")
+    assert speedup >= MIN_INGEST_SPEEDUP, (
+        f"streaming ingest speedup {speedup:.2f}x below the "
+        f"{MIN_INGEST_SPEEDUP}x floor "
+        f"(dom {dom:.3f}s, streaming {streaming:.3f}s)")

@@ -19,6 +19,10 @@ built-in Boethius document):
 * ``experiments`` — run the paper-vs-measured reproduction report;
 * ``pack`` — bundle a base text + XML encodings into a ``.mhx`` (or,
   by extension, a binary ``.mhxb``) container;
+* ``ingest`` — stream a base text + XML encodings (and optional
+  standoff ``--layer`` span files) straight into a binary ``.mhxb``
+  with no DOM in between (DESIGN.md §15) — byte-identical to ``pack``
+  output at bulk-ingest speed;
 * ``store`` — the concurrent document store (DESIGN.md §10):
   ``store init/add/get/query/update/compact`` manage a named catalog
   of ``.mhxb``-persisted documents with MVCC snapshot reads;
@@ -40,6 +44,8 @@ Examples::
     mhxq query --sample 'count(/descendant::w)'
     mhxq experiments
     mhxq pack out.mhx --text base.txt physical=phys.xml damage=dmg.xml
+    mhxq ingest out.mhxb --text base.txt verse=verse.xml \
+        --layer tokens=tokens.json
     mhxq store init ./catalog
     mhxq store add ./catalog boethius --sample
     mhxq store query ./catalog boethius 'count(/descendant::w)'
@@ -76,7 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sample", action="store_true",
                        help="use the built-in Boethius sample (Figure 1)")
 
-    p_query = sub.add_parser("query", help="evaluate an extended XQuery")
+    p_query = sub.add_parser(
+        "query", help="evaluate an extended XQuery",
+        epilog="Extended axes and the compiled plan pipeline: "
+               "DESIGN.md §4 and §8; interval-join execution: §11.")
     add_document_options(p_query)
     p_query.add_argument("expression", help="the query text, or @file")
     p_query.add_argument("--mode", choices=("paper", "xquery"),
@@ -90,14 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
                          default="paper")
 
     p_explain = sub.add_parser(
-        "explain", help="show the compiled pipeline plan for a query")
+        "explain", help="show the compiled pipeline plan for a query",
+        epilog="Plan rewrites and operator lowering: DESIGN.md §8; "
+               "join-aware lowering of extended axes: §11.")
     add_document_options(p_explain)
     p_explain.add_argument("expression", help="the query text, or @file")
     p_explain.add_argument("--xpath", action="store_true",
                            help="parse as a pure extended-XPath expression")
 
     p_update = sub.add_parser(
-        "update", help="apply a transactional update statement")
+        "update", help="apply a transactional update statement",
+        epilog="Pending-update lists, conflict checks, and the "
+               "incremental apply paths: DESIGN.md §9.")
     add_document_options(p_update)
     p_update.add_argument("statement", help="the update statement, or @file")
     p_update.add_argument("--out", metavar="FILE",
@@ -130,7 +143,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the paper-vs-measured reproduction report")
 
     p_pack = sub.add_parser(
-        "pack", help="bundle encodings into a .mhx (or binary .mhxb)")
+        "pack", help="bundle encodings into a .mhx (or binary .mhxb)",
+        epilog="Parses every encoding through the DOM pipeline; for "
+               "bulk binary ingest prefer 'mhxq ingest' (DESIGN.md "
+               "§15). Container formats: DESIGN.md §10 and §12.")
     p_pack.add_argument("output",
                         help="output path (.mhx = JSON, .mhxb = binary)")
     p_pack.add_argument("--text", required=True, metavar="FILE",
@@ -138,8 +154,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_pack.add_argument("encodings", nargs="+", metavar="NAME=FILE",
                         help="hierarchy encodings as name=xmlfile")
 
+    p_ingest = sub.add_parser(
+        "ingest", help="stream encodings straight into a binary .mhxb "
+                       "(no DOM)",
+        epilog="The streaming builder tokenizes each encoding in one "
+               "pass into the .mhxb node tables — byte-identical to "
+               "the pack/DOM path but without materializing a DOM, so "
+               "bulk ingest runs at words/sec the parser allows "
+               "(BENCH_ingest.json). Standoff --layer files carry "
+               "JSON [start, end, name] or [start, end, name, "
+               "{attrs}] rows of character spans, the shape NLP "
+               "pipelines emit for token/sentence/entity layers. "
+               "See DESIGN.md §15.")
+    p_ingest.add_argument("output", help="output .mhxb path")
+    p_ingest.add_argument("--text", required=True, metavar="FILE",
+                          help="file containing the base text")
+    p_ingest.add_argument("encodings", nargs="+", metavar="NAME=FILE",
+                          help="hierarchy encodings as name=xmlfile")
+    p_ingest.add_argument("--layer", action="append", default=[],
+                          metavar="NAME=FILE",
+                          help="standoff span layer: a JSON file of "
+                               "[start, end, name[, {attrs}]] rows "
+                               "(repeatable)")
+    p_ingest.add_argument("--durability", choices=("full", "off"),
+                          default="off",
+                          help="fsync the container on write "
+                               "(DESIGN.md §12; default: off)")
+
     p_store = sub.add_parser(
-        "store", help="the concurrent document store (DESIGN.md §10)")
+        "store", help="the concurrent document store (DESIGN.md §10)",
+        epilog="Persistence and MVCC snapshots: DESIGN.md §10; "
+               "durability and crash recovery: §12; sharded corpora "
+               "and cquery scatter-gather: §13; streaming ingest "
+               "(--streaming): §15.")
     store_sub = p_store.add_subparsers(dest="store_command", required=True)
 
     def add_durability_option(p: argparse.ArgumentParser) -> None:
@@ -151,10 +198,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_s_init = store_sub.add_parser("init", help="create an empty store")
     p_s_init.add_argument("store_dir", help="store directory")
 
-    p_s_add = store_sub.add_parser("add", help="register a document")
+    def add_streaming_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--streaming", action="store_true",
+                       help="ingest DOM-free via the streaming builder "
+                            "(with --text + NAME=FILE encodings; "
+                            "DESIGN.md §15)")
+        p.add_argument("--text", metavar="FILE",
+                       help="base text file (with --streaming)")
+        p.add_argument("encodings", nargs="*", metavar="NAME=FILE",
+                       help="hierarchy encodings as name=xmlfile "
+                            "(with --streaming; place them directly "
+                            "after the catalog name)")
+        p.add_argument("--layer", action="append", default=[],
+                       metavar="NAME=FILE",
+                       help="standoff span layer: a JSON file of "
+                            "[start, end, name[, {attrs}]] rows "
+                            "(with --streaming; repeatable)")
+
+    p_s_add = store_sub.add_parser(
+        "add", help="register a document",
+        epilog="Registration is transactional (DESIGN.md §10); "
+               "--streaming ingests without a DOM (§15).")
     p_s_add.add_argument("store_dir")
     p_s_add.add_argument("name", help="catalog name for the document")
     add_document_options(p_s_add)
+    add_streaming_options(p_s_add)
     add_durability_option(p_s_add)
 
     p_s_get = store_sub.add_parser(
@@ -202,10 +270,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_s_recover.add_argument("store_dir")
 
     p_s_shard = store_sub.add_parser(
-        "shard", help="partition a document into a sharded corpus")
+        "shard", help="partition a document into a sharded corpus",
+        epilog="Cuts land at fragment boundaries valid in every "
+               "hierarchy (DESIGN.md §13); --streaming cuts the node "
+               "tables directly, skipping the DOM (§15).")
     p_s_shard.add_argument("store_dir")
     p_s_shard.add_argument("name", help="catalog name for the corpus")
     add_document_options(p_s_shard)
+    add_streaming_options(p_s_shard)
     p_s_shard.add_argument("--generate", type=int, metavar="N_WORDS",
                            help="shard a seeded synthetic manuscript "
                                 "of N_WORDS words instead of a file")
@@ -231,7 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve", help="serve a document store over HTTP/JSON "
-                      "(DESIGN.md §14)")
+                      "(DESIGN.md §14)",
+        epilog="Admission control, tenant quotas, snapshot pinning, "
+               "and the drain protocol: DESIGN.md §14.")
     p_serve.add_argument("--root", required=True, metavar="STORE",
                          help="the document-store directory to serve")
     p_serve.add_argument("--host", default="127.0.0.1",
@@ -283,6 +357,55 @@ def _read_expression(expression: str) -> str:
     return expression
 
 
+def _read_spec_pairs(items: list[str], what: str) -> dict[str, str]:
+    """``NAME=FILE`` specs → ``{name: file contents}``, in spec order."""
+    pairs: dict[str, str] = {}
+    for item in items:
+        name, _sep, path = item.partition("=")
+        if not _sep:
+            raise ReproError(f"bad {what} spec {item!r}; "
+                             f"expected NAME=FILE")
+        pairs[name] = Path(path).read_text(encoding="utf-8")
+    return pairs
+
+
+def _read_layers(items: list[str]) -> dict[str, list]:
+    """``--layer NAME=FILE`` specs → span rows per layer name.
+
+    Each file holds a JSON array of ``[start, end, name]`` or
+    ``[start, end, name, {attrs}]`` rows (character offsets into the
+    base text) — the standoff shape NLP pipelines emit.
+    """
+    import json
+
+    layers: dict[str, list] = {}
+    for name, payload in _read_spec_pairs(items, "layer").items():
+        try:
+            rows = json.loads(payload)
+        except ValueError as error:
+            raise ReproError(
+                f"layer {name!r} is not valid JSON: {error}") from error
+        if not isinstance(rows, list):
+            raise ReproError(
+                f"layer {name!r} must be a JSON array of "
+                f"[start, end, name[, attrs]] rows")
+        layers[name] = [tuple(row) for row in rows]
+    return layers
+
+
+def _streaming_inputs(args: argparse.Namespace) -> tuple[str, dict, dict]:
+    """``(text, sources, layers)`` for a ``--streaming`` invocation."""
+    if not getattr(args, "text", None):
+        raise ReproError("--streaming needs --text FILE")
+    sources = _read_spec_pairs(args.encodings, "encoding")
+    if not sources:
+        raise ReproError(
+            "--streaming needs at least one NAME=FILE encoding "
+            "(standoff --layer layers attach on top of it)")
+    text = Path(args.text).read_text(encoding="utf-8")
+    return text, sources, _read_layers(args.layer)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -299,13 +422,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if command == "pack":
         text = Path(args.text).read_text(encoding="utf-8")
-        sources: dict[str, str] = {}
-        for item in args.encodings:
-            name, _sep, path = item.partition("=")
-            if not _sep:
-                raise ReproError(f"bad encoding spec {item!r}; "
-                                 f"expected NAME=FILE")
-            sources[name] = Path(path).read_text(encoding="utf-8")
+        sources = _read_spec_pairs(args.encodings, "encoding")
         document = MultihierarchicalDocument.from_xml(text, sources)
         if Path(args.output).suffix == ".mhxb":
             Engine(document).save_mhxb(args.output)
@@ -315,6 +432,18 @@ def _dispatch(args: argparse.Namespace) -> int:
             kind = ".mhx"
         print(f"wrote {kind} {args.output} "
               f"({len(document)} hierarchies, {len(text)} characters)")
+        return 0
+    if command == "ingest":
+        from repro.markup.streaming import stream_save
+
+        text = Path(args.text).read_text(encoding="utf-8")
+        sources = _read_spec_pairs(args.encodings, "encoding")
+        layers = _read_layers(args.layer)
+        size = stream_save(text, sources, args.output, layers=layers,
+                           durability=args.durability)
+        print(f"streamed {len(sources)} encodings + {len(layers)} "
+              f"standoff layers into {args.output} "
+              f"({len(text)} characters, {size} bytes)")
         return 0
     if command == "store":
         return _dispatch_store(args)
@@ -421,13 +550,18 @@ def _dispatch_store(args: argparse.Namespace) -> int:
     store = DocumentStore(args.store_dir,
                           durability=getattr(args, "durability", "full"))
     if command == "add":
-        if getattr(args, "sample", False):
+        if getattr(args, "streaming", False):
+            text, sources, layers = _streaming_inputs(args)
+            snapshot = store.add_streaming(args.name, text, sources,
+                                           layers=layers)
+        elif getattr(args, "sample", False):
             snapshot = store.add(args.name,
                                  boethius_document(validate=False))
         elif getattr(args, "mhx", None):
             snapshot = store.add(args.name, path=args.mhx)
         else:
-            raise ReproError("provide --mhx FILE or --sample")
+            raise ReproError(
+                "provide --mhx FILE, --sample, or --streaming")
         print(f"added {args.name!r} at version {snapshot.version} "
               f"({len(snapshot.engine.goddag.hierarchy_names)} "
               f"hierarchies)")
@@ -485,6 +619,7 @@ def _dispatch_store(args: argparse.Namespace) -> int:
               f"problems")
         return 1 if corrupt else 0
     if command == "shard":
+        document = None
         if args.generate is not None:
             from repro.corpus.generator import (
                 GeneratorConfig,
@@ -493,10 +628,24 @@ def _dispatch_store(args: argparse.Namespace) -> int:
 
             document = generate_document(
                 GeneratorConfig(n_words=args.generate, seed=0))
+        if getattr(args, "streaming", False):
+            if document is not None:
+                # stream the generated manuscript via its serialized
+                # encodings — the differential exercise of DESIGN.md §15
+                text = document.text
+                sources = {name: document[name].to_xml()
+                           for name in document.hierarchy_names}
+                layers: dict = {}
+            else:
+                text, sources, layers = _streaming_inputs(args)
+            stats = store.add_corpus_streaming(args.name, text, sources,
+                                               shards=args.shards,
+                                               layers=layers)
         else:
-            document = _load_document(args)
-        stats = store.add_corpus(args.name, document,
-                                 shards=args.shards)
+            if document is None:
+                document = _load_document(args)
+            stats = store.add_corpus(args.name, document,
+                                     shards=args.shards)
         print(f"sharded {args.name!r} into {len(stats.shards)} shards "
               f"({stats.words} words, "
               f"{len(stats.hierarchy_names)} hierarchies)")

@@ -1,4 +1,24 @@
-"""Async multi-tenant query service over a DocumentStore."""
+"""Async multi-tenant query service over a DocumentStore.
+
+A stdlib-only asyncio HTTP/JSON server (DESIGN.md §14) that publishes
+a :class:`repro.store.DocumentStore` to many tenants at once: reads
+pin MVCC snapshots and run in a CPU-sized thread pool with zero new
+locking, writes ride the store's single-writer path, and sharded
+corpus queries reuse the scatter-gather pool (§13).
+
+Endpoints: ``/query`` (document XQuery/XPath — paginated, or chunked
+NDJSON with ``stream=1``), ``/update`` (write batch), ``/cquery``
+(corpus scatter-gather), ``/explain``, ``/healthz``, ``/statz``.
+Admission control is layered: a bounded queue over a ``max_inflight``
+semaphore (429 + ``Retry-After`` when saturated), per-tenant
+token-bucket quotas keyed by the ``X-Tenant`` header, and a graceful
+SIGTERM drain that 503s new work while finishing what's in flight.
+Every malformed input maps to a 4xx, never a 5xx.
+
+Two front doors: ``mhxq serve --root STORE`` runs the daemon;
+:class:`ServerHandle` embeds the same server in-process for tests,
+tools, and the examples (``examples/serve_demo.py``).
+"""
 
 from repro.server.http import (
     HttpError,

@@ -419,6 +419,47 @@ class DocumentStore:
             self._live[name] = snapshot
             return snapshot
 
+    def add_streaming(self, name: str, text: str,
+                      sources: dict[str, str], *,
+                      layers: dict | None = None) -> Snapshot:
+        """Register a document by streaming ingest (DESIGN.md §15).
+
+        XML encodings (and optional standoff span ``layers``) over the
+        shared base ``text`` are tokenized straight into this store's
+        ``.mhxb`` file by :class:`repro.markup.streaming.
+        StreamingBuilder` — no DOM is ever materialized, and the file
+        is byte-identical to what :meth:`add` would have written for
+        the equivalent document.  Transactional like :meth:`add`.
+        """
+        from repro.markup.streaming import stream_save
+        if not _NAME_RE.match(name):
+            raise ReproError(
+                f"invalid document name {name!r} (want "
+                f"[A-Za-z0-9][A-Za-z0-9._-]*, at most 64 characters)")
+        with self._lock:
+            if name in self._manifest["documents"]:
+                raise ReproError(
+                    f"document {name!r} already exists in this store")
+            if name in self._manifest["quarantined"]:
+                raise StoreError(
+                    f"document {name!r} is quarantined "
+                    f"({self._manifest['quarantined'][name]['reason']});"
+                    f" remove() it before re-adding")
+            target = self.root / f"{name}.mhxb"
+            try:
+                stream_save(text, sources, target, layers=layers,
+                            durability=self._file_durability)
+                if self.durability == "batch":
+                    self._dirty.add(target)
+                fresh = Engine.from_mhxb(target, options=self.options)
+                snapshot = Snapshot(name, fresh, self.plans)
+                self._commit_entry(name, target.name, fresh.version)
+            except Exception:
+                target.unlink(missing_ok=True)
+                raise
+            self._live[name] = snapshot
+            return snapshot
+
     def remove(self, name: str) -> None:
         """Drop a document (or quarantined entry) and delete its file."""
         with self._lock:
@@ -501,6 +542,68 @@ class DocumentStore:
                     if self.durability == "batch":
                         self._dirty.add(self.root / file_name)
                     files.append(file_name)
+                self._manifest["corpora"][name] = {
+                    "files": files,
+                    "stats": stats.to_json(),
+                }
+                try:
+                    self._save_manifest()
+                except Exception:
+                    self._manifest["corpora"].pop(name, None)
+                    raise
+            except Exception:
+                for file_name in files:
+                    (self.root / file_name).unlink(missing_ok=True)
+                raise
+            return stats
+
+    def add_corpus_streaming(self, name: str, text: str,
+                             sources: dict[str, str], *, shards: int,
+                             layers: dict | None = None) -> CorpusStats:
+        """Stream a sharded corpus straight into per-shard ``.mhxb``
+        files (DESIGN.md §15).
+
+        Encodings (and optional standoff span ``layers``) are ingested
+        DOM-free, the node tables are cut at the same fragment
+        boundaries :meth:`add_corpus` would choose, and each shard file
+        plus the manifest statistics are byte-for-byte what the DOM
+        pipeline writes.  Transactional like :meth:`add_corpus`.
+        """
+        from repro.markup.streaming import StreamingBuilder
+        if not _NAME_RE.match(name):
+            raise ReproError(
+                f"invalid corpus name {name!r} (want "
+                f"[A-Za-z0-9][A-Za-z0-9._-]*, at most 64 characters)")
+        with self._lock:
+            for section in ("documents", "corpora"):
+                if name in self._manifest[section]:
+                    raise ReproError(
+                        f"{name!r} already exists in this store "
+                        f"({section[:-1]})")
+            if name in self._manifest["quarantined"]:
+                raise StoreError(
+                    f"{name!r} is quarantined "
+                    f"({self._manifest['quarantined'][name]['reason']});"
+                    f" remove() it before re-adding")
+            builder = StreamingBuilder(text)
+            for hierarchy_name, source in sources.items():
+                builder.add_hierarchy(hierarchy_name, source)
+            for layer_name, spans in (layers or {}).items():
+                builder.add_layer(layer_name, spans)
+            files: list[str] = []
+
+            def shard_path(index: int) -> Path:
+                file_name = f"{name}.shard{index:04d}.mhxb"
+                files.append(file_name)
+                return self.root / file_name
+
+            try:
+                stats = builder.save_shards(
+                    shards, shard_path,
+                    durability=self._file_durability)
+                if self.durability == "batch":
+                    for file_name in files:
+                        self._dirty.add(self.root / file_name)
                 self._manifest["corpora"][name] = {
                     "files": files,
                     "stats": stats.to_json(),

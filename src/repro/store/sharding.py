@@ -148,16 +148,16 @@ def _subtree_lengths(document: MultihierarchicalDocument) -> dict[int, int]:
     return lengths
 
 
-def valid_cuts(document: MultihierarchicalDocument) -> np.ndarray:
-    """All interior positions where no element of any hierarchy is open.
+def valid_cut_positions(starts: np.ndarray, ends: np.ndarray,
+                        total: int) -> np.ndarray:
+    """Interior positions no span in the sorted columns strictly
+    contains.
 
-    Candidates are the distinct element boundaries (an arbitrary text
-    offset would just split a word); a candidate ``p`` survives iff
-    ``#{start < p} == #{end <= p}`` — i.e. no element span strictly
-    contains it.
+    The column-level core of :func:`valid_cuts`, shared with the
+    streaming builder (``repro.markup.streaming``), which derives the
+    same sorted element start/end columns from its node tables without
+    ever holding a DOM.
     """
-    starts, ends = _element_spans(document)
-    total = len(document.text)
     candidates = np.unique(np.concatenate((starts, ends)))
     candidates = candidates[(candidates > 0) & (candidates < total)]
     if not len(candidates):
@@ -167,22 +167,25 @@ def valid_cuts(document: MultihierarchicalDocument) -> np.ndarray:
     return candidates[open_before == closed_before]
 
 
-def choose_cuts(document: MultihierarchicalDocument,
-                n_shards: int) -> list[int]:
-    """Size-balanced valid cuts for an ``n_shards``-way partition.
+def valid_cuts(document: MultihierarchicalDocument) -> np.ndarray:
+    """All interior positions where no element of any hierarchy is open.
 
-    Picks, for each target ``i·len/n``, the nearest valid cut; returns
-    the deduplicated ascending list (possibly shorter than
-    ``n_shards - 1`` when the markup offers fewer distinct cuts).
+    Candidates are the distinct element boundaries (an arbitrary text
+    offset would just split a word); a candidate ``p`` survives iff
+    ``#{start < p} == #{end <= p}`` — i.e. no element span strictly
+    contains it.
     """
-    if n_shards < 1:
-        raise StoreError(f"shard count must be >= 1, got {n_shards}")
-    if n_shards == 1:
-        return []
-    cuts = valid_cuts(document)
+    starts, ends = _element_spans(document)
+    return valid_cut_positions(starts, ends, len(document.text))
+
+
+def balanced_cuts(cuts: np.ndarray, total: int,
+                  n_shards: int) -> list[int]:
+    """The size-balanced subset of valid ``cuts`` nearest the
+    ``i·total/n`` targets — deduplicated, ascending, possibly shorter
+    than ``n_shards - 1``.  Shared with the streaming builder."""
     if not len(cuts):
         return []
-    total = len(document.text)
     targets = np.arange(1, n_shards) * (total / n_shards)
     picks = np.searchsorted(cuts, targets)
     chosen: set[int] = set()
@@ -197,6 +200,22 @@ def choose_cuts(document: MultihierarchicalDocument,
         if best is not None:
             chosen.add(best)
     return sorted(chosen)
+
+
+def choose_cuts(document: MultihierarchicalDocument,
+                n_shards: int) -> list[int]:
+    """Size-balanced valid cuts for an ``n_shards``-way partition.
+
+    Picks, for each target ``i·len/n``, the nearest valid cut; returns
+    the deduplicated ascending list (possibly shorter than
+    ``n_shards - 1`` when the markup offers fewer distinct cuts).
+    """
+    if n_shards < 1:
+        raise StoreError(f"shard count must be >= 1, got {n_shards}")
+    if n_shards == 1:
+        return []
+    return balanced_cuts(valid_cuts(document), len(document.text),
+                         n_shards)
 
 
 # ---------------------------------------------------------------------------

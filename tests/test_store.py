@@ -271,7 +271,7 @@ class TestStoreCli:
         code, _, err = run_cli(capsys, "store", "query", root, "x", "1")
         assert code == 1 and "no document" in err
         code, _, err = run_cli(capsys, "store", "add", root, "x")
-        assert code == 1 and "--mhx FILE or --sample" in err
+        assert code == 1 and "--mhx FILE, --sample, or --streaming" in err
 
     def test_pack_mhxb_and_query_it(self, capsys, tmp_path,
                                     base_text, encodings):
