@@ -20,9 +20,11 @@ query-service HTTP workload (S-SERVE: per-request latency percentiles
 and fixed-concurrency throughput, DESIGN.md §14) into
 ``BENCH_serve.json``, and the streaming bulk-ingest workload
 (S-INGEST: DOM-free ``stream_save`` vs parse + ``save_engine``,
-DESIGN.md §15) into ``BENCH_ingest.json``.  The CI bench-regression
-wall (``benchmarks/check_regression.py``) diffs fresh runs against all
-eight checked-in files.
+DESIGN.md §15) into ``BENCH_ingest.json``, and the cost-based-planning
+workload (S-PLAN: costed plans vs the mechanical lowering on a skewed
+corpus, DESIGN.md §16) into ``BENCH_plan.json``.  The CI
+bench-regression wall (``benchmarks/check_regression.py``) diffs fresh
+runs against all nine checked-in files.
 
 Usage::
 
@@ -33,8 +35,10 @@ Usage::
         [--joins-out BENCH_joins.json] \
         [--shard-out BENCH_shard.json] \
         [--serve-out BENCH_serve.json] \
-        [--ingest-out BENCH_ingest.json] [--size 6400] \
-        [--shard-size 64000] [--workers 4] [--ingest-size N]
+        [--ingest-out BENCH_ingest.json] \
+        [--plan-out BENCH_plan.json] [--size 6400] \
+        [--shard-size 64000] [--workers 4] [--ingest-size N] \
+        [--plan-size 2000]
 
 ``--quick`` cuts the repeat counts for CI smoke runs; the checked-in
 files are produced by a full run on a quiet machine.
@@ -640,6 +644,70 @@ def bench_ingest(sizes: tuple[int, ...], repeats: int) -> dict:
     return {"per_size": out, "words_per_sec": rates}
 
 
+#: The S-PLAN workload (DESIGN.md §16): chains where the cost pass
+#: changes the physical plan — two reversible join pairs whose context
+#: side is ~50× the target side (reversal scans the small side and
+#: probes back), a commutative semi-join conjunction (most selective
+#: probe first), and a control query no transform applies to.
+PLAN_WORKLOAD = (
+    ("reverse-containment", "/descendant::w/xancestor::dmg"),
+    ("reverse-overlap", "/descendant::w/overlapping::dmg"),
+    ("predicate-reorder",
+     "/descendant::w[overlapping::line][overlapping::dmg]"),
+    ("control-count", "count(/descendant::w)"),
+)
+
+#: word count of the skewed S-PLAN corpus — identical in quick and
+#: full runs (only repeats differ) so the wall never diffs against a
+#: missing or rescaled metric
+PLAN_WORDS = 2000
+
+
+def _plan_corpus(n_words: int):
+    """Skewed generator config: sparse damage, words crossing
+    hierarchy boundaries — the cardinality asymmetry the cost model
+    exploits."""
+    from repro.corpus.generator import GeneratorConfig, generate_document
+
+    return generate_document(GeneratorConfig(
+        n_words=n_words, seed=11, damage_rate=0.02,
+        restoration_rate=0.05, hyphenation_rate=0.2,
+        boundary_cross_rate=0.5))
+
+
+def bench_plan(n_words: int, repeats: int) -> dict:
+    """S-PLAN: cost-based plans vs the mechanical lowering.
+
+    Two engines over one skewed corpus — ``use_cost=True`` against
+    ``use_cost=False`` — evaluate identical queries warm (plans
+    compiled, span index built).  ``benchmarks/test_plan_cost.py``
+    asserts the two sides stay item-for-item identical and gates the
+    speedups; the ``speedup`` leaves ride the regression wall's ratio
+    band.
+    """
+    from repro.api import Engine
+
+    document = _plan_corpus(n_words)
+    costed = Engine(document)
+    mechanical = Engine(document, use_cost=False)
+    costed.goddag.span_index()
+    mechanical.goddag.span_index()
+    out: dict = {}
+    for label, query in PLAN_WORKLOAD:
+        costed.query(query)  # warm plan cache + lazy indexes
+        mechanical.query(query)
+        costed_ns = median_ns(
+            lambda q=query: costed.query(q), repeats)
+        mechanical_ns = median_ns(
+            lambda q=query: mechanical.query(q), repeats)
+        out[label] = {
+            "costed": costed_ns,
+            "mechanical": mechanical_ns,
+            "speedup": round(mechanical_ns / costed_ns, 2),
+        }
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(
@@ -658,6 +726,8 @@ def main(argv: list[str] | None = None) -> int:
         Path(__file__).resolve().parent.parent / "BENCH_serve.json"))
     parser.add_argument("--ingest-out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_ingest.json"))
+    parser.add_argument("--plan-out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_plan.json"))
     parser.add_argument("--size", type=int, default=SCALING_SIZES[-1])
     parser.add_argument("--shard-size", type=int, default=None,
                         help="corpus words for the shard series "
@@ -673,6 +743,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ingest-only", action="store_true",
                         help="emit only the S-INGEST series (the "
                              "nightly bulk-ingest scale sweep)")
+    parser.add_argument("--plan-only", action="store_true",
+                        help="emit only the S-PLAN series (cost-based "
+                             "planning vs mechanical lowering)")
+    parser.add_argument("--plan-size", type=int, default=PLAN_WORDS,
+                        help="corpus words for the S-PLAN series "
+                             "(the nightly plan-scale sweep overrides)")
     parser.add_argument("--ingest-size", type=int, default=None,
                         help="replace the standard S-INGEST sizes "
                              "with one large corpus (nightly runs "
@@ -693,6 +769,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.ingest_only:
         emit_ingest(args, query_repeats)
+        return 0
+    if args.plan_only:
+        emit_plan(args, query_repeats)
         return 0
     payload = {
         "schema": "repro-bench/1",
@@ -759,7 +838,22 @@ def main(argv: list[str] | None = None) -> int:
     emit_shard(args, shard_size, shard_repeats)
     emit_serve(args)
     emit_ingest(args, query_repeats)
+    emit_plan(args, query_repeats)
     return 0
+
+
+def emit_plan(args, repeats: int) -> None:
+    plan_payload = {
+        "schema": "repro-bench/1",
+        "series": "cost-based-planning",
+        "config": {"n_words": args.plan_size, "seed": 11,
+                   "repeats": repeats,
+                   "python": sys.version.split()[0]},
+        "median_ns_per_query": bench_plan(args.plan_size, repeats),
+    }
+    Path(args.plan_out).write_text(
+        json.dumps(plan_payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(plan_payload, indent=2, sort_keys=True))
 
 
 def emit_ingest(args, repeats: int) -> None:

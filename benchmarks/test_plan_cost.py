@@ -1,0 +1,95 @@
+"""S-PLAN — cost-based planning vs the mechanical lowering.
+
+The tentpole claim of ISSUE 10 (DESIGN.md §16): on a skewed corpus the
+cost pass must make at least two of the reversible join chains run
+``REPRO_BENCH_MIN_PLAN_SPEEDUP``× (default 2×) faster than their
+mechanical plans, while **no** workload query regresses more than
+``REPRO_BENCH_MAX_PLAN_REGRESSION`` (default 10 %) — and every costed
+answer stays item-for-item identical to the mechanical oracle.
+
+Shared CI runners damp the speedup floor through the environment
+variables; quiet machines enforce the real targets.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.api import Engine
+
+from conftest import record
+from emit_bench import PLAN_WORDS, PLAN_WORKLOAD, _plan_corpus
+
+MIN_PLAN_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_PLAN_SPEEDUP", "2.0"))
+#: a workload query regresses when costed > mechanical * (1 + this)
+MAX_PLAN_REGRESSION = float(
+    os.environ.get("REPRO_BENCH_MAX_PLAN_REGRESSION", "0.10"))
+#: how many chains must clear the speedup floor
+MIN_FAST_CHAINS = 2
+
+
+def best_of(function, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - begin)
+    return best
+
+
+def engines():
+    document = _plan_corpus(PLAN_WORDS)
+    costed = Engine(document)
+    mechanical = Engine(document, use_cost=False)
+    costed.goddag.span_index()
+    mechanical.goddag.span_index()
+    for _label, query in PLAN_WORKLOAD:  # warm plans + lazy indexes
+        costed.query(query)
+        mechanical.query(query)
+    return costed, mechanical
+
+
+def test_costed_identical_to_mechanical():
+    """Every workload query: costed plan ≡ mechanical oracle, item for
+    item (the cost pass is a pure optimization)."""
+    costed, mechanical = engines()
+    checked = 0
+    for label, query in PLAN_WORKLOAD:
+        want = mechanical.query(query).strings()
+        got = costed.query(query).strings()
+        assert got == want, label
+        checked += len(got)
+    record("S-PLAN parity", "PASS",
+           f"{len(PLAN_WORKLOAD)} workload queries, "
+           f"{checked} result items identical")
+
+
+def test_plan_workload_speedup():
+    costed, mechanical = engines()
+    rows = []
+    for label, query in PLAN_WORKLOAD:
+        costed_time = best_of(lambda q=query: costed.query(q))
+        mechanical_time = best_of(lambda q=query: mechanical.query(q))
+        rows.append((label, mechanical_time / costed_time,
+                     costed_time, mechanical_time))
+    fast = [row for row in rows if row[1] >= MIN_PLAN_SPEEDUP]
+    slow = [row for row in rows
+            if row[1] < 1.0 / (1.0 + MAX_PLAN_REGRESSION)]
+    summary = ", ".join(f"{label} {speedup:.1f}x"
+                        for label, speedup, _c, _m in rows)
+    record("S-PLAN speedup",
+           "PASS" if len(fast) >= MIN_FAST_CHAINS and not slow
+           else "FAIL",
+           f"{summary} (floor {MIN_PLAN_SPEEDUP:.1f}x on "
+           f">={MIN_FAST_CHAINS} chains, regression band "
+           f"{MAX_PLAN_REGRESSION:.0%}) at n={PLAN_WORDS}")
+    assert len(fast) >= MIN_FAST_CHAINS, (
+        f"only {len(fast)} workload chains cleared the "
+        f"{MIN_PLAN_SPEEDUP:.1f}x floor: {summary}")
+    assert not slow, (
+        "costed plans regressed beyond the "
+        f"{MAX_PLAN_REGRESSION:.0%} band: "
+        + ", ".join(f"{label} costed {c * 1e3:.2f}ms vs mechanical "
+                    f"{m * 1e3:.2f}ms" for label, _s, c, m in slow))

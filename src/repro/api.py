@@ -91,12 +91,14 @@ class Engine:
 
     def __init__(self, document: MultihierarchicalDocument,
                  options: QueryOptions | None = None,
-                 use_pipeline: bool = True) -> None:
+                 use_pipeline: bool = True,
+                 use_cost: bool = True) -> None:
         self._document = document
         self._document_loader = None
         self.options = options or QueryOptions()
         self.goddag = KyGoddag.build(document)
         self.use_pipeline = use_pipeline
+        self.use_cost = use_cost
         self._plans: OrderedDict[tuple, CompiledQuery] = OrderedDict()
         self._plans_lock = threading.Lock()
         self._plans_version = self.goddag.version
@@ -129,7 +131,8 @@ class Engine:
                    document: MultihierarchicalDocument | None = None,
                    document_loader=None,
                    options: QueryOptions | None = None,
-                   use_pipeline: bool = True) -> "Engine":
+                   use_pipeline: bool = True,
+                   use_cost: bool = True) -> "Engine":
         """Assemble an engine around an already-built KyGODDAG.
 
         The ``.mhxb`` cold-load and store-fork paths: the goddag was
@@ -148,6 +151,7 @@ class Engine:
         self.options = options or QueryOptions()
         self.goddag = goddag
         self.use_pipeline = use_pipeline
+        self.use_cost = use_cost
         self._plans = OrderedDict()
         self._plans_lock = threading.Lock()
         self._plans_version = goddag.version
@@ -244,20 +248,53 @@ class Engine:
                 self._plans.popitem(last=False)
         return compiled
 
+    def plan_stats(self):
+        """Plan-time document statistics (DESIGN.md §16), cached on the
+        goddag keyed by version.  A ``.mhxb`` cold load restores the
+        persisted block; otherwise (or after a mutation) this collects
+        vectorized off the span-index columns."""
+        from repro.core.goddag.stats import collect_plan_stats
+
+        goddag = self.goddag
+        cached = getattr(goddag, "_plan_stats", None)
+        if cached is None or cached.version != goddag.version:
+            cached = collect_plan_stats(goddag)
+            goddag._plan_stats = cached
+        return cached
+
     def compile(self, text: str, xpath: bool = False) -> CompiledQuery:
-        """Compile a query through the pipeline (LRU-cached)."""
+        """Compile a query through the pipeline (LRU-cached).
+
+        With ``use_cost`` (the default) the statistics-driven cost
+        pass runs over the plan; the engine LRU needs no statistics
+        key — it is per-document and version-synced, so every entry
+        was costed against the live statistics.
+        """
+        stats = self.plan_stats() if self.use_cost else None
         return self._cached_plan(
             "xpath" if xpath else "query", text,
-            lambda: compile_query(text, xpath=xpath))
+            lambda: compile_query(text, xpath=xpath, stats=stats))
 
     def compile_update(self, text: str) -> CompiledUpdate:
         """Compile an update statement (LRU-cached like queries)."""
         return self._cached_plan("update", text,
                                  lambda: compile_update(text))
 
-    def explain(self, text: str, xpath: bool = False) -> str:
-        """The compiled pipeline report for one query."""
-        return self.compile(text, xpath=xpath).explain()
+    def explain(self, text: str, xpath: bool = False,
+                analyze: bool = False) -> str:
+        """The compiled pipeline report for one query.
+
+        ``analyze=True`` additionally *runs* the query and renders the
+        recorded actual cardinality next to each estimate
+        (``[est=… act=…]``, misestimates flagged ``!``).
+        """
+        compiled = self.compile(text, xpath=xpath)
+        if not analyze:
+            return compiled.explain()
+        result = self.execute(compiled)
+        return compiled.explain(
+            actuals=result.stats.op_actuals,
+            miss_factor=self.options.cost_fallback_factor)
 
     def explain_update(self, text: str) -> str:
         """The compiled pipeline report for one update statement."""
@@ -308,6 +345,20 @@ class Engine:
         finally:
             latch.release(exclusive)
 
+    @staticmethod
+    def _finalize_stats(compiled: CompiledQuery,
+                        stats: QueryStats) -> None:
+        """Stamp the costed plan's bottom-line est/act onto the per-call
+        stats (observability: access logs, /statz — DESIGN.md §16)."""
+        if not compiled.costed:
+            return
+        from repro.core.plan.cost import final_estimate
+
+        final = final_estimate(compiled.plan)
+        if final is not None:
+            stats.est_rows = final[1]
+            stats.act_rows = stats.op_actuals.get(final[0])
+
     def execute(self, compiled, variables: dict[str, list] | None = None
                 ) -> QueryResult:
         """Run a :class:`CompiledQuery` (or a pre-parsed legacy AST)."""
@@ -322,6 +373,7 @@ class Engine:
                                          variables=variables,
                                          options=self.options,
                                          stats=stats))
+            self._finalize_stats(compiled, stats)
             return QueryResult(items, stats)
         items = self._evaluate_guarded(
             None,
@@ -350,6 +402,7 @@ class Engine:
             text,
             lambda: compiled.execute(self.goddag, variables=variables,
                                      options=self.options, stats=stats))
+        self._finalize_stats(compiled, stats)
         return QueryResult(items, stats)
 
     # -- inspection ----------------------------------------------------------

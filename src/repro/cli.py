@@ -101,11 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain = sub.add_parser(
         "explain", help="show the compiled pipeline plan for a query",
         epilog="Plan rewrites and operator lowering: DESIGN.md §8; "
-               "join-aware lowering of extended axes: §11.")
+               "join-aware lowering of extended axes: §11; cost-based "
+               "ordering: §16.  Costed steps carry est=… estimated "
+               "cardinalities; --analyze runs the query and adds "
+               "act=… actual rows per operator, flagging "
+               "misestimates with '!'.")
     add_document_options(p_explain)
     p_explain.add_argument("expression", help="the query text, or @file")
     p_explain.add_argument("--xpath", action="store_true",
                            help="parse as a pure extended-XPath expression")
+    p_explain.add_argument("--analyze", action="store_true",
+                           help="execute the query and render actual "
+                                "next to estimated cardinalities")
 
     p_update = sub.add_parser(
         "update", help="apply a transactional update statement",
@@ -460,7 +467,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     if command == "explain":
         engine = _open_engine(args)
         expression = _read_expression(args.expression)
-        print(engine.explain(expression, xpath=args.xpath))
+        print(engine.explain(expression, xpath=args.xpath,
+                             analyze=args.analyze))
         return 0
     if command == "update":
         engine = _open_engine(args)

@@ -46,25 +46,31 @@ __all__ = [
 #: :data:`repro.core.lang.GRAMMAR_VERSION` so a rule change orphans
 #: stale plans instead of serving them.  Bumped by PR 5 (extended-axis
 #: steps and cross-hierarchy predicates lower to interval joins);
-#: bumped by PR 7 (``collection()`` lowers to a CollectionOp leaf).
-PLAN_VERSION = 3
+#: bumped by PR 7 (``collection()`` lowers to a CollectionOp leaf);
+#: bumped by PR 10 (the cost pass: statistics-driven join reversal and
+#: predicate reordering — costed plans additionally key on the
+#: statistics fingerprint, see ``SharedPlanCache``).
+PLAN_VERSION = 4
 
 
 class CompiledQuery:
     """One query compiled through the full pipeline, ready to run."""
 
     __slots__ = ("text", "source_ast", "rewritten_ast", "plan",
-                 "rewrites", "_runner")
+                 "rewrites", "costed", "_runner")
 
     def __init__(self, text: str, source_ast: ast.Expr,
                  rewritten_ast: ast.Expr, plan: Plan,
-                 rewrites: list[str], runner) -> None:
+                 rewrites: list[str], runner,
+                 costed: bool = False) -> None:
         self.text = text
         self.source_ast = source_ast
         self.rewritten_ast = rewritten_ast
         self.plan = plan
         #: every rewrite/annotation rule application, in order
         self.rewrites = rewrites
+        #: True when the statistics-driven cost pass ran (DESIGN.md §16)
+        self.costed = costed
         self._runner = runner
 
     def execute(self, goddag, variables=None, options=None,
@@ -76,8 +82,14 @@ class CompiledQuery:
                             keep_temporaries=keep_temporaries,
                             stats=stats)
 
-    def explain(self) -> str:
-        """The human-readable pipeline report: query, rewrites, plan."""
+    def explain(self, actuals: dict[int, int] | None = None,
+                miss_factor: float = 8.0) -> str:
+        """The human-readable pipeline report: query, rewrites, plan.
+
+        On costed plans each step line carries its estimate; pass the
+        executor's recorded ``actuals`` (``QueryStats.op_actuals``) to
+        render ``[est=… act=…]`` with ``!`` flagging misestimates.
+        """
         lines = [f"query: {' '.join(self.text.split())}"]
         lines.append("rewrites:")
         if self.rewrites:
@@ -85,13 +97,21 @@ class CompiledQuery:
         else:
             lines.append("  (none)")
         lines.append("plan:")
-        lines.append(render_plan(self.plan, indent=1))
+        lines.append(render_plan(self.plan, indent=1, actuals=actuals,
+                                 miss_factor=miss_factor))
         return "\n".join(lines)
 
 
-def compile_query(query: str | ast.Expr, *,
-                  xpath: bool = False) -> CompiledQuery:
-    """Compile a query (or pre-parsed AST) through the pipeline."""
+def compile_query(query: str | ast.Expr, *, xpath: bool = False,
+                  stats=None) -> CompiledQuery:
+    """Compile a query (or pre-parsed AST) through the pipeline.
+
+    With ``stats`` (a :class:`~repro.core.goddag.stats.PlanStats`) the
+    cost pass runs between planning and closure compilation: join-pair
+    reversal, predicate reordering, and per-step cardinality estimates
+    (DESIGN.md §16).  Without it the lowering is purely mechanical —
+    the differential oracle the costed path is tested against.
+    """
     if isinstance(query, str):
         text = query
         source = parse_xpath(text) if xpath else parse_query(text)
@@ -100,5 +120,10 @@ def compile_query(query: str | ast.Expr, *,
         text = f"<precompiled {type(query).__name__}>"
     rewritten, notes = rewrite(source)
     plan = build_plan(rewritten, notes)
+    costed = False
+    if stats is not None:
+        from repro.core.plan.cost import apply_cost
+        costed = apply_cost(plan, stats, notes) > 0
     runner = compile_plan(plan)
-    return CompiledQuery(text, source, rewritten, plan, notes, runner)
+    return CompiledQuery(text, source, rewritten, plan, notes, runner,
+                         costed=costed)

@@ -1,0 +1,414 @@
+"""Cost-based plan transforms and cardinality estimation (DESIGN.md §16).
+
+The mechanical lowering in :mod:`repro.core.plan.planner` translates
+the AST in source order.  ``BENCH_joins.json`` shows per-step spreads
+of 8.5×–736× between the interval-join kernels at n=6400, so on
+multi-step chains and multi-predicate filters *order* is the headline
+win.  This module is the optional pass behind ``use_cost=True``:
+given :class:`~repro.core.goddag.stats.PlanStats` it
+
+* reorders commutative semi-join predicate conjunctions by estimated
+  selectivity-per-cost (cheap, selective probes first),
+* reverses a ``/descendant::A/axis::B`` join pair into
+  ``/descendant::B[axis⁻¹::A]`` when the B side is estimated much
+  smaller (the extended axes of Definition 1 are symmetric:
+  ``b ∈ axis(a) ⟺ a ∈ axis⁻¹(b)``), and
+* annotates every step with an estimated output cardinality
+  (``op_id``/``est_rows``) so the physical layer can record actuals,
+  ``explain()`` can render ``est=…/act=…``, and the executor can fall
+  back to source order when an estimate misses
+  (:mod:`repro.core.plan.physical`).
+
+Every transform preserves item-for-item results — the mechanical
+lowering stays on as the differential oracle
+(``tests/test_plan_cost.py``).  Estimates only ever change *order*
+and *direction*, never the answer.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.goddag.joins import JOIN_KERNELS
+from repro.core.goddag.stats import PlanStats
+from repro.core.lang import ast
+from repro.core.plan import logical as L
+from repro.core.plan.planner import test_pushdowns
+
+#: Definition 1 axis duality: ``b ∈ axis(a) ⟺ a ∈ REVERSE_AXIS[axis](b)``
+#: for nonempty spans (empty spans are excluded by every kernel on both
+#: sides, so the symmetric form sees the same pairs).
+REVERSE_AXIS = {
+    "xdescendant": "xancestor",
+    "xancestor": "xdescendant",
+    "xfollowing": "xpreceding",
+    "xpreceding": "xfollowing",
+    "overlapping": "overlapping",
+    "preceding-overlapping": "following-overlapping",
+    "following-overlapping": "preceding-overlapping",
+}
+
+#: Relative per-candidate probe cost by kernel, calibrated against the
+#: BENCH_joins.json shapes (boundary ≪ containment < stab: two bisects
+#: vs. a bisect plus prefix-max scan vs. pair-materializing stabs).
+KERNEL_COST = {
+    "boundary": 1.0,
+    "containment": 3.0,
+    "containment-reverse": 3.0,
+    "stab": 5.0,
+}
+
+#: Per-element cost of a name-indexed descendant scan relative to one
+#: boundary probe (a slice off the per-name interval columns).
+SCAN_COST = 0.5
+
+#: Selectivity assumed for predicates the estimator cannot model.
+DEFAULT_SEL = 0.5
+
+#: Reversing a join pair must look at least this much cheaper before
+#: the pass rewrites it (hysteresis against estimate noise).
+REVERSAL_MARGIN = 2.0
+
+
+# ---------------------------------------------------------------------------
+# estimation primitives
+# ---------------------------------------------------------------------------
+
+
+def _test_card(stats: PlanStats, test: ast.NodeTest) -> float:
+    """Upper-bound cardinality of one node test over the document."""
+    if isinstance(test, ast.NameTest):
+        return float(stats.card(test.name))
+    elements = sum(per_name for per in stats.cards.values()
+                   for per_name in per.values())
+    if isinstance(test, ast.WildcardTest):
+        return float(elements)
+    if test.kind == "leaf":
+        return float(stats.leaf_count)
+    if test.kind == "text":
+        return float(max(0, stats.span_count - elements))
+    if test.kind in ("comment", "processing-instruction"):
+        return 0.0  # not span-index members; rare and uncounted
+    return float(stats.span_count)  # node()
+
+
+def _ctx_len(stats: PlanStats, ctx_name: str | None) -> float:
+    """Mean span length of the context nodes feeding a join."""
+    if ctx_name is None:
+        return stats.avg_span_len()
+    if ctx_name == stats.root_name:
+        return float(stats.text_length)
+    return stats.avg_len(ctx_name)
+
+
+def join_fanout(stats: PlanStats, axis: str, ctx_name: str | None,
+                name: str) -> float:
+    """Expected ``axis::name`` partners per context node (pre-dedup)."""
+    count = stats.nonempty(name)
+    if not count:
+        return 0.0
+    text = float(max(1, stats.text_length))
+    ctx_len = _ctx_len(stats, ctx_name)
+    if axis == "xdescendant":
+        return count * ctx_len / text
+    if axis == "xancestor":
+        # probability one name-span covers a fixed point, times count
+        return count * stats.avg_len(name) / text
+    if axis in ("overlapping", "preceding-overlapping",
+                "following-overlapping"):
+        fanout = count * (ctx_len + stats.avg_len(name)) / text
+        if axis != "overlapping":
+            fanout /= 2.0
+        return fanout
+    # boundary axes: on average half the name-spans lie to one side
+    return count / 2.0
+
+
+def join_selectivity(stats: PlanStats, axis: str, ctx_name: str | None,
+                     name: str) -> float:
+    """Estimated fraction of context nodes with ≥1 ``axis::name``
+    partner — the selectivity of a semi-join existence probe."""
+    count = stats.nonempty(name)
+    if not count:
+        return 0.0
+    if axis in ("xfollowing", "xpreceding"):
+        # an element to one side almost always exists; refine via the
+        # start histogram against the name's extent
+        entry = stats.names.get(name)
+        if entry is None:
+            return 1.0
+        if axis == "xfollowing":
+            return max(0.05, 1.0 - stats.start_fraction_below(
+                entry["max_end"]))
+        return max(0.05, stats.start_fraction_below(entry["min_start"]))
+    if axis == "xancestor":
+        return max(0.0, min(1.0, stats.coverage(name)))
+    return max(0.0, min(1.0, join_fanout(stats, axis, ctx_name, name)))
+
+
+def predicate_selectivity(stats: PlanStats, predicate: L.PredicateOp,
+                          ctx_name: str | None) -> float:
+    """Estimated surviving fraction for one step predicate."""
+    if predicate.semi_join is not None:
+        axis, name = predicate.semi_join
+        return join_selectivity(stats, axis, ctx_name, name)
+    if predicate.positional_literal is not None:
+        return DEFAULT_SEL  # one item per context; context count unknown
+    return DEFAULT_SEL
+
+
+def probe_cost(axis: str) -> float:
+    """Relative per-candidate cost of one semi-join probe."""
+    return KERNEL_COST.get(JOIN_KERNELS.get(axis, ""), 3.0)
+
+
+# ---------------------------------------------------------------------------
+# transforms
+# ---------------------------------------------------------------------------
+
+
+def _reorder_predicates(step: L.StepOp, stats: PlanStats,
+                        notes: list[str]) -> None:
+    """Sort an all-semi-join predicate conjunction by benefit.
+
+    Semi-join probes are boolean and position-free by construction, so
+    the conjunction commutes; the classic filter-ordering rank —
+    ``(1 - selectivity) / cost`` descending — runs the probes that
+    discard the most candidates per unit of work first.  The original
+    position survives in ``source_order`` so the adaptive executor can
+    restore it mid-plan (DESIGN.md §16).
+    """
+    predicates = step.predicates
+    if len(predicates) < 2:
+        return
+    if not all(p.semi_join is not None for p in predicates):
+        return
+    ctx_name = (step.test.name
+                if isinstance(step.test, ast.NameTest) else None)
+    for position, predicate in enumerate(predicates):
+        predicate.source_order = position
+        predicate.est_selectivity = predicate_selectivity(
+            stats, predicate, ctx_name)
+
+    def rank(predicate: L.PredicateOp) -> float:
+        cost = probe_cost(predicate.semi_join[0])
+        return -(1.0 - predicate.est_selectivity) / cost
+
+    reordered = sorted(predicates, key=rank)
+    if reordered != predicates:
+        step.predicates = reordered
+        order = ", ".join(
+            f"{p.semi_join[0]}::{p.semi_join[1]}"
+            f"(sel={p.est_selectivity:.2f})" for p in reordered)
+        notes.append("cost: reordered semi-join conjunction on "
+                     f"{step.axis}::{L.render_test(step.test)} → {order}")
+
+
+def _reversible_pair(path: L.PathOp) -> tuple[L.StepOp,
+                                              L.IntervalJoinOp] | None:
+    """Recognize the ``/descendant::A/axis::B`` shape.
+
+    The narrow gate keeps the rewrite provably result-preserving: a
+    root-anchored two-step path whose first step is a bare named
+    descendant scan and whose second is an extended-axis join with at
+    most semi-join predicates (commutative, so they transfer onto the
+    reversed scan unchanged).
+    """
+    if path.anchor != "root" or path.input is not None:
+        return None
+    if len(path.steps) != 2:
+        return None
+    first, second = path.steps
+    if type(first) is not L.StepOp or first.axis != "descendant":
+        return None
+    if not isinstance(first.test, ast.NameTest) or first.predicates:
+        return None
+    if not isinstance(second, L.IntervalJoinOp):
+        return None
+    if second.axis not in REVERSE_AXIS:
+        return None
+    if not isinstance(second.test, ast.NameTest):
+        return None
+    if not all(p.semi_join is not None and p.position_free
+               for p in second.predicates):
+        return None
+    return first, second
+
+
+def _reverse_join_pair(path: L.PathOp, stats: PlanStats,
+                       notes: list[str]) -> bool:
+    """Rewrite ``/descendant::A/axis::B`` → ``/descendant::B[axis⁻¹::A]``
+    when the B side is estimated ≥``REVERSAL_MARGIN``× cheaper.
+
+    Correctness: by Definition 1 symmetry the B nodes with an A
+    partner under ``axis`` are exactly the B nodes whose ``axis⁻¹``
+    contains an A node; both forms produce that node set deduplicated
+    in document order.  Skipped when the document root carries either
+    name — the root sits outside ``/descendant::`` scans but inside
+    per-node axis results, the one asymmetry of the duality.
+    """
+    pair = _reversible_pair(path)
+    if pair is None:
+        return False
+    first, second = pair
+    name_a = first.test.name
+    name_b = second.test.name
+    if stats.root_name in (name_a, name_b):
+        return False
+    card_a = float(stats.card(name_a))
+    card_b = float(stats.card(name_b))
+    if not card_a or not card_b:
+        return False
+    kernel_cost = KERNEL_COST.get(second.kernel, 3.0)
+    forward_cost = card_a * (
+        kernel_cost + join_fanout(stats, second.axis, name_a, name_b))
+    reverse_axis = REVERSE_AXIS[second.axis]
+    reversed_cost = card_b * (SCAN_COST + probe_cost(reverse_axis))
+    if reversed_cost * REVERSAL_MARGIN >= forward_cost:
+        return False
+    skip_leaves, leaves_only, name_hint = test_pushdowns(first.test)
+    inner = L.IntervalJoinOp(
+        axis=reverse_axis, test=first.test, predicates=[],
+        emit="any", skip_leaves=skip_leaves, leaves_only=leaves_only,
+        name_hint=name_hint, kernel=JOIN_KERNELS[reverse_axis])
+    probe = L.PredicateOp(
+        L.PathOp("relative", None, [inner], ordered_result=False),
+        boolean_only=True, position_free=True,
+        semi_join=(reverse_axis, name_a))
+    skip_leaves, leaves_only, name_hint = test_pushdowns(second.test)
+    scan = L.StepOp(
+        axis="descendant", test=second.test,
+        predicates=[probe] + list(second.predicates),
+        emit="legacy" if path.ordered_result else "any",
+        skip_leaves=skip_leaves, leaves_only=leaves_only,
+        name_hint=name_hint)
+    path.steps = [scan]
+    notes.append(
+        f"cost: reversed join pair descendant::{name_a}/"
+        f"{second.axis}::{name_b} → descendant::{name_b}"
+        f"[{reverse_axis}::{name_a}] "
+        f"(est {forward_cost:.0f} vs {reversed_cost:.0f})")
+    return True
+
+
+# ---------------------------------------------------------------------------
+# annotation
+# ---------------------------------------------------------------------------
+
+
+def _estimate_step(stats: PlanStats, step: L.StepOp,
+                   ctx_rows: float | None,
+                   ctx_name: str | None) -> float:
+    """Estimated output cardinality of one step (post-dedup)."""
+    card = _test_card(stats, step.test)
+    if isinstance(step, L.IntervalJoinOp) and isinstance(
+            step.test, ast.NameTest):
+        if ctx_rows is None:
+            estimate = card
+        else:
+            fanout = join_fanout(stats, step.axis, ctx_name,
+                                 step.test.name)
+            estimate = min(card, ctx_rows * fanout)
+    else:
+        # standard axes: the name's total population is the honest
+        # upper bound; root-anchored descendant scans hit it exactly
+        estimate = card
+    for predicate in step.predicates:
+        ctx = (step.test.name
+               if isinstance(step.test, ast.NameTest) else None)
+        selectivity = predicate_selectivity(stats, predicate, ctx)
+        if predicate.est_selectivity is None:
+            predicate.est_selectivity = selectivity
+        estimate *= selectivity
+    return max(0.0, estimate)
+
+
+def _annotate_path(path: L.PathOp, stats: PlanStats,
+                   counter) -> None:
+    if path.anchor == "root":
+        ctx_rows: float | None = 1.0
+        ctx_name: str | None = stats.root_name
+    else:
+        ctx_rows = None
+        ctx_name = None
+    for step in path.steps:
+        if not isinstance(step, L.StepOp):
+            ctx_rows = None
+            ctx_name = None
+            continue
+        step.op_id = next(counter)
+        step.est_rows = _estimate_step(stats, step, ctx_rows, ctx_name)
+        ctx_rows = step.est_rows
+        ctx_name = (step.test.name
+                    if isinstance(step.test, ast.NameTest) else None)
+
+
+def _subplans(plan: L.Plan) -> list[L.Plan]:
+    """All child plans, including those the explain tree elides —
+    except the inner paths of batched semi-join / positional
+    predicates, which the physical layer never runs as plans."""
+    if isinstance(plan, L.PredicateOp):
+        if (plan.semi_join is not None
+                or plan.positional_literal is not None):
+            return []
+        return [plan.plan]
+    if isinstance(plan, L.StepOp):
+        return list(plan.predicates)
+    if isinstance(plan, L.PathOp):
+        head = [plan.input] if plan.input is not None else []
+        return head + list(plan.steps)
+    return L._children(plan)
+
+
+def apply_cost(plan: L.Plan, stats: PlanStats,
+               notes: list[str]) -> int:
+    """Run the cost pass over a freshly-built logical plan, in place.
+
+    Transforms first (join-pair reversal, then predicate reordering —
+    reversal synthesizes probes the reorder pass then ranks), then the
+    estimate annotation walk.  Returns the number of operators
+    annotated with ``op_id``/``est_rows``.
+    """
+    paths: list[L.PathOp] = []
+    steps: list[L.StepOp] = []
+
+    def visit(node: L.Plan) -> None:
+        if isinstance(node, L.PathOp):
+            paths.append(node)
+        if isinstance(node, L.StepOp):
+            steps.append(node)
+        for child in _subplans(node):
+            visit(child)
+
+    visit(plan)
+    for path in paths:
+        _reverse_join_pair(path, stats, notes)
+    # re-collect: reversal replaced steps
+    paths = []
+    steps = []
+    visit(plan)
+    for step in steps:
+        _reorder_predicates(step, stats, notes)
+    counter = itertools.count()
+    for path in paths:
+        _annotate_path(path, stats, counter)
+    return next(counter)
+
+
+def final_estimate(plan: L.Plan) -> tuple[int, float] | None:
+    """The last annotated operator's ``(op_id, est_rows)`` — the
+    plan's bottom-line cardinality estimate for observability
+    (``/statz``, access logs)."""
+    best: tuple[int, float] | None = None
+
+    def visit(node: L.Plan) -> None:
+        nonlocal best
+        if (isinstance(node, L.StepOp) and node.op_id >= 0
+                and node.est_rows is not None):
+            if best is None or node.op_id > best[0]:
+                best = (node.op_id, node.est_rows)
+        for child in _subplans(node):
+            visit(child)
+
+    visit(plan)
+    return best

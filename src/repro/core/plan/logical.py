@@ -175,14 +175,27 @@ class PredicateOp(Plan):
     #: the whole candidate set with one batched semi-join probe instead
     #: of one per-candidate EBV evaluation (DESIGN.md §11)
     semi_join: tuple[str, str] | None = None
+    #: estimated fraction of candidates surviving this predicate, set
+    #: by the cost pass (DESIGN.md §16); None on mechanical plans
+    est_selectivity: float | None = None
+    #: position in the query text's predicate list, recorded when the
+    #: cost pass reorders a conjunction so the adaptive executor can
+    #: fall back to source order mid-plan
+    source_order: int = -1
 
     def _label(self) -> str:
         if self.positional_literal is not None:
             return f"predicate [position={self.positional_literal}]"
         if self.semi_join is not None:
             axis, name = self.semi_join
-            return f"predicate [semi-join {axis}::{name}]"
-        return "predicate [boolean]" if self.boolean_only else "predicate"
+            label = f"predicate [semi-join {axis}::{name}]"
+        elif self.boolean_only:
+            label = "predicate [boolean]"
+        else:
+            label = "predicate"
+        if self.est_selectivity is not None:
+            label += f" [sel={self.est_selectivity:.2f}]"
+        return label
 
 
 @dataclass
@@ -203,6 +216,12 @@ class StepOp(Plan):
     leaves_only: bool = False
     #: name pushed into the extended axes' per-name index masks
     name_hint: str | None = None
+    #: stable operator id assigned by the cost pass; the physical layer
+    #: records actual cardinalities under it (DESIGN.md §16)
+    op_id: int = -1
+    #: estimated output cardinality from the cost pass; None on
+    #: mechanical plans (keeps the explain goldens byte-identical)
+    est_rows: float | None = None
 
     def _label(self) -> str:
         flags = []
@@ -466,9 +485,27 @@ def _children(plan: Plan) -> list[Plan]:
     return []
 
 
-def render_plan(plan: Plan, indent: int = 0) -> str:
-    """The indented one-operator-per-line explain tree."""
-    lines = ["  " * indent + plan._label()]
+def render_plan(plan: Plan, indent: int = 0,
+                actuals: dict[int, int] | None = None,
+                miss_factor: float = 8.0) -> str:
+    """The indented one-operator-per-line explain tree.
+
+    On costed plans each step carries its estimate; with ``actuals``
+    (the executor's per-operator cardinality record, keyed by
+    ``op_id``) the line becomes ``[est=… act=…]``, with ``!`` flagging
+    estimates that missed by more than ``miss_factor``.
+    """
+    label = plan._label()
+    if isinstance(plan, StepOp) and plan.est_rows is not None:
+        annotation = f"est={plan.est_rows:.0f}"
+        if actuals is not None and plan.op_id in actuals:
+            actual = actuals[plan.op_id]
+            annotation += f" act={actual}"
+            if (actual > plan.est_rows * miss_factor + 4
+                    or plan.est_rows > actual * miss_factor + 4):
+                annotation += " !"
+        label += f" [{annotation}]"
+    lines = ["  " * indent + label]
     for child in _children(plan):
-        lines.append(render_plan(child, indent + 1))
+        lines.append(render_plan(child, indent + 1, actuals, miss_factor))
     return "\n".join(lines)

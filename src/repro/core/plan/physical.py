@@ -708,18 +708,58 @@ def _compile_filter(op: L.FilterOp) -> Runner:
 # ---------------------------------------------------------------------------
 
 
-def _apply_semi_joins(frame: "Frame", semi_joins: list[tuple[str, str]],
+def _semi_join_probes(predicates: list[L.PredicateOp]
+                      ) -> list[tuple[str, str, float | None, int]]:
+    """Compile-time probe descriptors: ``(axis, name, est_selectivity,
+    source_order)`` per semi-join predicate, in plan order (which the
+    cost pass may have reordered)."""
+    return [(p.semi_join[0], p.semi_join[1], p.est_selectivity,
+             p.source_order) for p in predicates]
+
+
+def _apply_semi_joins(frame: "Frame",
+                      probes: list[tuple[str, str, float | None, int]],
                       candidates: list) -> list:
     """Filter a document-ordered candidate set by batched existence
     probes — one vectorized semi-join per ``[extended-axis::name]``
     predicate instead of one EBV evaluation per candidate.  Valid only
     for boolean, position-free predicates (the planner guarantees it):
-    their verdicts cannot depend on candidate grouping or position."""
-    for axis, name in semi_joins:
+    their verdicts cannot depend on candidate grouping or position.
+
+    On a cost-reordered conjunction (every probe carries an estimated
+    selectivity and a source position) the survivor count is checked
+    against the estimate chain after each probe; a miss beyond
+    ``QueryOptions.cost_fallback_factor`` abandons the cost ordering
+    and runs the remaining probes in source order — the adaptive
+    fallback of DESIGN.md §16.  Verdicts are order-independent, so
+    only the work schedule changes, never the result.
+    """
+    queue = list(probes)
+    adaptive = (len(queue) > 1
+                and all(sel is not None for _a, _n, sel, _o in queue)
+                and any(order >= 0 for _a, _n, _s, order in queue))
+    expected = float(len(candidates))
+    factor = getattr(frame.options, "cost_fallback_factor", 8.0)
+    while queue:
         if not candidates:
             return candidates
+        axis, name, selectivity, _order = queue.pop(0)
         frame.stats.join_steps += 1
         mask = exists_axis_batch(frame.goddag, axis, candidates, name)
+        if adaptive:
+            expected *= selectivity
+            actual = int(mask.sum())
+            # ratio test against max(count, 1): an estimate may be off
+            # by the configured factor in either direction before the
+            # schedule is abandoned (zero counts compare as one so the
+            # factor stays meaningful on empty survivor sets)
+            if (actual > max(expected, 1.0) * factor
+                    or expected > max(actual, 1.0) * factor):
+                frame.stats.cost_fallbacks += 1
+                queue.sort(key=lambda probe: probe[3])
+                adaptive = False
+            else:
+                expected = float(actual)
         if mask.all():
             continue
         kept = [node for node, keep in zip(candidates, mask) if keep]
@@ -746,12 +786,11 @@ def _compile_join(op: L.IntervalJoinOp):
                                  for p in op.predicates):
         return _compile_step(op)
     axis = op.axis
-    semi_joins = [p.semi_join for p in op.predicates]
+    semi_joins = _semi_join_probes(op.predicates)
     test_factory = _make_test_factory(op.test, axis)
     skip_leaves = op.skip_leaves
     leaves_only = op.leaves_only
     hint = op.name_hint
-    test_cache: list = [None, None]
 
     def run(frame: Frame, inputs: list) -> list:
         if not inputs:
@@ -764,16 +803,16 @@ def _compile_join(op: L.IntervalJoinOp):
         stats.axis_steps += 1
         stats.batched_steps += 1
         stats.join_steps += 1
-        if test_cache[0] is not goddag:
-            test_cache[0] = goddag
-            test_cache[1] = test_factory(goddag)
+        # the node test is built per execution: caching it across runs
+        # would pin the last-seen goddag inside a long-lived compiled
+        # plan, keeping retired MVCC versions resident
         # batched_extended_steps is bumped inside join_axis_batch,
         # only when a kernel actually runs (single-context steps
         # delegate to the per-node walk and must not count).
         out = join_axis_batch(goddag, axis, inputs, hint,
                               skip_leaves=skip_leaves,
                               leaves_only=leaves_only,
-                              test=test_cache[1], stats=stats)
+                              test=test_factory(goddag), stats=stats)
         if semi_joins:
             out = _apply_semi_joins(frame, semi_joins, out)
         return out
@@ -865,7 +904,7 @@ def _compile_step(op: L.StepOp):
     #: all predicates are recognized cross-hierarchy existence tests:
     #: filter the step's batched union with vectorized semi-joins
     #: instead of looping candidates per input node (DESIGN.md §11)
-    semi_joins = ([p.semi_join for p in op.predicates]
+    semi_joins = (_semi_join_probes(op.predicates)
                   if op.predicates and all(p.semi_join is not None
                                            for p in op.predicates)
                   else None)
@@ -874,13 +913,11 @@ def _compile_step(op: L.StepOp):
     leaves_only = op.leaves_only
     hint = op.name_hint
     emit_any = op.emit == "any"
-    test_cache: list = [None, None]
 
+    # built per execution — caching across runs would pin retired
+    # MVCC goddag versions inside the shared plan cache
     def get_test(goddag):
-        if test_cache[0] is not goddag:
-            test_cache[0] = goddag
-            test_cache[1] = test_factory(goddag)
-        return test_cache[1]
+        return test_factory(goddag)
 
     def candidates(goddag, node):
         if leaves_only:
@@ -1085,7 +1122,6 @@ def _compile_step_exists(op: L.StepOp):
     skip_leaves = op.skip_leaves
     leaves_only = op.leaves_only
     hint = op.name_hint
-    test_cache: list = [None, None]
 
     def exists_generic(frame: Frame) -> bool:
         node = frame.context_item()
@@ -1101,10 +1137,8 @@ def _compile_step_exists(op: L.StepOp):
                                         skip_leaves)
         else:
             found = axis_candidates(goddag, axis, node, hint, skip_leaves)
-        if test_cache[0] is not goddag:
-            test_cache[0] = goddag
-            test_cache[1] = test_factory(goddag)
-        test = test_cache[1]
+        # no cross-call test cache: it would pin retired MVCC versions
+        test = test_factory(goddag)
         if test is None:
             return bool(found)
         return any(test(c) for c in found)
@@ -1123,7 +1157,6 @@ def _compile_step_exists_predicated(op: L.StepOp):
     skip_leaves = op.skip_leaves
     leaves_only = op.leaves_only
     hint = op.name_hint
-    test_cache: list = [None, None]
 
     def exists_predicated(frame: Frame) -> bool:
         node = frame.context_item()
@@ -1139,10 +1172,8 @@ def _compile_step_exists_predicated(op: L.StepOp):
                                         skip_leaves)
         else:
             found = axis_candidates(goddag, axis, node, hint, skip_leaves)
-        if test_cache[0] is not goddag:
-            test_cache[0] = goddag
-            test_cache[1] = test_factory(goddag)
-        test = test_cache[1]
+        # no cross-call test cache: it would pin retired MVCC versions
+        test = test_factory(goddag)
         old_item = frame.item
         old_position = frame.position
         old_size = frame.size
@@ -1203,15 +1234,31 @@ def _compile_expr_step(op: L.ExprStepOp):
     return run
 
 
+def _record_actuals(step_fn, op_id: int):
+    """Wrap one step closure to record its actual output cardinality
+    under the cost pass's operator id (summed across executions —
+    nested relative paths run per candidate).  Mechanical plans carry
+    ``op_id == -1`` and are never wrapped: zero overhead."""
+    def run(frame: Frame, inputs: list) -> list:
+        out = step_fn(frame, inputs)
+        actuals = frame.stats.op_actuals
+        actuals[op_id] = actuals.get(op_id, 0) + len(out)
+        return out
+    return run
+
+
 def _compile_path(op: L.PathOp) -> Runner:
     step_fns = []
     for step in op.steps:
         if isinstance(step, L.IntervalJoinOp):
-            step_fns.append(_compile_join(step))
+            step_fn = _compile_join(step)
         elif isinstance(step, L.StepOp):
-            step_fns.append(_compile_step(step))
+            step_fn = _compile_step(step)
         else:
-            step_fns.append(_compile_expr_step(step))
+            step_fn = _compile_expr_step(step)
+        if isinstance(step, L.StepOp) and step.op_id >= 0:
+            step_fn = _record_actuals(step_fn, step.op_id)
+        step_fns.append(step_fn)
     anchor = op.anchor
     input_fn = compile_plan(op.input) if op.input is not None else None
 

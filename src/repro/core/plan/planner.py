@@ -205,8 +205,11 @@ def _semi_join_probe(predicate: L.PredicateOp) -> tuple[str, str] | None:
     return step.axis, step.test.name
 
 
-def _test_pushdowns(test: ast.NodeTest) -> tuple[bool, bool, str | None]:
-    """``(skip_leaves, leaves_only, name_hint)`` for one node test."""
+def test_pushdowns(test: ast.NodeTest) -> tuple[bool, bool, str | None]:
+    """``(skip_leaves, leaves_only, name_hint)`` for one node test.
+
+    Public: the cost pass (:mod:`repro.core.plan.cost`) uses it when
+    synthesizing the scan step of a reversed join pair."""
     if isinstance(test, ast.NameTest):
         return True, False, test.name
     if isinstance(test, ast.WildcardTest):
@@ -231,7 +234,7 @@ def _plan_path(expr: ast.PathExpr, ordered: bool,
         if isinstance(step, ast.ExprStep):
             steps.append(L.ExprStepOp(_plan(step.expression, True, notes)))
             continue
-        skip_leaves, leaves_only, name_hint = _test_pushdowns(step.test)
+        skip_leaves, leaves_only, name_hint = test_pushdowns(step.test)
         predicates = [_plan_predicate(p, notes) for p in step.predicates]
         if step.axis in JOIN_KERNELS:
             # Extended-axis steps lower to explicit interval-join

@@ -51,6 +51,19 @@ class QueryStats:
     plan_cache_hit:
         Pipeline only: the compiled plan came from the engine's LRU
         cache instead of a fresh parse/rewrite/plan run.
+    op_actuals:
+        Costed plans only (DESIGN.md §16): actual output cardinality
+        per annotated operator, keyed by ``StepOp.op_id`` (summed when
+        a nested plan runs the step more than once).  Feed it to
+        ``CompiledQuery.explain(actuals=…)`` for ``est=…/act=…`` lines.
+    cost_fallbacks:
+        Times the adaptive executor abandoned a cost-chosen probe
+        order mid-plan because an estimate missed by more than
+        ``QueryOptions.cost_fallback_factor``.
+    est_rows / act_rows:
+        The costed plan's bottom-line estimated cardinality and the
+        matching recorded actual (``None`` on mechanical plans) —
+        surfaced per-request by the server's access log and /statz.
     """
 
     axis_steps: int = 0
@@ -59,6 +72,10 @@ class QueryStats:
     join_steps: int = 0
     batched_extended_steps: int = 0
     plan_cache_hit: bool = False
+    op_actuals: dict[int, int] = field(default_factory=dict)
+    cost_fallbacks: int = 0
+    est_rows: float | None = None
+    act_rows: int | None = None
 
     # -- dict-style compatibility (the legacy stats were a plain dict) --
 
@@ -93,12 +110,18 @@ class QueryOptions:
         tags (``res``/``m`` per Definition 4).
     analyze_hierarchy_base:
         Base name for temporary hierarchies ("say, rest").
+    cost_fallback_factor:
+        Adaptive-execution tolerance (DESIGN.md §16): when a costed
+        plan's recorded actual cardinality misses its estimate by more
+        than this factor, the executor falls back to the safe source
+        ordering for the rest of the plan.
     """
 
     analyze_strip_dotstar: bool = True
     analyze_wrapper: str = "res"
     analyze_match: str = "m"
     analyze_hierarchy_base: str = "rest"
+    cost_fallback_factor: float = 8.0
 
 
 class EvalContext:

@@ -118,8 +118,8 @@ class ServerStats:
 
     __slots__ = ("requests", "served", "inflight", "queued",
                  "peak_inflight", "rejected_queue", "rejected_quota",
-                 "disconnects", "streamed_chunks", "responses",
-                 "endpoints", "tenants")
+                 "disconnects", "streamed_chunks", "cost_fallbacks",
+                 "responses", "endpoints", "tenants")
 
     def __init__(self) -> None:
         self.requests = 0
@@ -131,6 +131,7 @@ class ServerStats:
         self.rejected_quota = 0
         self.disconnects = 0
         self.streamed_chunks = 0
+        self.cost_fallbacks = 0
         self.responses: dict[str, int] = {}
         self.endpoints: dict[str, int] = {}
         self.tenants: dict[str, dict[str, int]] = {}
@@ -161,6 +162,12 @@ class Outcome:
     plan_hit: bool | None = None
     snapshot_version: int | None = None
     status: int = 200
+    #: cost-pass observability (DESIGN.md §16): the final operator's
+    #: estimated vs actual cardinality and how many times the adaptive
+    #: executor fell back to the mechanical ordering mid-plan
+    est_rows: float | None = None
+    act_rows: int | None = None
+    cost_fallbacks: int = 0
 
 
 def _as_bool(value, name: str) -> bool:
@@ -222,7 +229,17 @@ class QueryService:
                                      "(parameter 'q')")
             xpath = _as_bool(fld("xpath", False), "xpath")
             if path == "/explain":
-                return lambda: self._explain(text, xpath)
+                doc = fld("name")
+                if doc is not None and (not isinstance(doc, str)
+                                        or not doc):
+                    raise HttpError(400, "bad document name "
+                                         "(parameter 'name')")
+                analyze = _as_bool(fld("analyze", False), "analyze")
+                if analyze and doc is None:
+                    raise HttpError(400, "analyze=true needs a "
+                                         "document name "
+                                         "(parameter 'name')")
+                return lambda: self._explain(text, xpath, doc, analyze)
             name = fld("name")
             if not isinstance(name, str) or not name:
                 raise HttpError(400, "missing document name "
@@ -284,10 +301,15 @@ class QueryService:
         }
         if not stream:
             payload["items"] = page
-        hit = bool(result.stats.plan_cache_hit) if result.stats else None
+        stats = result.stats
+        hit = bool(stats.plan_cache_hit) if stats else None
         return Outcome(payload, items=page if stream else None,
                        plan_hit=hit,
-                       snapshot_version=snapshot.version)
+                       snapshot_version=snapshot.version,
+                       est_rows=stats.est_rows if stats else None,
+                       act_rows=stats.act_rows if stats else None,
+                       cost_fallbacks=(stats.cost_fallbacks
+                                       if stats else 0))
 
     def _cquery(self, text: str, workers: int, prune: bool,
                 offset: int, limit: int | None,
@@ -323,7 +345,21 @@ class QueryService:
         }
         return Outcome(payload, snapshot_version=version)
 
-    def _explain(self, text: str, xpath: bool) -> Outcome:
+    def _explain(self, text: str, xpath: bool,
+                 name: str | None = None,
+                 analyze: bool = False) -> Outcome:
+        if name is not None:
+            # document-costed report: estimates come from the named
+            # snapshot's statistics; analyze=true also runs the query
+            # there and renders actual cardinalities (est=…/act=…)
+            snapshot = self.store.snapshot(name)
+            report = snapshot.explain(text, xpath=xpath,
+                                      analyze=analyze)
+            payload = {"explain": report,
+                       "mode": "xpath" if xpath else "query",
+                       "name": name}
+            return Outcome(payload,
+                           snapshot_version=snapshot.version)
         compiled, hit = self.store.plans.get(text, self.store.options,
                                              xpath=xpath)
         payload = {"explain": compiled.explain(),
@@ -501,6 +537,8 @@ class QueryServer:
             return False
         status = http_error.status if http_error else outcome.status
         self.stats.note_response(status)
+        if outcome is not None:
+            self.stats.cost_fallbacks += outcome.cost_fallbacks
         tenant = self.stats.tenant(request.tenant)
         if http_error is not None and http_error.status == 429:
             tenant["rejected"] += 1
@@ -589,6 +627,7 @@ class QueryServer:
             for name, entry in self.stats.tenants.items()
         }
         return {
+            "cost_fallbacks": self.stats.cost_fallbacks,
             "disconnects": self.stats.disconnects,
             "endpoints": dict(self.stats.endpoints),
             "inflight": self.stats.inflight,
@@ -626,7 +665,13 @@ class QueryServer:
                         else "\n".join(map(str, value)))
                 break
         entry = {
+            "act_rows": (outcome.act_rows if outcome is not None
+                         else None),
             "bytes_out": bytes_out,
+            "cost_fallbacks": (outcome.cost_fallbacks
+                               if outcome is not None else 0),
+            "est_rows": (outcome.est_rows if outcome is not None
+                         else None),
             "latency_ms": round(
                 (self.config.clock() - begin) * 1e3, 3),
             "method": request.method,

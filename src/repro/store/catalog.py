@@ -707,10 +707,20 @@ class DocumentStore:
                        for required in verdict.required_names)]
         payloads: list[tuple]
         if workers > 1 and survivors:
+            # LPT dispatch: submit the heaviest shards (by manifest
+            # cardinality estimate) first so they don't become the
+            # straggler tail, then restore survivor order — gather()
+            # keys the corpus merge on payload-list position.
+            dispatch = sorted(
+                survivors, reverse=True,
+                key=lambda index: (stats.shards[index].work_estimate(
+                    verdict.required_names), -index))
             tasks = [(str(self.root / files[index]), text, verdict.mode,
                       self.options, index == _crash_shard)
-                     for index in survivors]
-            payloads = self._pool(workers).run(tasks)
+                     for index in dispatch]
+            returned = self._pool(workers).run(tasks)
+            by_shard = dict(zip(dispatch, returned))
+            payloads = [by_shard[index] for index in survivors]
         else:
             payloads = []
             for index in survivors:

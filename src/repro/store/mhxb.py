@@ -310,6 +310,14 @@ def _pack(path: str | Path, header: dict, arrays: dict[str, np.ndarray],
         raise ReproError(
             f"unknown .mhxb durability {durability!r} "
             f"(want 'full' or 'off')")
+    if "hierarchies" in header and "plan_stats" not in header:
+        # Plan statistics travel in the header (DESIGN.md §16) so a
+        # cold-loaded engine costs plans without re-scanning.  Computed
+        # here — the single serializer — from the packed arrays, so the
+        # DOM and streaming save paths stay byte-identical; readers
+        # treat an absent block as "recollect on first use".
+        from repro.core.goddag.stats import plan_stats_payload
+        header["plan_stats"] = plan_stats_payload(header, arrays)
     directory: dict[str, dict] = {}
     offset = 0
     blocks: list[tuple[int, bytes]] = []
@@ -501,6 +509,11 @@ def load_engine(path: str | Path, options=None, use_pipeline: bool = True,
                            arrays[f"{prefix}/e_perm"]))
     goddag._index = _restore_index(goddag, header, arrays, span_lists)
     goddag.version = header["version"]
+    if "plan_stats" in header:
+        # Stamped at pack time; absent on pre-§16 containers, which
+        # simply recollect on the first costed compile.
+        from repro.core.goddag.stats import PlanStats
+        goddag._plan_stats = PlanStats.from_payload(header["plan_stats"])
 
     loader = _DocumentLoader(header, arrays, text, names)
     return Engine.from_parts(goddag, document_loader=loader,

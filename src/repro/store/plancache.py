@@ -1,15 +1,21 @@
-"""The cross-document compiled-plan cache (DESIGN.md §10).
+"""The cross-document compiled-plan cache (DESIGN.md §10, §16).
 
-Query compilation is a pure function of the query text, the grammar,
-and the plan pipeline's lowering rules — no document state flows into
-parse, rewrite, planning, or closure compilation — so one cache can
-serve every catalog entry of a :class:`~repro.store.DocumentStore`.
-Keys combine the grammar version
+Mechanical query compilation is a pure function of the query text, the
+grammar, and the plan pipeline's lowering rules; the cost pass
+(DESIGN.md §16) additionally reads document *statistics*, so one cache
+can still serve every catalog entry of a
+:class:`~repro.store.DocumentStore` — keyed by the statistics
+fingerprint.  Keys combine the grammar version
 (:data:`repro.core.lang.GRAMMAR_VERSION`), the plan pipeline version
 (:data:`repro.core.plan.PLAN_VERSION` — bumped when lowering rules
 change, e.g. PR 5's interval-join lowering), the compilation mode, the
-query text, and the (frozen, hashable) query options; a grammar or
-pipeline bump therefore orphans stale plans instead of serving them.
+query text, the (frozen, hashable) query options, and the
+:meth:`~repro.core.goddag.stats.PlanStats.fingerprint` the plan was
+costed against (``None`` for mechanical plans); a grammar or pipeline
+bump — or an update that shifts cardinalities — therefore orphans
+stale plans instead of serving them.  The fingerprint deliberately
+excludes the document version, so identical replicas keep sharing one
+costed plan.
 
 The cache is thread-safe: lookups and LRU bookkeeping hold a short
 lock, while compilation itself runs outside it (two racing threads may
@@ -42,17 +48,25 @@ class SharedPlanCache:
             return len(self._plans)
 
     def get(self, text: str, options: QueryOptions, *,
-            xpath: bool = False) -> tuple[CompiledQuery, bool]:
-        """``(compiled plan, was it a cache hit)`` for one query."""
+            xpath: bool = False,
+            stats=None) -> tuple[CompiledQuery, bool]:
+        """``(compiled plan, was it a cache hit)`` for one query.
+
+        Pass the target document's
+        :class:`~repro.core.goddag.stats.PlanStats` to compile (and
+        key) a costed plan; without it the plan is mechanical.
+        """
         mode = "xpath" if xpath else "query"
-        key = (GRAMMAR_VERSION, PLAN_VERSION, mode, text, options)
+        fingerprint = stats.fingerprint() if stats is not None else None
+        key = (GRAMMAR_VERSION, PLAN_VERSION, mode, text, options,
+               fingerprint)
         with self._lock:
             cached = self._plans.get(key)
             if cached is not None:
                 self._plans.move_to_end(key)
                 self.hits += 1
                 return cached, True
-        compiled = compile_query(text, xpath=xpath)
+        compiled = compile_query(text, xpath=xpath, stats=stats)
         with self._lock:
             racing = self._plans.get(key)
             if racing is not None:

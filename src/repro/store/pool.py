@@ -90,7 +90,9 @@ def run_shard(engine, plans, text: str, mode: str):
     * ``("items", strings)`` — serialized items in shard-local order,
       for shard-order concatenation.
     """
-    compiled, _hit = plans.get(text, engine.options)
+    compiled, _hit = plans.get(
+        text, engine.options,
+        stats=engine.plan_stats() if engine.use_cost else None)
 
     def resolver(frame, _args):
         return [frame.goddag.root]
@@ -194,12 +196,19 @@ class ShardWorkerPool:
         pending = set(futures)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
+            for future in sorted(done, key=futures.__getitem__):
                 index = futures[future]
                 shard = os.path.basename(str(tasks[index][0]))
                 try:
                     payload = future.result()
                 except BrokenProcessPool:
+                    # A broken pool fails *every* pending future at
+                    # once, so blame the task that carries the crash
+                    # flag when fault injection is active; otherwise
+                    # name the earliest-submitted casualty.
+                    crashed = next((task for task in tasks if task[-1]),
+                                   tasks[index])
+                    shard = os.path.basename(str(crashed[0]))
                     for other in pending:
                         other.cancel()
                     self._recycle()

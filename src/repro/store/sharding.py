@@ -45,6 +45,19 @@ class ShardStats:
     def chars(self) -> int:
         return self.hi - self.lo
 
+    def work_estimate(self, required_names: tuple[str, ...] = ()) -> int:
+        """Relative cost of one scatterable plan on this shard.
+
+        The scatter dispatcher sorts surviving shards by this estimate
+        (largest first) so the stragglers start first on the pool —
+        classic LPT scheduling.  When the plan names concrete elements,
+        the work is proportional to their cardinalities; otherwise fall
+        back to the shard's word count.
+        """
+        if required_names:
+            return sum(self.cards.get(name, 0) for name in required_names)
+        return self.words
+
     def to_json(self) -> dict:
         return {"lo": self.lo, "hi": self.hi, "words": self.words,
                 "cards": dict(sorted(self.cards.items()))}

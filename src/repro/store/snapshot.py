@@ -55,21 +55,46 @@ class Snapshot:
         """Evaluate a pure extended-XPath expression."""
         return self._run(text, variables, xpath=True)
 
+    def _plan_stats(self):
+        """The pinned engine's statistics when costing is on."""
+        engine = self.engine
+        return engine.plan_stats() if engine.use_cost else None
+
     def _run(self, text: str, variables, xpath: bool) -> "QueryResult":
         from repro.api import QueryResult
 
         engine = self.engine
-        compiled, hit = self._plans.get(text, engine.options, xpath=xpath)
+        compiled, hit = self._plans.get(text, engine.options,
+                                        xpath=xpath,
+                                        stats=self._plan_stats())
         stats = QueryStats(plan_cache_hit=hit)
         items = engine._evaluate_guarded(
             text,
             lambda: compiled.execute(engine.goddag, variables=variables,
                                      options=engine.options,
                                      stats=stats))
+        engine._finalize_stats(compiled, stats)
         return QueryResult(items, stats)
 
-    def explain(self, text: str, xpath: bool = False) -> str:
-        """The compiled pipeline report (shared-cache compiled)."""
-        compiled, _hit = self._plans.get(text, self.engine.options,
-                                         xpath=xpath)
-        return compiled.explain()
+    def explain(self, text: str, xpath: bool = False,
+                analyze: bool = False) -> str:
+        """The compiled pipeline report (shared-cache compiled).
+
+        ``analyze=True`` runs the query against this pinned version
+        and renders actual next to estimated cardinalities.
+        """
+        engine = self.engine
+        compiled, _hit = self._plans.get(text, engine.options,
+                                         xpath=xpath,
+                                         stats=self._plan_stats())
+        if not analyze:
+            return compiled.explain()
+        stats = QueryStats()
+        engine._evaluate_guarded(
+            text,
+            lambda: compiled.execute(engine.goddag, variables=None,
+                                     options=engine.options,
+                                     stats=stats))
+        return compiled.explain(
+            actuals=stats.op_actuals,
+            miss_factor=engine.options.cost_fallback_factor)

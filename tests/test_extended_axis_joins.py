@@ -162,7 +162,10 @@ class TestColumnarFlow:
                                              list(first), None)
 
     def test_stats_count_join_steps(self, boethius_doc):
-        engine = Engine(boethius_doc)
+        # use_cost=False pins the mechanical lowering: the cost pass
+        # may legally reverse this chain into a scan + semi-join probe
+        # (DESIGN.md §16), which runs no extended-axis batch kernel
+        engine = Engine(boethius_doc, use_cost=False)
         result = engine.query("/descendant::w/overlapping::line")
         assert result.stats.join_steps == 1
         assert result.stats.batched_extended_steps == 1
@@ -170,6 +173,10 @@ class TestColumnarFlow:
         assert probed.stats.join_steps == 1
         assert probed.stats.batched_extended_steps == 0
         assert "join_steps" in result.stats.as_dict()
+        # the costed plan must agree item-for-item with the oracle
+        costed = Engine(boethius_doc).query(
+            "/descendant::w/overlapping::line")
+        assert costed.strings() == result.strings()
 
     def test_predicated_join_falls_back_to_pernode(self, boethius_doc):
         engine = Engine(boethius_doc)

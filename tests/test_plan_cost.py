@@ -1,0 +1,340 @@
+"""Cost-based planning (DESIGN.md §16): statistics, ordering, fallback.
+
+Three contracts, in suite order:
+
+* the vectorized statistics collectors agree with the per-node oracle
+  walk and are deterministic (stable fingerprints);
+* a costed plan is a pure optimization — item-for-item identical to
+  the mechanical lowering on the paper corpus, generated corpora, and
+  hypothesis-drawn documents;
+* the adaptive executor notices misestimates mid-plan (cost_fallbacks)
+  and still returns the oracle answer, and stale statistics never
+  serve a cached plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.api import Engine
+from repro.cmh import Hierarchy, MultihierarchicalDocument
+from repro.cmh.spans import Span, SpanSet
+from repro.core.goddag import KyGoddag
+from repro.core.goddag.stats import (
+    PlanStats,
+    _collect_walk,
+    collect,
+    collect_plan_stats,
+)
+from repro.core.plan import compile_query
+from repro.core.runtime import QueryOptions
+from repro.corpus import GeneratorConfig, generate_document
+from repro.experiments.paperdata import PAPER_QUERIES
+from repro.store.plancache import SharedPlanCache
+
+from tests.strategies import multihierarchical_documents
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+#: queries that exercise every estimator branch: standard axes,
+#: containment / boundary / stab join kernels, semi-join conjunctions,
+#: FLWOR, and aggregates
+DIFFERENTIAL_QUERIES = (
+    "/descendant::w",
+    "count(/descendant::w)",
+    "/descendant::w/xancestor::dmg",
+    "/descendant::w/overlapping::res",
+    "/descendant::w[xfollowing::res]",
+    "/descendant::w[xancestor::res][xfollowing::dmg]",
+    "/descendant::line/xdescendant::w",
+    "for $w in /descendant::w[overlapping::dmg] return string($w)",
+)
+
+
+def skewed_document(n_words: int = 400) -> MultihierarchicalDocument:
+    return generate_document(GeneratorConfig(
+        n_words=n_words, seed=11, damage_rate=0.02,
+        restoration_rate=0.05, hyphenation_rate=0.2,
+        boundary_cross_rate=0.5))
+
+
+def adversarial_document() -> MultihierarchicalDocument:
+    """Statistics lie here: ``res`` densely covers the right half (the
+    coverage-based xancestor selectivity estimate is ~1.0) while every
+    ``w`` lives in the left half (true selectivity 0), and the lone
+    ``dmg`` *precedes* all words so ``[xfollowing::dmg]`` never holds
+    despite a high histogram estimate."""
+    text = "wa " * 30 + "x" * 60
+    document = MultihierarchicalDocument(text)
+    words = SpanSet(text)
+    for index in range(30):
+        words.add(Span(index * 3, index * 3 + 2, "w"))
+    document.add_hierarchy(Hierarchy("words", words.to_document("r")))
+    cover = SpanSet(text)
+    cover.add(Span(90, len(text), "res"))
+    for depth in range(8):
+        cover.add(Span(91 + depth, len(text) - depth, "res",
+                       depth_hint=depth + 1))
+    document.add_hierarchy(Hierarchy("layers", cover.to_document("r")))
+    marks = SpanSet(text)
+    marks.add(Span(0, 1, "dmg"))
+    document.add_hierarchy(Hierarchy("marks", marks.to_document("r")))
+    return document
+
+
+# ---------------------------------------------------------------------------
+# statistics: vectorized collectors vs the per-node oracle
+# ---------------------------------------------------------------------------
+
+
+class TestVectorizedInventory:
+    def test_boethius_matches_walk(self, goddag):
+        assert collect(goddag).rows() == _collect_walk(goddag).rows()
+
+    def test_generated_corpus_matches_walk(self):
+        goddag = KyGoddag.build(skewed_document())
+        assert collect(goddag).rows() == _collect_walk(goddag).rows()
+
+    def test_survives_updates(self, boethius_doc):
+        engine = Engine(boethius_doc)
+        engine.update('rename node /descendant::w[1] as "wx"')
+        assert (collect(engine.goddag).rows()
+                == _collect_walk(engine.goddag).rows())
+
+    @SETTINGS
+    @given(document=multihierarchical_documents())
+    def test_hypothesis_documents_match_walk(self, document):
+        goddag = KyGoddag.build(document)
+        assert collect(goddag).rows() == _collect_walk(goddag).rows()
+
+
+class TestPlanStats:
+    def test_deterministic_fingerprint(self, goddag):
+        first = collect_plan_stats(goddag)
+        second = collect_plan_stats(goddag)
+        assert first.payload() == second.payload()
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_fingerprint_excludes_version(self, boethius_doc):
+        replica = Engine(boethius_document_copy(boethius_doc))
+        original = Engine(boethius_doc)
+        assert (original.plan_stats().fingerprint()
+                == replica.plan_stats().fingerprint())
+
+    def test_cardinality_shift_changes_fingerprint(self, boethius_doc):
+        engine = Engine(boethius_doc)
+        before = engine.plan_stats().fingerprint()
+        engine.update('rename node /descendant::w[1] as "wx"')
+        assert engine.plan_stats().fingerprint() != before
+
+    def test_payload_roundtrip(self, goddag):
+        stats = collect_plan_stats(goddag)
+        clone = PlanStats.from_payload(stats.payload())
+        assert clone.payload() == stats.payload()
+
+    def test_cards_match_fig2_inventory(self, goddag):
+        inventory = collect(goddag)
+        stats = collect_plan_stats(goddag)
+        for hierarchy in inventory.hierarchies:
+            assert (stats.cards[hierarchy.name]
+                    == hierarchy.elements_by_name)
+
+    @SETTINGS
+    @given(document=multihierarchical_documents())
+    def test_hypothesis_payloads_are_stable(self, document):
+        goddag = KyGoddag.build(document)
+        first = collect_plan_stats(goddag).payload()
+        assert collect_plan_stats(goddag).payload() == first
+
+
+def boethius_document_copy(document):
+    from repro.corpus.boethius import boethius_document
+
+    del document  # a fresh build is the replica
+    return boethius_document(validate=False)
+
+
+# ---------------------------------------------------------------------------
+# persistence: the .mhxb plan-stats block
+# ---------------------------------------------------------------------------
+
+
+class TestMhxbPersistence:
+    def test_saved_stats_match_live_collection(self, boethius_doc,
+                                               tmp_path):
+        engine = Engine(boethius_doc)
+        live = engine.plan_stats().payload()
+        path = tmp_path / "boe.mhxb"
+        engine.save_mhxb(path)
+        loaded = Engine.from_mhxb(path)
+        attached = getattr(loaded.goddag, "_plan_stats", None)
+        assert attached is not None, "load_engine must attach the block"
+        assert attached.payload() == live
+        assert loaded.plan_stats().payload() == live
+
+    def test_absent_block_recollects(self, boethius_doc, tmp_path):
+        engine = Engine(boethius_doc)
+        path = tmp_path / "boe.mhxb"
+        engine.save_mhxb(path)
+        loaded = Engine.from_mhxb(path)
+        # simulate a pre-§16 file with no plan_stats block
+        loaded.goddag._plan_stats = None
+        recollected = loaded.plan_stats()
+        assert recollected is not None
+        assert (recollected.fingerprint()
+                == engine.plan_stats().fingerprint())
+
+
+# ---------------------------------------------------------------------------
+# differential: costed plans are a pure optimization
+# ---------------------------------------------------------------------------
+
+
+class TestCostedEqualsMechanical:
+    @pytest.mark.parametrize("query", DIFFERENTIAL_QUERIES)
+    def test_boethius(self, boethius_doc, query):
+        costed = Engine(boethius_doc)
+        mechanical = Engine(boethius_doc, use_cost=False)
+        assert (costed.query(query).strings()
+                == mechanical.query(query).strings())
+
+    @pytest.mark.parametrize("query", DIFFERENTIAL_QUERIES)
+    def test_skewed_corpus(self, query):
+        document = skewed_document()
+        costed = Engine(document)
+        mechanical = Engine(document, use_cost=False)
+        assert (costed.query(query).strings()
+                == mechanical.query(query).strings())
+
+    def test_paper_queries(self, boethius_doc):
+        costed = Engine(boethius_doc)
+        mechanical = Engine(boethius_doc, use_cost=False)
+        for spec in PAPER_QUERIES:
+            assert (costed.query(spec.query).strings()
+                    == mechanical.query(spec.query).strings())
+
+    @SETTINGS
+    @given(document=multihierarchical_documents())
+    def test_hypothesis_documents(self, document):
+        costed = Engine(document)
+        mechanical = Engine(document, use_cost=False)
+        for query in ("/descendant::w/xancestor::res",
+                      "/descendant::w[xfollowing::dmg]",
+                      "/descendant::seg/overlapping::line"):
+            assert (costed.query(query).strings()
+                    == mechanical.query(query).strings())
+
+    def test_estimator_is_deterministic(self, boethius_doc):
+        engine = Engine(boethius_doc)
+        stats = engine.plan_stats()
+        query = DIFFERENTIAL_QUERIES[5]
+        first = compile_query(query, stats=stats).explain()
+        second = compile_query(query, stats=stats).explain()
+        assert first == second
+        assert "est=" in first
+
+
+class TestJoinReversal:
+    def test_skewed_chain_reverses(self):
+        engine = Engine(skewed_document(2000))
+        report = engine.explain("/descendant::w/xancestor::dmg")
+        assert "cost: reversed join pair" in report
+        assert "step descendant::dmg" in report
+
+    def test_reversed_results_match_oracle(self):
+        document = skewed_document(2000)
+        costed = Engine(document)
+        mechanical = Engine(document, use_cost=False)
+        for query in ("/descendant::w/xancestor::dmg",
+                      "/descendant::w/overlapping::dmg"):
+            assert (costed.query(query).strings()
+                    == mechanical.query(query).strings())
+
+
+# ---------------------------------------------------------------------------
+# adaptivity + observability
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveFallback:
+    QUERY = "/descendant::w[xancestor::res][xfollowing::dmg]"
+
+    def test_misestimate_triggers_fallback(self):
+        engine = Engine(adversarial_document())
+        result = engine.query(self.QUERY)
+        assert result.stats.cost_fallbacks >= 1
+
+    def test_fallback_still_matches_oracle(self):
+        document = adversarial_document()
+        costed = Engine(document)
+        mechanical = Engine(document, use_cost=False)
+        assert (costed.query(self.QUERY).strings()
+                == mechanical.query(self.QUERY).strings())
+
+    def test_mechanical_plans_never_fall_back(self):
+        engine = Engine(adversarial_document(), use_cost=False)
+        result = engine.query(self.QUERY)
+        assert result.stats.cost_fallbacks == 0
+
+    def test_factor_is_configurable(self):
+        document = adversarial_document()
+        lenient = Engine(document, options=QueryOptions(
+            cost_fallback_factor=1e9))
+        assert lenient.query(self.QUERY).stats.cost_fallbacks == 0
+
+
+class TestObservability:
+    def test_stats_carry_est_and_act(self, boethius_doc):
+        engine = Engine(boethius_doc)
+        result = engine.query("/descendant::w[xfollowing::res]")
+        assert result.stats.est_rows is not None
+        assert result.stats.act_rows == len(result.items)
+        assert result.stats.op_actuals
+
+    def test_explain_analyze_renders_est_and_act(self, boethius_doc):
+        engine = Engine(boethius_doc)
+        report = engine.explain("/descendant::w[xfollowing::res]",
+                                analyze=True)
+        assert "est=" in report and "act=" in report
+
+    def test_plain_explain_has_no_actuals(self, boethius_doc):
+        engine = Engine(boethius_doc)
+        report = engine.explain("/descendant::w[xfollowing::res]")
+        assert "est=" in report and "act=" not in report
+
+    def test_mechanical_explain_is_unannotated(self, boethius_doc):
+        report = compile_query("/descendant::w[xfollowing::res]").explain()
+        assert "est=" not in report and "sel=" not in report
+
+
+# ---------------------------------------------------------------------------
+# the shared plan cache under statistics fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCacheFingerprints:
+    def test_costed_and_mechanical_are_distinct_entries(self,
+                                                        boethius_doc):
+        cache = SharedPlanCache()
+        engine = Engine(boethius_doc)
+        query = "count(/descendant::w)"
+        _mech, hit = cache.get(query, engine.options)
+        assert hit is False
+        costed, hit = cache.get(query, engine.options,
+                                stats=engine.plan_stats())
+        assert hit is False
+        assert costed.costed is True
+        _again, hit = cache.get(query, engine.options,
+                                stats=engine.plan_stats())
+        assert hit is True
+
+    def test_identical_replicas_share_costed_plans(self, boethius_doc):
+        cache = SharedPlanCache()
+        first = Engine(boethius_doc)
+        second = Engine(boethius_document_copy(boethius_doc))
+        query = "count(/descendant::w)"
+        cache.get(query, first.options, stats=first.plan_stats())
+        _plan, hit = cache.get(query, second.options,
+                               stats=second.plan_stats())
+        assert hit is True

@@ -499,9 +499,11 @@ class TestObservability:
             time.sleep(0.005)
         entry = log[-1]
         assert sorted(entry) == [
-            "bytes_out", "latency_ms", "method", "path",
-            "plan_cache_hit", "query_hash", "snapshot_version",
-            "status", "tenant", "ts"]
+            "act_rows", "bytes_out", "cost_fallbacks", "est_rows",
+            "latency_ms", "method", "path", "plan_cache_hit",
+            "query_hash", "snapshot_version", "status", "tenant",
+            "ts"]
+        assert isinstance(entry["cost_fallbacks"], int)
         assert entry["method"] == "GET"
         assert entry["path"] == "/query"
         assert entry["status"] == 200

@@ -169,9 +169,20 @@ class TestPlanCache:
     def test_plans_survive_updates(self, seeded):
         query = "count(/descendant::w)"
         seeded.query("boe", query)
+        # an update that leaves the statistics fingerprint unchanged
+        # (renaming a name that matches nothing) keeps hitting the
+        # shared cache across snapshots
         seeded.update("boe", 'rename node /descendant::cb[1] as "cbx"')
-        # a new snapshot still hits the shared cache: plans are
-        # document-independent
+        assert seeded.query("boe", query).stats.plan_cache_hit is True
+
+    def test_cardinality_shift_orphans_plans(self, seeded):
+        query = "count(/descendant::w)"
+        seeded.query("boe", query)
+        # a cardinality-shifting update changes the stats fingerprint,
+        # so the stale costed plan is never served again (DESIGN.md
+        # §16) — the recompile misses, then the new plan is reused
+        seeded.update("boe", 'rename node /descendant::dmg[1] as "gap"')
+        assert seeded.query("boe", query).stats.plan_cache_hit is False
         assert seeded.query("boe", query).stats.plan_cache_hit is True
 
     def test_cache_eviction(self, seeded):
